@@ -1,0 +1,28 @@
+# Convenience targets for the repro library.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments experiments-full docs clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/unit -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro run all --preset quick
+
+experiments-full:
+	$(PYTHON) -m repro run all --preset full --out results/full
+	$(PYTHON) tools/generate_experiments_md.py results/full > EXPERIMENTS.md
+
+clean:
+	rm -rf build dist *.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

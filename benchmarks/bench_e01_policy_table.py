@@ -1,0 +1,12 @@
+"""Benchmark harness for E1 — regenerates the policy-comparison table (§1.2, [21], [23]).
+
+See DESIGN.md §4 (E1) and EXPERIMENTS.md for paper-vs-measured.
+The benchmark time is the cost of the full quick-preset regeneration.
+"""
+
+from __future__ import annotations
+
+
+def test_bench_e1_regenerates(run_experiment):
+    res = run_experiment("E1")
+    assert {r[0] for r in res.rows} >= {"odd-even", "greedy", "fie"}

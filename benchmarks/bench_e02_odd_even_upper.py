@@ -1,0 +1,13 @@
+"""Benchmark harness for E2 — regenerates the Theorem 4.13 scaling figure.
+
+See DESIGN.md §4 (E2) and EXPERIMENTS.md for paper-vs-measured.
+The benchmark time is the cost of the full quick-preset regeneration.
+"""
+
+from __future__ import annotations
+
+
+def test_bench_e2_regenerates(run_experiment):
+    res = run_experiment("E2")
+    bounds_ok = [row[3] for row in res.rows]
+    assert "NO" not in bounds_ok

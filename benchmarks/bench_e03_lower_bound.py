@@ -1,0 +1,12 @@
+"""Benchmark harness for E3 — regenerates the Theorem 3.1 forced-height figure.
+
+See DESIGN.md §4 (E3) and EXPERIMENTS.md for paper-vs-measured.
+The benchmark time is the cost of the full quick-preset regeneration.
+"""
+
+from __future__ import annotations
+
+
+def test_bench_e3_regenerates(run_experiment):
+    res = run_experiment("E3")
+    assert all(row[-1] == "yes" for row in res.rows)

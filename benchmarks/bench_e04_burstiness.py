@@ -1,0 +1,12 @@
+"""Benchmark harness for E4 — regenerates the Corollary 3.2 burstiness table.
+
+See DESIGN.md §4 (E4) and EXPERIMENTS.md for paper-vs-measured.
+The benchmark time is the cost of the full quick-preset regeneration.
+"""
+
+from __future__ import annotations
+
+
+def test_bench_e4_regenerates(run_experiment):
+    res = run_experiment("E4")
+    assert all(row[-1] == "yes" for row in res.rows)

@@ -1,0 +1,12 @@
+"""Benchmark harness for E5 — regenerates the Theorem 4.1 sqrt(n) figure.
+
+See DESIGN.md §4 (E5) and EXPERIMENTS.md for paper-vs-measured.
+The benchmark time is the cost of the full quick-preset regeneration.
+"""
+
+from __future__ import annotations
+
+
+def test_bench_e5_regenerates(run_experiment):
+    res = run_experiment("E5")
+    assert 0.3 <= float(res.notes[0].split()[2]) <= 0.7

@@ -1,0 +1,12 @@
+"""Benchmark harness for E6 — regenerates the [23] linear-baseline figure.
+
+See DESIGN.md §4 (E6) and EXPERIMENTS.md for paper-vs-measured.
+The benchmark time is the cost of the full quick-preset regeneration.
+"""
+
+from __future__ import annotations
+
+
+def test_bench_e6_regenerates(run_experiment):
+    res = run_experiment("E6")
+    assert res.rows[-1][1] >= res.params["ns"][-1] / 4

@@ -1,0 +1,12 @@
+"""Benchmark harness for E7 — regenerates the Theorem 5.11 tree scaling table.
+
+See DESIGN.md §4 (E7) and EXPERIMENTS.md for paper-vs-measured.
+The benchmark time is the cost of the full quick-preset regeneration.
+"""
+
+from __future__ import annotations
+
+
+def test_bench_e7_regenerates(run_experiment):
+    res = run_experiment("E7")
+    assert all(row[-1] == "yes" for row in res.rows)

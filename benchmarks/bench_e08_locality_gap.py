@@ -1,0 +1,12 @@
+"""Benchmark harness for E8 — regenerates the §5 locality-gap table.
+
+See DESIGN.md §4 (E8) and EXPERIMENTS.md for paper-vs-measured.
+The benchmark time is the cost of the full quick-preset regeneration.
+"""
+
+from __future__ import annotations
+
+
+def test_bench_e8_regenerates(run_experiment):
+    res = run_experiment("E8")
+    assert all(row[2] > row[3] for row in res.rows)

@@ -1,0 +1,11 @@
+"""Benchmark harness for E9 — regenerates the decision-timing robustness table.
+
+See DESIGN.md §4 (E9) and EXPERIMENTS.md for paper-vs-measured.
+The benchmark time is the cost of the full quick-preset regeneration.
+"""
+
+from __future__ import annotations
+
+
+def test_bench_e9_regenerates(run_experiment):
+    res = run_experiment("E9")

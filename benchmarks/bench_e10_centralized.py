@@ -1,0 +1,12 @@
+"""Benchmark harness for E10 — regenerates the [21] centralized sigma+2 table.
+
+See DESIGN.md §4 (E10) and EXPERIMENTS.md for paper-vs-measured.
+The benchmark time is the cost of the full quick-preset regeneration.
+"""
+
+from __future__ import annotations
+
+
+def test_bench_e10_regenerates(run_experiment):
+    res = run_experiment("E10")
+    assert all(row[3] == "yes" for row in res.rows)

@@ -1,0 +1,12 @@
+"""Benchmark harness for E11 — regenerates the Theorem 3.3 undirected-path table.
+
+See DESIGN.md §4 (E11) and EXPERIMENTS.md for paper-vs-measured.
+The benchmark time is the cost of the full quick-preset regeneration.
+"""
+
+from __future__ import annotations
+
+
+def test_bench_e11_regenerates(run_experiment):
+    res = run_experiment("E11")
+    assert all(row[-1] == "yes" for row in res.rows)

@@ -1,0 +1,12 @@
+"""Benchmark harness for E12 — regenerates the §6 delay-characteristics table.
+
+See DESIGN.md §4 (E12) and EXPERIMENTS.md for paper-vs-measured.
+The benchmark time is the cost of the full quick-preset regeneration.
+"""
+
+from __future__ import annotations
+
+
+def test_bench_e12_regenerates(run_experiment):
+    res = run_experiment("E12")
+    assert all(row[2] > 0 for row in res.rows)

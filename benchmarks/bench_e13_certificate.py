@@ -1,0 +1,12 @@
+"""Benchmark harness for E13 — regenerates the Figures 1-2 certificate demo.
+
+See DESIGN.md §4 (E13) and EXPERIMENTS.md for paper-vs-measured.
+The benchmark time is the cost of the full quick-preset regeneration.
+"""
+
+from __future__ import annotations
+
+
+def test_bench_e13_regenerates(run_experiment):
+    res = run_experiment("E13")
+    assert "figure 1 (peak node attachments)" in res.artifacts

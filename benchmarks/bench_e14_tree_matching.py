@@ -1,0 +1,12 @@
+"""Benchmark harness for E14 — regenerates the Figure 3 tree-matching demo.
+
+See DESIGN.md §4 (E14) and EXPERIMENTS.md for paper-vs-measured.
+The benchmark time is the cost of the full quick-preset regeneration.
+"""
+
+from __future__ import annotations
+
+
+def test_bench_e14_regenerates(run_experiment):
+    res = run_experiment("E14")
+    assert "figure 3 (crossover round)" in res.artifacts

@@ -1,0 +1,11 @@
+"""Benchmark harness for E15 — regenerates the design-choice ablation table.
+
+See DESIGN.md §4 (E15) and EXPERIMENTS.md for paper-vs-measured.
+The benchmark time is the cost of the full quick-preset regeneration.
+"""
+
+from __future__ import annotations
+
+
+def test_bench_e15_regenerates(run_experiment):
+    res = run_experiment("E15")

@@ -1,0 +1,13 @@
+"""Benchmark harness for E16 — the rate-c open-question exploration.
+
+See DESIGN.md §4 (E16) and EXPERIMENTS.md for paper-vs-measured.
+The benchmark time is the cost of the full quick-preset regeneration.
+"""
+
+from __future__ import annotations
+
+
+def test_bench_e16_regenerates(run_experiment):
+    res = run_experiment("E16")
+    growth_rows = [r for r in res.rows if r[1] == "growth"]
+    assert all(r[2] == "logarithmic" for r in growth_rows)

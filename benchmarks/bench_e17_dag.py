@@ -1,0 +1,14 @@
+"""Benchmark harness for E17 — the DAG-generalisation exploration.
+
+See DESIGN.md §4 (E17) and EXPERIMENTS.md for paper-vs-measured.
+The benchmark time is the cost of the full quick-preset regeneration.
+"""
+
+from __future__ import annotations
+
+
+def test_bench_e17_regenerates(run_experiment):
+    res = run_experiment("E17")
+    # the who-wins ordering survives on degenerate DAGs
+    degenerate = {r[2]: r[3] for r in res.rows if r[0] == "degenerate path"}
+    assert degenerate["dag-greedy"] > 4 * degenerate["dag-odd-even"]

@@ -1,0 +1,14 @@
+"""Benchmark harness for E18 — adversarial-queuing stability ([11]).
+
+See DESIGN.md §4 (E18) and EXPERIMENTS.md for paper-vs-measured.
+The benchmark time is the cost of the full quick-preset regeneration.
+"""
+
+from __future__ import annotations
+
+
+def test_bench_e18_regenerates(run_experiment):
+    res = run_experiment("E18")
+    measured = {r[0]: r[2] for r in res.rows}
+    assert measured["fie"] == "UNSTABLE"
+    assert all(v == "stable" for k, v in measured.items() if k != "fie")

@@ -1,0 +1,144 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+These measure raw throughput (steps/second) of the hot paths that every
+experiment rides on: the vectorised path engine, the packet-tracking
+simulator, the tree policy evaluation, the certifier overhead and the
+recursive attack.  They exist so performance regressions in the
+substrate are visible independently of the experiment-level timings.
+"""
+
+from __future__ import annotations
+
+from repro.adversaries import (
+    RecursiveLowerBoundAttack,
+    SeesawAdversary,
+    UniformRandomAdversary,
+)
+from repro.core.certificate import OddEvenCertifier
+from repro.core.tree_certificate import certify_tree_run
+from repro.network.engine_fast import PathEngine
+from repro.network.events import TraceRecorder
+from repro.network.simulator import Simulator
+from repro.network.topology import balanced_tree, path, spider
+from repro.policies import GreedyPolicy, OddEvenPolicy, TreeOddEvenPolicy
+
+
+def test_bench_fast_engine_4096_nodes(benchmark):
+    """Vectorised Odd-Even steps on a 4096-node path."""
+
+    def run():
+        engine = PathEngine(4096, OddEvenPolicy(), SeesawAdversary())
+        engine.run(2000)
+        return engine.max_height
+
+    assert benchmark(run) >= 1
+
+
+def test_bench_packet_simulator_256_nodes(benchmark):
+    """Reference packet simulator on a 256-node path."""
+
+    def run():
+        sim = Simulator(path(256), GreedyPolicy(), SeesawAdversary(),
+                        validate=False)
+        sim.run(600)
+        return sim.max_height
+
+    assert benchmark(run) >= 1
+
+
+def test_bench_tree_policy_binary_depth8(benchmark):
+    """Algorithm 5 evaluation on a 511-node binary tree."""
+    topo = balanced_tree(2, 8)
+
+    def run():
+        sim = Simulator(topo, TreeOddEvenPolicy(),
+                        UniformRandomAdversary(seed=1), validate=False)
+        sim.run(300)
+        return sim.max_height
+
+    assert benchmark(run) >= 1
+
+
+def test_bench_certifier_overhead(benchmark):
+    """Full attachment-scheme maintenance + validation per round."""
+
+    def run():
+        engine = PathEngine(64, OddEvenPolicy(),
+                            UniformRandomAdversary(seed=2))
+        cert = OddEvenCertifier(63)
+        for _ in range(400):
+            engine.step()
+            cert.observe(engine.heights[:-1])
+        return cert.report.rounds
+
+    assert benchmark(run) == 400
+
+
+def test_bench_tree_certifier(benchmark):
+    """Tree certifier (Algorithm 6 + even-residue scheme) on a spider."""
+    topo = spider(4, 6)
+
+    def run():
+        rep = certify_tree_run(topo, UniformRandomAdversary(seed=3), 250,
+                               validate_every=5)
+        return rep.rounds
+
+    assert benchmark(run) == 250
+
+
+def test_bench_recursive_attack_2048(benchmark):
+    """The Theorem 3.1 attack (with rollbacks) on a 2048-node path."""
+
+    def run():
+        engine = PathEngine(2048, OddEvenPolicy(), None)
+        return RecursiveLowerBoundAttack(ell=1).run(engine).forced_height
+
+    assert benchmark(run) >= 5
+
+
+def test_bench_trace_recording_overhead(benchmark):
+    """Engine with full trace recording enabled."""
+
+    def run():
+        trace = TraceRecorder()
+        engine = PathEngine(512, OddEvenPolicy(), SeesawAdversary(),
+                            trace=trace)
+        engine.run(500)
+        return len(trace)
+
+    assert benchmark(run) == 500
+
+
+def test_bench_dag_engine_layered(benchmark):
+    """DAG engine on a 129-node layered DAG (python per-node loop)."""
+    from repro.network.dag import layered_dag
+    from repro.network.dag_engine import DagEngine
+    from repro.policies.dag import DagOddEvenPolicy
+
+    dag = layered_dag(16, 8, 2, seed=1)
+
+    def run():
+        engine = DagEngine(dag, DagOddEvenPolicy(),
+                           UniformRandomAdversary(seed=2))
+        engine.run(400)
+        return engine.metrics.delivered
+
+    assert benchmark(run) > 0
+
+
+def test_bench_sweep_grid_small(benchmark):
+    """A 2x2x3 sweep grid (the custom-study workhorse)."""
+    from repro.analysis import SweepGrid
+    from repro.adversaries import FarEndAdversary
+    from repro.policies import GreedyPolicy
+
+    def run():
+        grid = SweepGrid(
+            policies=[OddEvenPolicy, GreedyPolicy],
+            adversaries=[FarEndAdversary, SeesawAdversary],
+            ns=[32, 64, 128],
+            steps_factor=8,
+        )
+        return len(grid.run().records)
+
+    assert benchmark(run) == 12

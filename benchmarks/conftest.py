@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark/reproduction harness.
+
+Every ``bench_eXX_*`` module regenerates one paper artefact (see
+DESIGN.md §4) via the experiment registry, asserts its shape claim, and
+reports the wall-clock cost through pytest-benchmark.  Experiments run
+exactly once per benchmark (``pedantic(rounds=1)``) — they are
+measurements, not hot loops; the micro-benchmarks in
+``bench_engines.py`` cover raw simulator throughput.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import get_experiment
+from repro.io.results import ExperimentResult
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run one experiment once under the benchmark timer and assert
+    that its paper-shape verdict passed."""
+
+    def _run(experiment_id: str, preset: str = "quick") -> ExperimentResult:
+        exp = get_experiment(experiment_id)
+        result = benchmark.pedantic(
+            exp.run, args=(preset,), rounds=1, iterations=1
+        )
+        assert result.passed, result.to_text(include_artifacts=False)
+        return result
+
+    return _run

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: the two-line algorithm beating greedy by an exponential.
+
+Runs the paper's Odd-Even policy (Algorithm 1) and the greedy baseline
+on the same directed path under the same adversarial workload (the
+anti-greedy *seesaw*), and prints the buffer each one needs.
+
+Expected output shape (n = 512):
+
+* greedy needs a buffer of ~n/2 packets at the sink's predecessor;
+* Odd-Even stays below log2(n) + 3 = 12.
+
+Run:  python examples/quickstart.py [n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import repro
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    steps = 8 * n
+
+    print(f"directed path, n = {n} nodes, {steps} adversarial steps")
+    print(f"theoretical Odd-Even bound: log2(n) + 3 = "
+          f"{repro.odd_even_upper_bound(n):.1f}\n")
+
+    for policy in (repro.GreedyPolicy(), repro.DownhillOrFlatPolicy(),
+                   repro.OddEvenPolicy()):
+        engine = repro.PathEngine(n, policy, repro.SeesawAdversary())
+        engine.run(steps)
+        t = engine.metrics.tracker
+        print(f"{policy.name:>18s}: max buffer = {t.max_height:4d} "
+              f"(at node {t.argmax_node}, step {t.argmax_step})")
+
+    # the same result certified: the proof machinery (§4) maintained
+    # live alongside the execution
+    report = repro.certify_path_run(n, repro.SeesawAdversary(), steps)
+    print(f"\ncertified run: max height {report.max_height} <= mechanical "
+          f"bound {report.bound} over {report.rounds} rounds "
+          f"({'OK' if report.certified else 'BROKEN'})")
+
+
+if __name__ == "__main__":
+    main()

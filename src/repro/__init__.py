@@ -1,0 +1,223 @@
+"""repro — reproduction of *Optimal Local Buffer Management for
+Information Gathering with Adversarial Traffic* (Dobrev, Lafond,
+Narayanan, Opatrny; SPAA 2017).
+
+A complete, from-scratch implementation of the paper's system:
+
+* the synchronous adversarial-queuing substrate of §2 (paths, trees,
+  rate-c adversaries, two-mini-step rounds);
+* the Odd-Even algorithm (Algorithm 1, Theorem 4.13) and the Tree
+  algorithm (Algorithm 5, Theorem 5.11), plus every baseline the paper
+  compares against (Greedy, Downhill, Downhill-or-Flat, FIE, the
+  centralized train algorithm of Miller & Patt-Shamir);
+* the Theorem 3.1 lower-bound adversary, implemented literally with
+  engine rollback;
+* the proof machinery — balanced matchings and attachment schemes —
+  as a runtime certifier of the log₂ n + 3 bound;
+* analysis, ASCII visualisation, and an experiment harness that
+  regenerates every theorem-level claim (see EXPERIMENTS.md).
+
+Quickstart::
+
+    import repro
+
+    engine = repro.PathEngine(
+        1024, repro.OddEvenPolicy(), repro.SeesawAdversary()
+    )
+    engine.run(20_000)
+    assert engine.max_height <= repro.odd_even_upper_bound(1024)
+"""
+
+from .adversaries import (
+    Adversary,
+    AlternatingAdversary,
+    AmplifiedAdversary,
+    AttackReport,
+    BackfillAdversary,
+    FarEndAdversary,
+    FixedNodeAdversary,
+    HeavyBranchAdversary,
+    HotSpotAdversary,
+    LeafSweepAdversary,
+    MaxHeightChaserAdversary,
+    MixtureAdversary,
+    NullAdversary,
+    OnOffAdversary,
+    PhasedAdversary,
+    PlateauAdversary,
+    PressureAdversary,
+    PreSinkAdversary,
+    RecordingAdversary,
+    RecursiveLowerBoundAttack,
+    ReplayAdversary,
+    RoundRobinAdversary,
+    ScheduleAdversary,
+    SeesawAdversary,
+    SpiderWaveAdversary,
+    TokenBucketAdversary,
+    TreeSeesawAdversary,
+    UniformRandomAdversary,
+)
+from .core import (
+    AttachmentScheme,
+    CertificateReport,
+    OddEvenCertifier,
+    TreeCertificateReport,
+    TreeCertifier,
+    certify_path_run,
+    certify_tree_run,
+    centralized_upper_bound,
+    corollary_3_2_lower_bound,
+    downhill_or_flat_reference,
+    greedy_reference,
+    odd_even_upper_bound,
+    path_height_bound_from_residues,
+    path_residue_count,
+    theorem_3_1_lower_bound,
+    tree_residue_count,
+    tree_upper_bound,
+)
+from .errors import (
+    AttachmentError,
+    CertificationError,
+    MatchingError,
+    PolicyError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+)
+from .network import (
+    DagEngine,
+    DagTopology,
+    PathEngine,
+    RunResult,
+    Simulator,
+    Topology,
+    TraceRecorder,
+    UndirectedPathEngine,
+    balanced_tree,
+    broom,
+    caterpillar,
+    diamond_grid,
+    from_parent_array,
+    layered_dag,
+    tree_with_shortcuts,
+    path,
+    random_tree,
+    spider,
+)
+from .policies import (
+    CentralizedTrainPolicy,
+    DagGreedyPolicy,
+    DagOddEvenPolicy,
+    ScaledOddEvenPolicy,
+    DirectedAsUndirected,
+    DownhillOrFlatPolicy,
+    DownhillPolicy,
+    ForwardIfEmptyPolicy,
+    ForwardingPolicy,
+    GreedyPolicy,
+    HeightBalancingPolicy,
+    ModularPolicy,
+    OddEvenPolicy,
+    TreeOddEvenPolicy,
+    available_policies,
+    make_policy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # network
+    "PathEngine",
+    "UndirectedPathEngine",
+    "Simulator",
+    "RunResult",
+    "Topology",
+    "TraceRecorder",
+    "path",
+    "spider",
+    "balanced_tree",
+    "caterpillar",
+    "broom",
+    "random_tree",
+    "from_parent_array",
+    "DagTopology",
+    "DagEngine",
+    "layered_dag",
+    "diamond_grid",
+    "tree_with_shortcuts",
+    # policies
+    "ForwardingPolicy",
+    "OddEvenPolicy",
+    "TreeOddEvenPolicy",
+    "GreedyPolicy",
+    "DownhillPolicy",
+    "DownhillOrFlatPolicy",
+    "ForwardIfEmptyPolicy",
+    "CentralizedTrainPolicy",
+    "ModularPolicy",
+    "ScaledOddEvenPolicy",
+    "DagOddEvenPolicy",
+    "DagGreedyPolicy",
+    "HeightBalancingPolicy",
+    "DirectedAsUndirected",
+    "make_policy",
+    "available_policies",
+    # adversaries
+    "Adversary",
+    "AlternatingAdversary",
+    "AmplifiedAdversary",
+    "MixtureAdversary",
+    "NullAdversary",
+    "FixedNodeAdversary",
+    "FarEndAdversary",
+    "PreSinkAdversary",
+    "ScheduleAdversary",
+    "PhasedAdversary",
+    "RoundRobinAdversary",
+    "UniformRandomAdversary",
+    "HotSpotAdversary",
+    "OnOffAdversary",
+    "TokenBucketAdversary",
+    "SeesawAdversary",
+    "PressureAdversary",
+    "PlateauAdversary",
+    "MaxHeightChaserAdversary",
+    "BackfillAdversary",
+    "LeafSweepAdversary",
+    "HeavyBranchAdversary",
+    "SpiderWaveAdversary",
+    "TreeSeesawAdversary",
+    "RecursiveLowerBoundAttack",
+    "AttackReport",
+    "RecordingAdversary",
+    "ReplayAdversary",
+    # core / bounds / certification
+    "AttachmentScheme",
+    "OddEvenCertifier",
+    "CertificateReport",
+    "certify_path_run",
+    "TreeCertifier",
+    "TreeCertificateReport",
+    "certify_tree_run",
+    "theorem_3_1_lower_bound",
+    "corollary_3_2_lower_bound",
+    "odd_even_upper_bound",
+    "tree_upper_bound",
+    "tree_residue_count",
+    "path_residue_count",
+    "path_height_bound_from_residues",
+    "downhill_or_flat_reference",
+    "greedy_reference",
+    "centralized_upper_bound",
+    # errors
+    "ReproError",
+    "TopologyError",
+    "SimulationError",
+    "PolicyError",
+    "CertificationError",
+    "MatchingError",
+    "AttachmentError",
+]

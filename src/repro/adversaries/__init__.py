@@ -1,0 +1,72 @@
+"""Adversarial and stochastic traffic generators (the §2 rate-c model).
+
+Per-step adversaries implement :class:`Adversary`; the Theorem 3.1
+attack is an *orchestrating* driver (it rewinds the engine between its
+two scenarios) and lives in :mod:`repro.adversaries.lower_bound`.
+"""
+
+from .adaptive import (
+    BackfillAdversary,
+    MaxHeightChaserAdversary,
+    PlateauAdversary,
+    PressureAdversary,
+    SeesawAdversary,
+)
+from .base import Adversary, NullAdversary, validate_injections
+from .composite import AlternatingAdversary, MixtureAdversary
+from .deterministic import (
+    AmplifiedAdversary,
+    FarEndAdversary,
+    FixedNodeAdversary,
+    PhasedAdversary,
+    PreSinkAdversary,
+    RoundRobinAdversary,
+    ScheduleAdversary,
+)
+from .lower_bound import AttackReport, RecursiveLowerBoundAttack, StageReport
+from .replay import RecordingAdversary, ReplayAdversary
+from .stochastic import (
+    HotSpotAdversary,
+    OnOffAdversary,
+    TokenBucketAdversary,
+    UniformRandomAdversary,
+)
+from .tree_adversaries import (
+    HeavyBranchAdversary,
+    LeafSweepAdversary,
+    SpiderWaveAdversary,
+    TreeSeesawAdversary,
+)
+
+__all__ = [
+    "Adversary",
+    "NullAdversary",
+    "validate_injections",
+    "MixtureAdversary",
+    "AlternatingAdversary",
+    "AmplifiedAdversary",
+    "FarEndAdversary",
+    "FixedNodeAdversary",
+    "PhasedAdversary",
+    "PreSinkAdversary",
+    "RoundRobinAdversary",
+    "ScheduleAdversary",
+    "UniformRandomAdversary",
+    "HotSpotAdversary",
+    "OnOffAdversary",
+    "TokenBucketAdversary",
+    "SeesawAdversary",
+    "PressureAdversary",
+    "PlateauAdversary",
+    "MaxHeightChaserAdversary",
+    "BackfillAdversary",
+    "AttackReport",
+    "RecursiveLowerBoundAttack",
+    "StageReport",
+    "RecordingAdversary",
+    "ReplayAdversary",
+    "LeafSweepAdversary",
+    "HeavyBranchAdversary",
+    "SpiderWaveAdversary",
+    "TreeSeesawAdversary",
+]

@@ -1,0 +1,83 @@
+"""Composite adversaries: mixtures and alternations.
+
+Real traffic is rarely one archetype.  :class:`MixtureAdversary` draws
+a sub-adversary per step from a weighted distribution (seeded);
+:class:`AlternatingAdversary` cycles deterministically.  Both are
+rate-safe: they delegate a single step to a single sub-adversary, so
+the per-step constraint is whatever the chosen member respects.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .base import Adversary
+from ..network.topology import Topology
+
+__all__ = ["MixtureAdversary", "AlternatingAdversary"]
+
+
+class MixtureAdversary(Adversary):
+    """Each step, pick one member at random (by weight) and delegate."""
+
+    def __init__(
+        self,
+        members: Sequence[Adversary],
+        weights: Sequence[float] | None = None,
+        seed: int | None = None,
+    ):
+        if not members:
+            raise ValueError("need at least one member")
+        if weights is not None:
+            if len(weights) != len(members):
+                raise ValueError("weights must match members")
+            if any(w < 0 for w in weights) or sum(weights) <= 0:
+                raise ValueError("weights must be non-negative, sum > 0")
+        self.members = list(members)
+        self._weights = (
+            None
+            if weights is None
+            else np.asarray(weights, dtype=float) / sum(weights)
+        )
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self.name = "mix(" + ",".join(m.name for m in members) + ")"
+
+    def reset(self, topology: Topology, capacity: int) -> None:
+        self._rng = np.random.default_rng(self.seed)
+        for m in self.members:
+            m.reset(topology, capacity)
+
+    def inject(self, step, heights, topology):
+        idx = int(self._rng.choice(len(self.members), p=self._weights))
+        return self.members[idx].inject(step, heights, topology)
+
+
+class AlternatingAdversary(Adversary):
+    """Round-robin over members with a fixed dwell time per member."""
+
+    def __init__(self, members: Sequence[Adversary], dwell: int = 1):
+        if not members:
+            raise ValueError("need at least one member")
+        if dwell < 1:
+            raise ValueError("dwell must be >= 1")
+        self.members = list(members)
+        self.dwell = int(dwell)
+        self.name = (
+            f"alt({','.join(m.name for m in members)};dwell={dwell})"
+        )
+        self._start: int | None = None
+
+    def reset(self, topology: Topology, capacity: int) -> None:
+        self._start = None
+        for m in self.members:
+            m.reset(topology, capacity)
+
+    def inject(self, step, heights, topology):
+        if self._start is None:
+            self._start = step
+        rel = step - self._start
+        idx = (rel // self.dwell) % len(self.members)
+        return self.members[idx].inject(step, heights, topology)

@@ -1,0 +1,213 @@
+"""The Theorem 3.1 lower-bound adversary (recursive block halving).
+
+The proof's adversary works in stages.  It maintains a contiguous block
+``B_i`` of ``K_i`` nodes whose average message density is at least
+``H_i = c·(1 + i/2ℓ)``.  For ``x_i = K_i/2ℓ`` steps it injects ``c``
+packets per step at the *rightmost* node of the block (matching the
+block's outflow capacity, so the block's content cannot decrease).  If
+the right half then carries enough messages, it becomes ``B_{i+1}``;
+otherwise the adversary *rewinds* and replays the same window injecting
+at the block's *leftmost* node — ℓ-locality guarantees the flow through
+the middle link is identical in both scenarios, so the left half plus
+the fresh injections now satisfies the density target.  Halving
+``log(n₀/2ℓ)`` times forces density ``c(1 + (log n − 2 log ℓ − 1)/2ℓ)``
+— i.e. some buffer of size Ω(c·log n/ℓ).
+
+This module implements that attack *literally*, as an orchestrating
+driver over any engine exposing ``step(injections)/checkpoint()/
+restore()/heights`` — which both the fast path engine and the
+packet-tracking simulator do.  Because we physically simulate both
+scenarios and keep the better half by *measurement*, the attack remains
+sound (it reports what it actually achieved) even for policies or
+timings outside the proof's assumptions — e.g. bidirectional policies
+(Theorem 3.3, experiment E11), where it serves as the empirical probe.
+
+Corollary 3.2 (burstiness): after the final stage the adversary fires a
+δ-burst at the densest block's tallest node, adding δ to the forced
+height; enable it with ``burst_delta > 0`` and construct the engine
+with ``injection_limit >= c + burst_delta``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.bounds import theorem_3_1_lower_bound
+from ..errors import ExperimentError
+
+__all__ = ["StageReport", "AttackReport", "RecursiveLowerBoundAttack"]
+
+
+@dataclass(frozen=True)
+class StageReport:
+    """What one halving stage achieved."""
+
+    stage: int
+    block_start: int
+    block_size: int
+    steps: int
+    scenario: str  # "initial", "right" or "left"
+    messages: int
+    density: float
+    target_density: float
+
+
+@dataclass(frozen=True)
+class AttackReport:
+    """Outcome of the full attack."""
+
+    n: int
+    capacity: int
+    ell: int
+    n0: int
+    forced_height: int
+    final_density: float
+    predicted: float
+    burst_delta: int
+    stages: tuple[StageReport, ...] = field(default_factory=tuple)
+
+    @property
+    def achieved_ratio(self) -> float:
+        """forced height / theoretical prediction (≥ 1 means the attack
+        met or beat the proof's guarantee)."""
+        return self.forced_height / self.predicted if self.predicted else float("inf")
+
+
+class RecursiveLowerBoundAttack:
+    """Drive an engine through the Theorem 3.1 attack.
+
+    Parameters
+    ----------
+    ell:
+        Locality parameter of the policy under attack (the adversary is
+        weaker — needs more steps per stage — for larger ℓ).
+    burst_delta:
+        δ of Corollary 3.2; 0 disables the terminal burst.
+    """
+
+    def __init__(self, ell: int = 1, burst_delta: int = 0) -> None:
+        if ell < 1:
+            raise ExperimentError("ell must be >= 1")
+        if burst_delta < 0:
+            raise ExperimentError("burst_delta must be >= 0")
+        self.ell = int(ell)
+        self.burst_delta = int(burst_delta)
+
+    # ------------------------------------------------------------------
+    def run(self, engine) -> AttackReport:
+        """Execute the attack; the engine must start from the empty
+        configuration and have no adversary of its own."""
+        topo = engine.topology
+        # positions: 0 = far end ... -1 = sink; on trees the attack
+        # runs along the deepest root-leaf path (the spine)
+        order = topo.path_order() if topo.is_path else topo.spine_order()
+        c = engine.capacity
+        ell = self.ell
+        num_buffering = len(order) - 1  # the sink never buffers
+
+        if self.burst_delta and engine.injection_limit < c + self.burst_delta:
+            raise ExperimentError(
+                "engine.injection_limit must be >= c + burst_delta for the "
+                "Corollary 3.2 burst"
+            )
+
+        # n0: the largest ell * 2^i that fits among the buffering nodes
+        if num_buffering < 2 * ell:
+            raise ExperimentError(
+                f"path too short for ell={ell}: need at least {2 * ell + 1} nodes"
+            )
+        i = 0
+        while ell * (2 ** (i + 1)) <= num_buffering:
+            i += 1
+        n0 = ell * (2**i)
+
+        stages: list[StageReport] = []
+
+        def block_messages(start: int, size: int) -> int:
+            return int(engine.heights[order[start : start + size]].sum())
+
+        # ---- stage 0: fill the leftmost n0 nodes at rate c ------------
+        far = int(order[0])
+        for _ in range(n0):
+            engine.step((far,) * c)
+        start, size = 0, n0
+        msgs = block_messages(start, size)
+        stages.append(
+            StageReport(
+                stage=0,
+                block_start=start,
+                block_size=size,
+                steps=n0,
+                scenario="initial",
+                messages=msgs,
+                density=msgs / size,
+                target_density=float(c),
+            )
+        )
+
+        # ---- halving stages ------------------------------------------
+        stage = 0
+        while size >= 2 * ell:
+            stage += 1
+            steps = size // (2 * ell)
+            half = size // 2
+            target = c * (1.0 + stage / (2.0 * ell))
+
+            cp = engine.checkpoint()
+            right_site = int(order[start + size - 1])
+            for _ in range(steps):
+                engine.step((right_site,) * c)
+            m_right = block_messages(start + half, half)
+            cp_right = engine.checkpoint()
+
+            engine.restore(cp)
+            left_site = int(order[start])
+            for _ in range(steps):
+                engine.step((left_site,) * c)
+            m_left = block_messages(start, half)
+
+            if m_right >= m_left:
+                engine.restore(cp_right)
+                start, size = start + half, half
+                msgs, scenario = m_right, "right"
+            else:
+                start, size = start, half
+                msgs, scenario = m_left, "left"
+
+            stages.append(
+                StageReport(
+                    stage=stage,
+                    block_start=start,
+                    block_size=size,
+                    steps=steps,
+                    scenario=scenario,
+                    messages=msgs,
+                    density=msgs / size,
+                    target_density=target,
+                )
+            )
+
+        # ---- Corollary 3.2 terminal burst ----------------------------
+        if self.burst_delta:
+            h = engine.heights
+            in_block = order[start : start + size]
+            tallest = int(in_block[int(np.argmax(h[in_block]))])
+            engine.step((tallest,) * (c + self.burst_delta))
+
+        final = stages[-1]
+        return AttackReport(
+            n=topo.n,
+            capacity=c,
+            ell=ell,
+            n0=n0,
+            forced_height=int(engine.metrics.max_height),
+            final_density=final.density,
+            # on trees the prediction applies to the injection corridor
+            # (the spine), which for a path is the whole network
+            predicted=theorem_3_1_lower_bound(len(order), c, ell)
+            + self.burst_delta,
+            burst_delta=self.burst_delta,
+            stages=tuple(stages),
+        )

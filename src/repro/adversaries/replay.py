@@ -1,0 +1,64 @@
+"""Record / replay adversaries.
+
+Wrapping any adversary in :class:`RecordingAdversary` captures the
+exact injection sequence it produced (including its reactions to the
+policy under test); :class:`ReplayAdversary` re-issues a captured tape
+verbatim.  This is how a worst case found by an *adaptive* adversary
+against one policy can be replayed bit-for-bit against another — a fair
+A/B comparison that the adaptive adversary alone cannot provide — and
+how failing runs are frozen into regression tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import Adversary
+from ..network.topology import Topology
+
+__all__ = ["RecordingAdversary", "ReplayAdversary"]
+
+
+class RecordingAdversary(Adversary):
+    """Delegate to ``inner`` while taping every injection batch."""
+
+    def __init__(self, inner: Adversary):
+        self.inner = inner
+        self.name = f"rec({inner.name})"
+        self.tape: list[tuple[int, ...]] = []
+
+    def reset(self, topology: Topology, capacity: int) -> None:
+        self.inner.reset(topology, capacity)
+        self.tape = []
+
+    def inject(self, step, heights, topology):
+        sites = tuple(self.inner.inject(step, heights, topology))
+        self.tape.append(sites)
+        return sites
+
+    def to_replay(self) -> "ReplayAdversary":
+        """Freeze the tape recorded so far."""
+        return ReplayAdversary(self.tape)
+
+
+class ReplayAdversary(Adversary):
+    """Re-issue a taped injection sequence, then go silent."""
+
+    name = "replay"
+
+    def __init__(self, tape: Sequence[Sequence[int]]):
+        self.tape = [tuple(batch) for batch in tape]
+        self._cursor = 0
+
+    def reset(self, topology: Topology, capacity: int) -> None:
+        self._cursor = 0
+
+    def inject(self, step, heights, topology):
+        if self._cursor >= len(self.tape):
+            return ()
+        batch = self.tape[self._cursor]
+        self._cursor += 1
+        return batch
+
+    def __len__(self) -> int:
+        return len(self.tape)

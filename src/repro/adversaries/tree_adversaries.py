@@ -1,0 +1,168 @@
+"""Convergecast workloads specific to trees (§5 experiments).
+
+The key crafted workload is the §5 opening argument: on a spider with
+k arms, fill every arm with a packet wave timed to reach the hub
+simultaneously; a 1-local policy (no sibling arbitration) then pushes
+k packets into the hub in one step, forcing a buffer of size k = Θ(√n)
+when k = √n.  The 2-local Algorithm 5 admits only the priority line and
+stays logarithmic (experiment E8).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .base import Adversary
+from ..network.topology import Topology
+
+__all__ = [
+    "LeafSweepAdversary",
+    "HeavyBranchAdversary",
+    "SpiderWaveAdversary",
+    "TreeSeesawAdversary",
+]
+
+
+class TreeSeesawAdversary(Adversary):
+    """The seesaw lifted to trees: stream along the deepest root-leaf
+    path, then hammer the sink's child on that path while the stream
+    keeps arriving.  The tree analogue of the [23] anti-greedy
+    workload; against Algorithm 5 it exercises the drain line."""
+
+    name = "tree-seesaw"
+
+    def __init__(self, fill: int | None = None):
+        self.fill = fill
+        self._far = -1
+        self._pre = -1
+        self._fill = 0
+        self._start: int | None = None
+
+    def reset(self, topology: Topology, capacity: int) -> None:
+        spine = topology.spine_order()
+        self._far = int(spine[0])
+        self._pre = int(spine[-2]) if len(spine) >= 2 else int(spine[0])
+        self._fill = self.fill if self.fill is not None else len(spine) - 1
+        self._start = None
+
+    def inject(self, step, heights, topology):
+        if self._start is None:
+            self._start = step
+        rel = step - self._start
+        return (self._far,) if rel < self._fill else (self._pre,)
+
+
+class LeafSweepAdversary(Adversary):
+    """Cycle injections over the leaves (periphery load)."""
+
+    name = "leaf-sweep"
+
+    def __init__(self) -> None:
+        self._leaves: tuple[int, ...] = ()
+
+    def reset(self, topology: Topology, capacity: int) -> None:
+        leaves = [v for v in topology.leaves if v != topology.sink]
+        self._leaves = tuple(leaves) if leaves else (0,)
+
+    def inject(self, step, heights, topology):
+        return (self._leaves[step % len(self._leaves)],)
+
+
+class HeavyBranchAdversary(Adversary):
+    """Always inject into the subtree currently holding the most packets.
+
+    Within the heaviest subtree below the sink, the target is the
+    tallest node (ties towards the sink) — a hill-climbing heuristic
+    that stresses the sibling arbitration of Algorithm 5.
+    """
+
+    name = "heavy-branch"
+
+    def __init__(self) -> None:
+        self._branch_of: np.ndarray | None = None
+
+    def reset(self, topology: Topology, capacity: int) -> None:
+        # label every node with the sink-child subtree containing it
+        branch = np.full(topology.n, -1, dtype=np.int64)
+        for b in topology.children[topology.sink]:
+            stack = [b]
+            while stack:
+                u = stack.pop()
+                branch[u] = b
+                stack.extend(topology.children[u])
+        self._branch_of = branch
+
+    def inject(self, step, heights, topology):
+        branch = self._branch_of
+        roots = topology.children[topology.sink]
+        if not roots:
+            return ()
+        weights = {b: 0 for b in roots}
+        for v in range(topology.n):
+            b = int(branch[v])
+            if b >= 0:
+                weights[b] += int(heights[v])
+        heavy = max(roots, key=lambda b: (weights[b], -topology.depth[b]))
+        members = np.flatnonzero(branch == heavy)
+        hs = heights[members]
+        best = members[hs == hs.max()]
+        depths = topology.depth[best]
+        return (int(best[int(np.argmin(depths))]),)
+
+
+class SpiderWaveAdversary(Adversary):
+    """The §5 lower-bound workload for 1-local policies on spiders.
+
+    Fills the arms one by one, placing a packet at the position in each
+    arm whose distance to the hub equals the arm's index — so that under
+    any work-conserving-ish 1-local rule the packets arrive at the hub
+    in the same step.  After the set-up phase it idles (rate constraint:
+    one packet per step), letting the synchronized wave collide.
+
+    ``arm_heads`` must list, per arm, the node adjacent to the hub; for
+    topologies built by :func:`repro.network.topology.spider` use
+    :meth:`from_spider`.
+    """
+
+    name = "spider-wave"
+
+    def __init__(self, hub: int, arm_heads: Sequence[int]):
+        self.hub = int(hub)
+        self.arm_heads = tuple(int(a) for a in arm_heads)
+        self._plan: list[int] = []
+        self._start: int | None = None
+
+    @classmethod
+    def from_spider(cls, topology: Topology) -> "SpiderWaveAdversary":
+        """Derive hub and arm heads from a :func:`spider` topology."""
+        hub = topology.children[topology.sink][0]
+        return cls(hub, topology.children[hub])
+
+    def reset(self, topology: Topology, capacity: int) -> None:
+        self._start = None
+        plan: list[int] = []
+        # arm i receives its packet at distance (i+1) from the hub, and
+        # the arms are filled starting from the farthest placement so
+        # that travel times + remaining set-up time align at the hub.
+        arms = list(self.arm_heads)
+        k = len(arms)
+        for i in reversed(range(k)):
+            # walk outwards from the arm head i hops (clamped to arm end)
+            node = arms[i]
+            for _ in range(i):
+                kids = topology.children[node]
+                if not kids:
+                    break
+                node = kids[0]
+            plan.append(node)
+        self._plan = plan
+
+    def inject(self, step, heights, topology):
+        if self._start is None:
+            self._start = step
+        rel = step - self._start
+        if rel < len(self._plan):
+            return (self._plan[rel],)
+        return ()

@@ -1,0 +1,59 @@
+"""Measurement and analysis utilities: occupancy sweeps, growth-law
+fitting, stability probes, delay statistics, report tables."""
+
+from .compare import PolicyComparison, compare_under_frozen_tape
+from .delay import DelayResult, measure_delays
+from .potential import PotentialTrace, potential, trace_potential
+from .replication import Replication, replicate, replicate_max_height
+from .occupancy import (
+    OccupancyResult,
+    default_step_budget,
+    measure_path,
+    measure_tree,
+    profile_snapshot,
+    worst_case_over_suite,
+)
+from .scaling import (
+    GrowthClass,
+    LogFit,
+    PowerFit,
+    classify_growth,
+    fit_log,
+    fit_power,
+)
+from .stability import StabilityVerdict, probe_stability
+from .sweeps import SweepGrid, SweepRecord, SweepResult
+from .tables import format_kv, format_table, rows_to_csv
+
+__all__ = [
+    "PolicyComparison",
+    "compare_under_frozen_tape",
+    "DelayResult",
+    "measure_delays",
+    "OccupancyResult",
+    "default_step_budget",
+    "measure_path",
+    "measure_tree",
+    "profile_snapshot",
+    "worst_case_over_suite",
+    "GrowthClass",
+    "LogFit",
+    "PowerFit",
+    "classify_growth",
+    "fit_log",
+    "fit_power",
+    "StabilityVerdict",
+    "probe_stability",
+    "SweepGrid",
+    "SweepRecord",
+    "SweepResult",
+    "Replication",
+    "replicate",
+    "replicate_max_height",
+    "PotentialTrace",
+    "potential",
+    "trace_potential",
+    "format_kv",
+    "format_table",
+    "rows_to_csv",
+]

@@ -1,0 +1,74 @@
+"""Frozen-tape policy comparison (fair A/B under identical traffic).
+
+An adaptive adversary's injections depend on the policy it plays
+against, so "policy A saw max 3, policy B saw max 120" can conflate the
+policy difference with the traffic difference.  This module removes the
+confound: it records the adversary's actual tape against a *reference*
+policy, then replays the identical injections against every candidate
+and reports occupancy and delay side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .delay import measure_delays
+from ..adversaries.base import Adversary
+from ..adversaries.replay import RecordingAdversary, ReplayAdversary
+from ..network.engine_fast import PathEngine
+from ..policies.base import ForwardingPolicy
+
+__all__ = ["PolicyComparison", "compare_under_frozen_tape"]
+
+
+@dataclass(frozen=True)
+class PolicyComparison:
+    """One policy's outcome under the frozen tape."""
+
+    policy: str
+    max_height: int
+    delivered: int
+    mean_delay: float
+    p95_delay: float
+    max_delay: float
+
+
+def compare_under_frozen_tape(
+    n: int,
+    reference_policy: ForwardingPolicy,
+    adversary: Adversary,
+    candidates: Sequence[ForwardingPolicy],
+    steps: int,
+    *,
+    include_reference: bool = True,
+) -> list[PolicyComparison]:
+    """Record ``adversary`` against the reference, replay against all.
+
+    Returns one :class:`PolicyComparison` per policy (reference first
+    when included), all measured under byte-identical traffic.
+    """
+    recorder = RecordingAdversary(adversary)
+    PathEngine(n, reference_policy, recorder).run(steps)
+    tape = recorder.tape
+
+    policies = list(candidates)
+    if include_reference:
+        policies.insert(0, reference_policy)
+
+    out: list[PolicyComparison] = []
+    for policy in policies:
+        result = measure_delays(
+            n, policy, ReplayAdversary(tape), steps, drain=True
+        )
+        out.append(
+            PolicyComparison(
+                policy=policy.name,
+                max_height=result.max_height,
+                delivered=result.delivered,
+                mean_delay=result.mean,
+                p95_delay=result.p95,
+                max_delay=result.max,
+            )
+        )
+    return out

@@ -1,0 +1,91 @@
+"""Packet-delay measurement (experiment E12).
+
+The paper's conclusion poses the delay characteristics of Odd-Even as
+an open research direction; this module provides the measurement
+harness.  Delays require packet identity, so these runs use the
+packet-tracking :class:`~repro.network.simulator.Simulator` rather than
+the height-only fast engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..adversaries.base import Adversary
+from ..network.buffers import Discipline
+from ..network.simulator import Simulator
+from ..network.topology import Topology, path
+from ..policies.base import ForwardingPolicy
+
+__all__ = ["DelayResult", "measure_delays"]
+
+
+@dataclass(frozen=True)
+class DelayResult:
+    """Delay statistics for one (policy, adversary) run."""
+
+    policy: str
+    adversary: str
+    n: int
+    steps: int
+    delivered: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+    max_height: int
+
+    @property
+    def per_hop_mean(self) -> float:
+        """Mean delay normalised by a crude mean route length (n/2)."""
+        return self.mean / max(self.n / 2.0, 1.0)
+
+
+def measure_delays(
+    n_or_topology: int | Topology,
+    policy: ForwardingPolicy,
+    adversary: Adversary,
+    steps: int,
+    *,
+    discipline: Discipline | str = Discipline.FIFO,
+    decision_timing: str = "pre_injection",
+    drain: bool = True,
+) -> DelayResult:
+    """Run the packet engine and summarise delays of delivered packets.
+
+    With ``drain=True`` the adversary is silenced after ``steps`` and
+    the network runs until (almost) empty, so slow stragglers are
+    counted instead of censored.
+    """
+    topo = path(n_or_topology) if isinstance(n_or_topology, int) else n_or_topology
+    sim = Simulator(
+        topo,
+        policy,
+        adversary,
+        discipline=discipline,
+        decision_timing=decision_timing,
+    )
+    sim.run(steps)
+    if drain:
+        sim.adversary = None
+        # a packet needs at most depth + total-backlog steps to drain
+        budget = int(topo.height + sim.heights.sum()) * 4 + 8
+        for _ in range(budget):
+            if sim.heights.sum() == 0:
+                break
+            sim.step()
+    s = sim.metrics.delays.summary()
+    return DelayResult(
+        policy=policy.name,
+        adversary=adversary.name,
+        n=topo.n,
+        steps=steps,
+        delivered=int(s["count"]),
+        mean=s["mean"],
+        p50=s["p50"],
+        p95=s["p95"],
+        p99=s["p99"],
+        max=s["max"],
+        max_height=sim.max_height,
+    )

@@ -1,0 +1,97 @@
+"""Replication statistics for stochastic workloads.
+
+Adversarial results in this library are deterministic, but the
+average-case comparisons (uniform/hot-spot traffic, E1/E12 context) are
+seed-dependent.  This module runs a measurement across seeds and
+reports mean, standard deviation and a normal-approximation confidence
+interval — enough to state "Odd-Even's average occupancy under uniform
+traffic is x ± y" honestly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+from scipy import stats as sps
+
+__all__ = ["Replication", "replicate", "replicate_max_height"]
+
+
+@dataclass(frozen=True)
+class Replication:
+    """Summary of one metric across seeds."""
+
+    values: tuple[float, ...]
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+    confidence: float
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.mean:.2f} ± {(self.ci_high - self.ci_low) / 2:.2f} "
+            f"({int(self.confidence * 100)}% CI, n={self.n})"
+        )
+
+
+def replicate(
+    measure: Callable[[int], float],
+    seeds: Sequence[int],
+    confidence: float = 0.95,
+) -> Replication:
+    """Run ``measure(seed)`` per seed and summarise.
+
+    Uses the t-distribution for the interval (appropriate for the small
+    seed counts typical here).
+    """
+    if len(seeds) < 2:
+        raise ValueError("need at least 2 seeds for an interval")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    values = np.asarray([float(measure(s)) for s in seeds])
+    mean = float(values.mean())
+    std = float(values.std(ddof=1))
+    sem = std / np.sqrt(values.size)
+    if std == 0.0:
+        lo = hi = mean
+    else:
+        lo, hi = sps.t.interval(
+            confidence, df=values.size - 1, loc=mean, scale=sem
+        )
+    return Replication(
+        values=tuple(float(v) for v in values),
+        mean=mean,
+        std=std,
+        ci_low=float(lo),
+        ci_high=float(hi),
+        confidence=confidence,
+    )
+
+
+def replicate_max_height(
+    n: int,
+    policy_factory,
+    adversary_factory: Callable[[int], "object"],
+    steps: int,
+    seeds: Sequence[int] = tuple(range(10)),
+    confidence: float = 0.95,
+) -> Replication:
+    """Max-height across seeds on the fast path engine.
+
+    ``adversary_factory(seed)`` builds the seeded traffic source.
+    """
+    from ..network.engine_fast import PathEngine
+
+    def measure(seed: int) -> float:
+        engine = PathEngine(n, policy_factory(), adversary_factory(seed))
+        engine.run(steps)
+        return float(engine.max_height)
+
+    return replicate(measure, seeds, confidence)

@@ -1,0 +1,135 @@
+"""Growth-law fitting and classification.
+
+The paper's claims are asymptotic (Θ(log n), Θ(√n), Θ(n)).  The
+experiment harness therefore measures max buffer heights over an n
+sweep and *classifies the growth law* rather than comparing absolute
+constants: a reproduction matches the paper if Odd-Even fits the
+logarithmic family, Downhill-or-Flat the power family with exponent
+≈ ½, and Greedy the power family with exponent ≈ 1.
+
+Fits are least squares via :func:`scipy.stats.linregress` on the
+appropriate transform:
+
+* power law ``y = a·n^b`` — linear in log-log space;
+* logarithmic law ``y = a + b·log₂ n`` — linear in semilog space.
+
+Model selection compares the two families' residuals on equal footing
+(R² of the transformed fit evaluated back in linear space).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["GrowthClass", "PowerFit", "LogFit", "fit_power", "fit_log",
+           "classify_growth"]
+
+
+class GrowthClass(Enum):
+    LOGARITHMIC = "logarithmic"
+    SQRT = "sqrt"
+    LINEAR = "linear"
+    POWER = "power"
+    CONSTANT = "constant"
+
+
+@dataclass(frozen=True)
+class PowerFit:
+    """y ≈ coefficient · n^exponent."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, n: np.ndarray | float) -> np.ndarray | float:
+        return self.coefficient * np.asarray(n, dtype=float) ** self.exponent
+
+
+@dataclass(frozen=True)
+class LogFit:
+    """y ≈ intercept + slope · log₂ n."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, n: np.ndarray | float) -> np.ndarray | float:
+        return self.intercept + self.slope * np.log2(np.asarray(n, dtype=float))
+
+
+def _as_positive_arrays(ns, ys) -> tuple[np.ndarray, np.ndarray]:
+    ns = np.asarray(ns, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if ns.shape != ys.shape or ns.ndim != 1:
+        raise ValueError("ns and ys must be 1-D arrays of equal length")
+    if ns.size < 3:
+        raise ValueError("need at least 3 sweep points to fit a growth law")
+    if (ns <= 0).any():
+        raise ValueError("sizes must be positive")
+    return ns, ys
+
+
+def fit_power(ns, ys) -> PowerFit:
+    """Fit ``y = a·n^b`` by log-log regression (y clipped to ≥ 1)."""
+    ns, ys = _as_positive_arrays(ns, ys)
+    ys = np.maximum(ys, 1.0)
+    res = stats.linregress(np.log(ns), np.log(ys))
+    return PowerFit(
+        exponent=float(res.slope),
+        coefficient=float(np.exp(res.intercept)),
+        r_squared=float(res.rvalue**2),
+    )
+
+
+def fit_log(ns, ys) -> LogFit:
+    """Fit ``y = a + b·log₂ n`` by semilog regression."""
+    ns, ys = _as_positive_arrays(ns, ys)
+    res = stats.linregress(np.log2(ns), ys)
+    return LogFit(
+        slope=float(res.slope),
+        intercept=float(res.intercept),
+        r_squared=float(res.rvalue**2),
+    )
+
+
+def classify_growth(
+    ns,
+    ys,
+    *,
+    sqrt_tolerance: float = 0.18,
+    linear_tolerance: float = 0.18,
+) -> tuple[GrowthClass, PowerFit, LogFit]:
+    """Classify a measured sweep into a growth family.
+
+    Returns the chosen class together with both fits so callers can
+    report the numbers.  Heuristics: a flat series is CONSTANT; if the
+    log model explains the data clearly better than the power model the
+    series is LOGARITHMIC; otherwise the power exponent decides between
+    SQRT (≈ 0.5), LINEAR (≈ 1) and generic POWER.
+    """
+    ns, ys = _as_positive_arrays(ns, ys)
+    if np.allclose(ys, ys[0]):
+        return (
+            GrowthClass.CONSTANT,
+            PowerFit(0.0, float(ys[0]), 1.0),
+            LogFit(0.0, float(ys[0]), 1.0),
+        )
+    p = fit_power(ns, ys)
+    l = fit_log(ns, ys)
+
+    # residual comparison in linear space
+    rss_p = float(np.sum((p.predict(ns) - ys) ** 2))
+    rss_l = float(np.sum((l.predict(ns) - ys) ** 2))
+    if rss_l < rss_p and p.exponent < 0.25:
+        return GrowthClass.LOGARITHMIC, p, l
+    if abs(p.exponent - 0.5) <= sqrt_tolerance:
+        return GrowthClass.SQRT, p, l
+    if abs(p.exponent - 1.0) <= linear_tolerance:
+        return GrowthClass.LINEAR, p, l
+    if p.exponent < 0.25 and rss_l <= rss_p * 1.5:
+        return GrowthClass.LOGARITHMIC, p, l
+    return GrowthClass.POWER, p, l

@@ -1,0 +1,73 @@
+"""Stability detection in the adversarial-queuing sense.
+
+A policy is *stable* for a network if buffer sizes stay bounded by a
+constant independent of the input stream length ([11], §1.1).  We
+detect (in)stability empirically: run with a doubling horizon and check
+whether the running maximum keeps growing.  Local FIE is the canonical
+unstable example ([21], experiment E1): its far-end buffer grows ≈ t/2
+forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..adversaries.base import Adversary
+from ..network.engine_fast import PathEngine
+from ..policies.base import ForwardingPolicy
+
+__all__ = ["StabilityVerdict", "probe_stability"]
+
+
+@dataclass(frozen=True)
+class StabilityVerdict:
+    """Outcome of a doubling-horizon stability probe."""
+
+    stable: bool
+    horizons: tuple[int, ...]
+    max_heights: tuple[int, ...]
+    growth_rate: float  # packets of extra height per extra step, tail
+
+    @property
+    def final_max(self) -> int:
+        return self.max_heights[-1]
+
+
+def probe_stability(
+    n: int,
+    policy: ForwardingPolicy,
+    adversary: Adversary,
+    *,
+    base_horizon: int | None = None,
+    doublings: int = 4,
+    tolerance: int = 1,
+) -> StabilityVerdict:
+    """Run with doubling horizons; unstable iff the max keeps climbing.
+
+    ``tolerance`` allows the running maximum to creep by that many
+    packets per doubling without being flagged (slow convergence to a
+    bounded worst case looks like tiny residual growth).
+    """
+    if doublings < 2:
+        raise ValueError("need at least 2 doublings to compare")
+    base = 4 * n if base_horizon is None else base_horizon
+    engine = PathEngine(n, policy, adversary)
+    horizons: list[int] = []
+    maxima: list[int] = []
+    total = 0
+    for d in range(doublings):
+        target = base * (2**d)
+        engine.run(target - total)
+        total = target
+        horizons.append(total)
+        maxima.append(engine.max_height)
+
+    last_growth = maxima[-1] - maxima[-2]
+    steps_delta = horizons[-1] - horizons[-2]
+    stable = last_growth <= tolerance
+    return StabilityVerdict(
+        stable=stable,
+        horizons=tuple(horizons),
+        max_heights=tuple(maxima),
+        growth_rate=last_growth / steps_delta if steps_delta else 0.0,
+    )

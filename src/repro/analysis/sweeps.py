@@ -1,0 +1,139 @@
+"""Structured parameter sweeps.
+
+A :class:`SweepGrid` runs every (policy, adversary, n) combination of a
+grid on the fast path engine and collects tidy records — the backbone
+for custom studies outside the packaged experiments (see
+``examples/buffer_provisioning_study.py``).  Results export to CSV and
+group-reduce for growth-law fitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from .occupancy import measure_path
+from .scaling import GrowthClass, classify_growth
+from .tables import format_table, rows_to_csv
+from ..adversaries.base import Adversary
+from ..policies.base import ForwardingPolicy
+
+__all__ = ["SweepRecord", "SweepResult", "SweepGrid"]
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One grid cell's measurement."""
+
+    policy: str
+    adversary: str
+    n: int
+    steps: int
+    max_height: int
+
+
+@dataclass
+class SweepResult:
+    """All records of a sweep plus reduction helpers."""
+
+    records: list[SweepRecord] = field(default_factory=list)
+
+    HEADERS = ("policy", "adversary", "n", "steps", "max_height")
+
+    def rows(self) -> list[list]:
+        return [
+            [r.policy, r.adversary, r.n, r.steps, r.max_height]
+            for r in self.records
+        ]
+
+    def to_csv(self) -> str:
+        return rows_to_csv(self.HEADERS, self.rows())
+
+    def to_table(self, title: str | None = None) -> str:
+        return format_table(self.HEADERS, self.rows(), title=title)
+
+    # ------------------------------------------------------------------
+    def worst_by_policy_and_n(self) -> dict[tuple[str, int], int]:
+        """Max over adversaries for each (policy, n)."""
+        out: dict[tuple[str, int], int] = {}
+        for r in self.records:
+            key = (r.policy, r.n)
+            out[key] = max(out.get(key, 0), r.max_height)
+        return out
+
+    def growth_by_policy(self) -> dict[str, tuple[GrowthClass, float]]:
+        """Classify each policy's worst-case growth over the n sweep.
+
+        Returns policy → (growth class, fitted power exponent).
+        Policies measured at fewer than 3 sizes are skipped.
+        """
+        worst = self.worst_by_policy_and_n()
+        per_policy: dict[str, dict[int, int]] = {}
+        for (policy, n), h in worst.items():
+            per_policy.setdefault(policy, {})[n] = h
+        out: dict[str, tuple[GrowthClass, float]] = {}
+        for policy, series in per_policy.items():
+            if len(series) < 3:
+                continue
+            ns = sorted(series)
+            cls, power, _ = classify_growth(ns, [series[n] for n in ns])
+            out[policy] = (cls, power.exponent)
+        return out
+
+
+class SweepGrid:
+    """Cartesian sweep over policies × adversaries × sizes.
+
+    Factories (not instances) are taken for both axes so every cell
+    runs fresh, stateless objects.
+    """
+
+    def __init__(
+        self,
+        policies: Sequence[Callable[[], ForwardingPolicy]],
+        adversaries: Sequence[Callable[[], Adversary]],
+        ns: Iterable[int],
+        *,
+        steps_factor: int = 16,
+        decision_timing: str = "pre_injection",
+    ) -> None:
+        if steps_factor < 1:
+            raise ValueError("steps_factor must be >= 1")
+        self.policies = list(policies)
+        self.adversaries = list(adversaries)
+        self.ns = sorted(set(int(n) for n in ns))
+        self.steps_factor = int(steps_factor)
+        self.decision_timing = decision_timing
+        if not (self.policies and self.adversaries and self.ns):
+            raise ValueError("grid axes must be non-empty")
+
+    def cell_count(self) -> int:
+        return len(self.policies) * len(self.adversaries) * len(self.ns)
+
+    def run(
+        self, progress: Callable[[SweepRecord], None] | None = None
+    ) -> SweepResult:
+        """Execute every cell; ``progress`` is called per record."""
+        result = SweepResult()
+        for n in self.ns:
+            steps = self.steps_factor * n
+            for make_policy in self.policies:
+                for make_adv in self.adversaries:
+                    occ = measure_path(
+                        n,
+                        make_policy(),
+                        make_adv(),
+                        steps,
+                        decision_timing=self.decision_timing,
+                    )
+                    rec = SweepRecord(
+                        policy=occ.policy,
+                        adversary=occ.adversary,
+                        n=n,
+                        steps=steps,
+                        max_height=occ.max_height,
+                    )
+                    result.records.append(rec)
+                    if progress is not None:
+                        progress(rec)
+        return result

@@ -1,0 +1,93 @@
+"""Plain-text table rendering for experiment reports.
+
+No external table/plot dependencies are available offline, so the
+experiment harness prints aligned ASCII tables and writes CSV files;
+both live here so every experiment reports in the same format.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Sequence
+
+__all__ = ["format_table", "rows_to_csv", "format_kv"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    Numeric columns are right-aligned, text columns left-aligned.
+    """
+    cells = [[_fmt(v) for v in row] for row in rows]
+    headers = [str(h) for h in headers]
+    ncols = len(headers)
+    for row in cells:
+        if len(row) != ncols:
+            raise ValueError("row width does not match header width")
+
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    numeric = [
+        all(_is_numeric(row[i]) for row in cells) if cells else False
+        for i in range(ncols)
+    ]
+
+    def fmt_row(row: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(row):
+            parts.append(cell.rjust(widths[i]) if numeric[i] else cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append(sep)
+    lines.extend(fmt_row(r) for r in cells)
+    return "\n".join(lines)
+
+
+def _is_numeric(s: str) -> bool:
+    try:
+        float(s)
+        return True
+    except ValueError:
+        return False
+
+
+def rows_to_csv(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Serialise rows as CSV text (for EXPERIMENTS.md artefacts)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(headers)
+    writer.writerows(rows)
+    return buf.getvalue()
+
+
+def format_kv(pairs: dict[str, Any], *, title: str | None = None) -> str:
+    """Render a key/value block (experiment parameter summaries)."""
+    width = max((len(k) for k in pairs), default=0)
+    lines = [title] if title else []
+    for k, v in pairs.items():
+        lines.append(f"{k.ljust(width)} : {_fmt(v)}")
+    return "\n".join(lines)

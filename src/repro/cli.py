@@ -1,0 +1,269 @@
+"""Command-line front-end: ``python -m repro ...``.
+
+Sub-commands:
+
+* ``list`` — experiments and policies;
+* ``describe EXP`` — an experiment's claim and paper reference;
+* ``run EXP [EXP...] | all`` — run experiments, print reports, and
+  optionally save JSON/TXT artefacts;
+* ``simulate`` — one ad-hoc (policy, adversary, n) run with a profile
+  drawing — handy for exploration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis.tables import format_table
+from .experiments import all_experiment_ids, get_experiment
+from .io.results import save_result
+from .policies import available_policies, make_policy
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Optimal Local Buffer Management for "
+            "Information Gathering with Adversarial Traffic' (SPAA 2017)"
+        ),
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and policies")
+
+    d = sub.add_parser("describe", help="describe one experiment")
+    d.add_argument("experiment")
+
+    r = sub.add_parser("run", help="run experiments")
+    r.add_argument("experiments", nargs="+",
+                   help="experiment ids (e.g. E2 E3) or 'all'")
+    r.add_argument("--preset", choices=("quick", "full"), default="quick")
+    r.add_argument("--out", default=None,
+                   help="directory for JSON/TXT artefacts")
+    r.add_argument("--no-artifacts", action="store_true",
+                   help="omit ASCII charts from stdout")
+
+    c = sub.add_parser(
+        "certify",
+        help="run Odd-Even (path) or the Tree policy with the proof "
+             "certifier attached",
+    )
+    c.add_argument("--topology", default="path:256",
+                   help="path:N | spider:ARMSxLEN | binary:DEPTH | "
+                        "random:N (default path:256)")
+    c.add_argument("--adversary", default="uniform",
+                   choices=("far-end", "pre-sink", "seesaw", "pressure",
+                            "uniform", "round-robin", "max-chaser",
+                            "attack"))
+    c.add_argument("--steps", type=int, default=None)
+    c.add_argument("--seed", type=int, default=0)
+    c.add_argument("--show-figure", action="store_true",
+                   help="render the tallest node's attachments (Fig 1)")
+
+    s = sub.add_parser("simulate", help="one ad-hoc run")
+    s.add_argument("--policy", default="odd-even",
+                   choices=available_policies())
+    s.add_argument("--adversary", default="seesaw",
+                   choices=("far-end", "pre-sink", "seesaw", "pressure",
+                            "uniform", "round-robin", "max-chaser"))
+    s.add_argument("-n", type=int, default=128)
+    s.add_argument("--steps", type=int, default=None)
+    s.add_argument("--seed", type=int, default=0)
+    return p
+
+
+def _make_adversary(name: str, seed: int):
+    from . import adversaries as adv
+
+    table = {
+        "far-end": adv.FarEndAdversary,
+        "pre-sink": adv.PreSinkAdversary,
+        "seesaw": adv.SeesawAdversary,
+        "pressure": adv.PressureAdversary,
+        "round-robin": adv.RoundRobinAdversary,
+        "max-chaser": adv.MaxHeightChaserAdversary,
+    }
+    if name == "uniform":
+        return adv.UniformRandomAdversary(seed=seed)
+    return table[name]()
+
+
+def _cmd_list() -> int:
+    rows = []
+    for eid in all_experiment_ids():
+        exp = get_experiment(eid)
+        rows.append([eid, exp.title, exp.paper_ref])
+    print(format_table(["id", "title", "paper ref"], rows,
+                       title="Experiments:"))
+    print()
+    print("Policies:", ", ".join(available_policies()))
+    return 0
+
+
+def _cmd_describe(experiment: str) -> int:
+    exp = get_experiment(experiment)
+    print(f"{exp.id}: {exp.title}")
+    print(f"paper reference: {exp.paper_ref}")
+    print(f"claim: {exp.claim}")
+    return 0
+
+
+def _cmd_run(ids: Sequence[str], preset: str, out: str | None,
+             no_artifacts: bool) -> int:
+    if len(ids) == 1 and ids[0].lower() == "all":
+        ids = all_experiment_ids()
+    failures = 0
+    for eid in ids:
+        exp = get_experiment(eid)
+        result = exp.run(preset)
+        print(result.to_text(include_artifacts=not no_artifacts))
+        print()
+        if out:
+            path = save_result(result, out)
+            print(f"saved {path}")
+        if not result.passed:
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) FAILED their shape assertion")
+    return 1 if failures else 0
+
+
+def _cmd_simulate(policy: str, adversary: str, n: int,
+                  steps: int | None, seed: int) -> int:
+    from .analysis.occupancy import default_step_budget
+    from .core.bounds import odd_even_upper_bound
+    from .network.engine_fast import PathEngine
+    from .viz.ascii import height_profile, sparkline
+
+    steps = default_step_budget(n) if steps is None else steps
+    engine = PathEngine(
+        n, make_policy(policy), _make_adversary(adversary, seed),
+        series_every=max(1, steps // 64),
+    )
+    engine.run(steps)
+    t = engine.metrics.tracker
+    print(f"policy={policy} adversary={adversary} n={n} steps={steps}")
+    print(f"max height: {t.max_height} (node {t.argmax_node} at step "
+          f"{t.argmax_step}); log2(n)+3 = {odd_even_upper_bound(n):.1f}")
+    print(f"injected {engine.metrics.injected}, delivered "
+          f"{engine.metrics.delivered}, in flight {int(engine.heights.sum())}")
+    print()
+    print(height_profile(engine.heights, label="final height profile:"))
+    if engine.metrics.series.values:
+        print()
+        print("max height over time: " + sparkline(engine.metrics.series.values))
+    return 0
+
+
+def _parse_topology(spec: str):
+    from .errors import ExperimentError
+    from .network import topology as topo_mod
+
+    kind, _, arg = spec.partition(":")
+    try:
+        if kind == "path":
+            return None, int(arg or 256)
+        if kind == "spider":
+            arms, _, length = arg.partition("x")
+            return topo_mod.spider(int(arms), int(length)), None
+        if kind == "binary":
+            return topo_mod.balanced_tree(2, int(arg)), None
+        if kind == "random":
+            return topo_mod.random_tree(int(arg), seed=0), None
+    except ValueError:
+        pass
+    raise ExperimentError(
+        f"bad topology spec {spec!r}; use path:N, spider:AxL, binary:D "
+        "or random:N"
+    )
+
+
+def _cmd_certify(topology: str, adversary: str, steps: int | None,
+                 seed: int, show_figure: bool) -> int:
+    import numpy as np
+
+    from .core.bounds import attack_schedule_length
+    from .core.certificate import (
+        CertifiedPathEngine,
+        OddEvenCertifier,
+        certify_path_run,
+    )
+    from .core.tree_certificate import certify_tree_run
+
+    tree, n = _parse_topology(topology)
+    if tree is None:
+        steps = steps if steps is not None else 16 * n
+        if adversary == "attack":
+            from .adversaries import RecursiveLowerBoundAttack
+            from .network.engine_fast import PathEngine
+            from .policies import OddEvenPolicy
+
+            cert = OddEvenCertifier(n - 1, validate_every=5)
+            engine = CertifiedPathEngine(
+                PathEngine(n, OddEvenPolicy(), None), cert
+            )
+            attack = RecursiveLowerBoundAttack(ell=1).run(engine)
+            report = cert.report
+            print(f"attack forced {attack.forced_height} "
+                  f"(predicted {attack.predicted:.2f}) over "
+                  f"{attack_schedule_length(n, 1)} scheduled steps")
+        else:
+            cert = None
+            report = certify_path_run(
+                n, _make_adversary(adversary, seed), steps,
+                validate_every=5,
+            )
+        print(f"CERTIFIED path run: n={n}, rounds={report.rounds}, "
+              f"max height {report.max_height} <= mechanical bound "
+              f"{report.bound} (theorem: log2 n + 3 = "
+              f"{report.theorem_bound:.1f})")
+        if show_figure and adversary == "attack" and cert is not None:
+            from .viz.attachment_render import render_node_attachments
+
+            peak = int(np.argmax(cert.heights))
+            print()
+            print(render_node_attachments(cert.scheme, cert.heights, peak))
+        return 0 if report.certified else 1
+
+    steps = steps if steps is not None else 12 * tree.n
+    adv = _make_adversary(
+        "uniform" if adversary == "attack" else adversary, seed
+    )
+    report = certify_tree_run(tree, adv, steps, validate_every=5)
+    print(f"CERTIFIED tree run: n={tree.n}, rounds={report.rounds}, "
+          f"max height {report.max_height} <= bound {report.bound}, "
+          f"{report.crossover_pairs} crossover pairs")
+    return 0 if report.certified else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    from .errors import PolicyError
+
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "describe":
+        return _cmd_describe(args.experiment)
+    if args.command == "run":
+        return _cmd_run(args.experiments, args.preset, args.out,
+                        args.no_artifacts)
+    if args.command == "certify":
+        return _cmd_certify(args.topology, args.adversary, args.steps,
+                            args.seed, args.show_figure)
+    if args.command == "simulate":
+        try:
+            return _cmd_simulate(args.policy, args.adversary, args.n,
+                                 args.steps, args.seed)
+        except PolicyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

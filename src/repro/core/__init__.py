@@ -1,0 +1,98 @@
+"""The paper's core contribution: algorithms, bounds, proof machinery.
+
+* :mod:`repro.core.bounds` — every theorem's bound as a function.
+* :mod:`repro.core.classify` / :mod:`repro.core.matching` — round
+  classification and balanced matchings (Algorithm 2).
+* :mod:`repro.core.attachment` / :mod:`repro.core.maintenance` —
+  attachment schemes and their maintenance (Algorithms 3–4).
+* :mod:`repro.core.certificate` — the runtime certifier for the
+  log₂ n + 3 bound (Theorem 4.13).
+* :mod:`repro.core.tree_matching` / :mod:`repro.core.tree_certificate`
+  — the §5 generalisation to trees (Algorithm 6, Theorem 5.11).
+
+The policies themselves (Algorithms 1 and 5) live in
+:mod:`repro.policies` so they can be benchmarked uniformly against the
+baselines.
+"""
+
+from .attachment import AttachmentScheme, Slot
+from .bounds import (
+    centralized_upper_bound,
+    corollary_3_2_lower_bound,
+    downhill_or_flat_reference,
+    fie_growth_rate,
+    greedy_reference,
+    odd_even_upper_bound,
+    path_height_bound_from_residues,
+    path_residue_count,
+    theorem_3_1_lower_bound,
+    tree_residue_count,
+    tree_upper_bound,
+)
+from .certificate import CertificateReport, OddEvenCertifier, certify_path_run
+from .classify import NodeKind, RoundClassification, classify_round
+from .maintenance import process_pair, process_round
+from .matching import (
+    BalancedMatching,
+    MatchingPair,
+    PairKind,
+    build_matching,
+    verify_matching,
+)
+from .tree_certificate import (
+    TreeCertificateReport,
+    TreeCertifier,
+    certify_tree_run,
+    validate_tree_rules,
+)
+from .tree_matching import (
+    LineDecomposition,
+    TreeMatching,
+    TreePair,
+    build_tree_matching,
+    classify_tree_round,
+    decompose_lines,
+    tree_path_between,
+    verify_tree_matching,
+)
+
+__all__ = [
+    "AttachmentScheme",
+    "Slot",
+    "centralized_upper_bound",
+    "corollary_3_2_lower_bound",
+    "downhill_or_flat_reference",
+    "fie_growth_rate",
+    "greedy_reference",
+    "odd_even_upper_bound",
+    "path_height_bound_from_residues",
+    "path_residue_count",
+    "theorem_3_1_lower_bound",
+    "tree_residue_count",
+    "tree_upper_bound",
+    "CertificateReport",
+    "OddEvenCertifier",
+    "certify_path_run",
+    "NodeKind",
+    "RoundClassification",
+    "classify_round",
+    "process_pair",
+    "process_round",
+    "BalancedMatching",
+    "MatchingPair",
+    "PairKind",
+    "build_matching",
+    "verify_matching",
+    "TreeCertificateReport",
+    "TreeCertifier",
+    "certify_tree_run",
+    "validate_tree_rules",
+    "LineDecomposition",
+    "TreeMatching",
+    "TreePair",
+    "build_tree_matching",
+    "classify_tree_round",
+    "decompose_lines",
+    "tree_path_between",
+    "verify_tree_matching",
+]

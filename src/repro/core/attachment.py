@@ -1,0 +1,219 @@
+"""Attachment schemes (Definitions 4.5 and 4.8).
+
+The exponential-cost argument behind Theorem 4.13: every packet
+``x[i]`` of a node at height ≥ 3 owns *slots* ``x[i, 1..i-2]``, and a
+(valid, full) attachment scheme assigns to every slot ``x[i, j]`` a
+distinct *residue* node of height exactly ``j``.  Counting residues
+recursively (Lemma 4.6) shows a height-m node pins down ``2^(m-2) − 1``
+distinct nodes, so m ≤ log₂ n + 3 (Lemma 4.7).
+
+Rules (Definition 4.5 — structure, Definition 4.8 — validity):
+
+1. a slot ``x[i, j]`` holds a node of height exactly ``j``;
+2. slots and residues are matched one-to-one (no sharing);
+3. an even-height residue's guardian is *in front of* it (sink side);
+4. an odd-height residue's guardian is *behind* it;
+5. every node strictly between a residue and its guardian is at least
+   as tall as the residue.
+
+*Fullness* (implicit in Lemma 4.6's counting, maintained by
+Algorithm 4): **every** existing slot is attached.
+
+Positions follow :mod:`repro.core.classify`: 0 = far end, larger =
+closer to the sink; the sink itself has no position.
+
+The tree generalisation (§5) reuses this container with
+``even_only=True`` (only even-height residues are tracked — the paper
+"limits Rule 2 to residues of even value") and replaces Rules 3–5 with
+Rules 6–7, which are checked by the tree certifier, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import AttachmentError
+
+__all__ = ["Slot", "AttachmentScheme"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Slot:
+    """Slot ``x[i, j]``: the j-th slot of the i-th packet of node x."""
+
+    node: int
+    packet: int  # i, 3 <= i <= h(node)
+    level: int   # j, 1 <= j <= i - 2
+
+    def __post_init__(self) -> None:
+        if self.packet < 3:
+            raise AttachmentError(
+                f"packet {self.packet} has no slots (needs i >= 3)"
+            )
+        if not 1 <= self.level <= self.packet - 2:
+            raise AttachmentError(
+                f"slot level {self.level} out of range for packet {self.packet}"
+            )
+
+
+class AttachmentScheme:
+    """A mutable one-to-one map slots ↔ residue nodes.
+
+    The container enforces Rule 2 (exclusivity) on every mutation; the
+    configuration-dependent rules are checked by :meth:`validate`.
+    """
+
+    def __init__(self, even_only: bool = False) -> None:
+        self.even_only = even_only
+        self._by_slot: dict[Slot, int] = {}
+        self._by_node: dict[int, Slot] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def attach(self, slot: Slot, node: int) -> None:
+        """Attach ``node`` as the residue of ``slot`` (Rule 2 enforced)."""
+        if node == slot.node:
+            raise AttachmentError(f"node {node} cannot attach to itself")
+        if slot in self._by_slot:
+            raise AttachmentError(f"slot {slot} already attached")
+        if node in self._by_node:
+            raise AttachmentError(
+                f"node {node} is already a residue of {self._by_node[node]}"
+            )
+        if self.even_only and slot.level % 2 != 0:
+            raise AttachmentError(
+                f"even-only scheme cannot attach at odd level {slot.level}"
+            )
+        self._by_slot[slot] = node
+        self._by_node[node] = slot
+
+    def detach_slot(self, slot: Slot) -> int:
+        """Remove the attachment at ``slot``; returns the freed node."""
+        try:
+            node = self._by_slot.pop(slot)
+        except KeyError:
+            raise AttachmentError(f"slot {slot} is not attached") from None
+        del self._by_node[node]
+        return node
+
+    def detach_node(self, node: int) -> Slot:
+        """Remove ``node``'s residue attachment; returns the freed slot."""
+        try:
+            slot = self._by_node.pop(node)
+        except KeyError:
+            raise AttachmentError(f"node {node} is not a residue") from None
+        del self._by_slot[slot]
+        return slot
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def residue_at(self, slot: Slot) -> int | None:
+        """The node attached to ``slot`` (the paper's ``att_A(x[i,j])``)."""
+        return self._by_slot.get(slot)
+
+    def guardian_of(self, node: int) -> Slot | None:
+        """The slot guarding ``node``, or None if it is not a residue."""
+        return self._by_node.get(node)
+
+    def is_residue(self, node: int) -> bool:
+        return node in self._by_node
+
+    def residues(self) -> tuple[int, ...]:
+        return tuple(self._by_node)
+
+    def slots_of(self, node: int) -> tuple[Slot, ...]:
+        """All currently attached slots owned by ``node``."""
+        return tuple(s for s in self._by_slot if s.node == node)
+
+    def __len__(self) -> int:
+        return len(self._by_slot)
+
+    def __iter__(self) -> Iterator[tuple[Slot, int]]:
+        return iter(self._by_slot.items())
+
+    def copy(self) -> "AttachmentScheme":
+        out = AttachmentScheme(self.even_only)
+        out._by_slot = dict(self._by_slot)
+        out._by_node = dict(self._by_node)
+        return out
+
+    # ------------------------------------------------------------------
+    # Expected slots for a configuration
+    # ------------------------------------------------------------------
+    def expected_slots(self, height: int) -> list[tuple[int, int]]:
+        """(packet, level) pairs a node of ``height`` must have filled."""
+        out = []
+        for i in range(3, height + 1):
+            for j in range(1, i - 1):
+                if self.even_only and j % 2 != 0:
+                    continue
+                out.append((i, j))
+        return out
+
+    # ------------------------------------------------------------------
+    # Validation (Rules 1-5 + fullness) for path configurations
+    # ------------------------------------------------------------------
+    def validate(
+        self,
+        heights: np.ndarray,
+        *,
+        check_direction: bool = True,
+        check_between: bool = True,
+    ) -> None:
+        """Check the scheme against a path configuration.
+
+        ``heights`` are indexed by position; position order is distance
+        order (larger = closer to the sink).  Raises
+        :class:`AttachmentError` on the first violated rule.
+        """
+        heights = np.asarray(heights, dtype=np.int64)
+        n = heights.size
+
+        for slot, y in self._by_slot.items():
+            x = slot.node
+            if not (0 <= x < n and 0 <= y < n):
+                raise AttachmentError(f"{slot}->{y}: position out of range")
+            if slot.packet > heights[x]:
+                raise AttachmentError(
+                    f"{slot}: node {x} has height {heights[x]} < packet "
+                    f"{slot.packet} (stale slot)"
+                )
+            if heights[y] != slot.level:  # Rule 1
+                raise AttachmentError(
+                    f"Rule 1: residue {y} has height {heights[y]} != "
+                    f"slot level {slot.level}"
+                )
+            if check_direction:
+                if slot.level % 2 == 0:  # Rule 3: guardian in front
+                    if not x > y:
+                        raise AttachmentError(
+                            f"Rule 3: even residue {y} guarded from behind by {x}"
+                        )
+                else:  # Rule 4: guardian behind
+                    if not x < y:
+                        raise AttachmentError(
+                            f"Rule 4: odd residue {y} guarded from front by {x}"
+                        )
+            if check_between:  # Rule 5
+                lo, hi = (x, y) if x < y else (y, x)
+                for z in range(lo + 1, hi):
+                    if heights[z] < slot.level:
+                        raise AttachmentError(
+                            f"Rule 5: node {z} (h={heights[z]}) between "
+                            f"residue {y} and guardian {x} is below "
+                            f"level {slot.level}"
+                        )
+
+        # fullness: every existing slot of every node is attached
+        for x in range(n):
+            for i, j in self.expected_slots(int(heights[x])):
+                if Slot(x, i, j) not in self._by_slot:
+                    raise AttachmentError(
+                        f"fullness: slot {x}[{i},{j}] is empty "
+                        f"(h({x}) = {heights[x]})"
+                    )

@@ -1,0 +1,127 @@
+"""Round classification for the §4 proof machinery.
+
+Given the configurations ``C`` (start of a round) and ``C'`` (start of
+the next round) the paper classifies every node:
+
+* **down** — its height decreased (always by exactly 1, since c = 1);
+* **up** — its height increased by 1;
+* **2up** — increased by 2 (received from its predecessor *and* from
+  the adversary while not sending; at most one per round);
+* **steady** — unchanged;
+* the **leading-zero** is the special up node that went 0 → 1 while
+  every node in front of it has height 0 — the head of a fresh wave
+  rolling towards the sink.
+
+Everything here works in *position space* along a directed path:
+position 0 is the far end, position ``N-1`` is the last buffering node
+(the sink, which never buffers, is excluded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from ..errors import CertificationError
+
+__all__ = ["NodeKind", "RoundClassification", "classify_round"]
+
+
+class NodeKind(Enum):
+    STEADY = 0
+    DOWN = 1
+    UP = 2
+    UP2 = 3
+
+
+@dataclass(frozen=True)
+class RoundClassification:
+    """Per-position labels for one round plus derived artefacts.
+
+    Attributes
+    ----------
+    kinds:
+        ``kinds[p]`` is the :class:`NodeKind` of position ``p``.
+    non_steady:
+        Positions with a height change, ascending; the 2up position (if
+        any) appears **twice**, exactly as Algorithm 2 requires.
+    leading_zero:
+        Position of the leading-zero node, or ``None``.
+    """
+
+    kinds: tuple[NodeKind, ...]
+    non_steady: tuple[int, ...]
+    leading_zero: int | None
+
+    @property
+    def up2_position(self) -> int | None:
+        for p, k in enumerate(self.kinds):
+            if k is NodeKind.UP2:
+                return p
+        return None
+
+
+def classify_round(
+    before: np.ndarray, after: np.ndarray
+) -> RoundClassification:
+    """Classify a round from its two configurations (sink excluded).
+
+    Raises
+    ------
+    CertificationError
+        If any height moved by more than the c = 1 dynamics allow
+        (|Δ| > 2, Δ = −2, or more than one 2up node).
+    """
+    before = np.asarray(before, dtype=np.int64)
+    after = np.asarray(after, dtype=np.int64)
+    if before.shape != after.shape or before.ndim != 1:
+        raise CertificationError("configuration arrays must match in shape")
+    diff = after - before
+
+    kinds: list[NodeKind] = []
+    non_steady: list[int] = []
+    up2_seen = False
+    for p, d in enumerate(diff):
+        if d == 0:
+            kinds.append(NodeKind.STEADY)
+        elif d == -1:
+            kinds.append(NodeKind.DOWN)
+            non_steady.append(p)
+        elif d == 1:
+            kinds.append(NodeKind.UP)
+            non_steady.append(p)
+        elif d == 2:
+            if up2_seen:
+                raise CertificationError(
+                    "two 2up nodes in one round — impossible at rate c = 1"
+                )
+            up2_seen = True
+            kinds.append(NodeKind.UP2)
+            non_steady.append(p)
+            non_steady.append(p)
+        else:
+            raise CertificationError(
+                f"position {p} changed height by {d}; c = 1 allows only "
+                "-1, 0, +1, +2"
+            )
+
+    leading_zero: int | None = None
+    # The leading-zero went up from 0 with every position in front of it
+    # empty after the round; by definition it is the rightmost up node.
+    # A 2up that started from height 0 next to the sink (received +
+    # injected in one round) plays the leading-zero role for its second,
+    # otherwise-unmatched copy: its intermediate height is 1, so the
+    # extra increment needs no slots, exactly like a 0 -> 1 step.
+    for p in range(len(diff) - 1, -1, -1):
+        if kinds[p] in (NodeKind.UP, NodeKind.UP2):
+            if before[p] == 0 and (after[p + 1 :] == 0).all():
+                leading_zero = p
+            break
+
+    return RoundClassification(
+        kinds=tuple(kinds),
+        non_steady=tuple(non_steady),
+        leading_zero=leading_zero,
+    )

@@ -1,0 +1,209 @@
+"""Balanced matchings on paths (Definition 4.2, Algorithm 2).
+
+A balanced matching pairs every *up* node with a neighbouring *down*
+node (and vice versa), except possibly for the leading-zero node and
+the rightmost down node; the 2up node is paired with both of its
+neighbouring down nodes.  The matching is the charging argument's
+skeleton: every height increase is paid for by a height decrease at a
+node that — by Lemma 4.4 — was at least as tall.
+
+Algorithm 2 is literally "pair consecutive non-steady nodes from the
+left" (the 2up node counted twice); Claim 1 shows at most one node
+stays unmatched and identifies it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from .classify import NodeKind, RoundClassification
+from ..errors import MatchingError
+
+__all__ = ["PairKind", "MatchingPair", "BalancedMatching", "build_matching",
+           "verify_matching"]
+
+
+class PairKind(Enum):
+    DOWN_UP = "down-up"   # down node behind (left of) the up node
+    UP_DOWN = "up-down"   # up node behind (left of) the down node
+
+
+@dataclass(frozen=True)
+class MatchingPair:
+    """One matched (down, up) pair, stored by path position."""
+
+    down: int
+    up: int
+
+    @property
+    def kind(self) -> PairKind:
+        return PairKind.DOWN_UP if self.down < self.up else PairKind.UP_DOWN
+
+    @property
+    def left(self) -> int:
+        return min(self.down, self.up)
+
+    @property
+    def right(self) -> int:
+        return max(self.down, self.up)
+
+
+@dataclass(frozen=True)
+class BalancedMatching:
+    """The full matching for one round.
+
+    ``unmatched`` is the single leftover non-steady position (or
+    ``None``); per Claim 1 it is the rightmost down node or the
+    leading-zero node.
+    """
+
+    pairs: tuple[MatchingPair, ...]
+    unmatched: int | None
+    unmatched_kind: NodeKind | None
+
+
+def build_matching(cls: RoundClassification) -> BalancedMatching:
+    """Algorithm 2: pair consecutive non-steady nodes left-to-right.
+
+    Raises
+    ------
+    MatchingError
+        If a would-be pair consists of two downs or two ups in a way
+        Claim 1 excludes (three consecutive same-kind nodes), which
+        would mean the run being certified does not follow the c = 1
+        Odd-Even dynamics.
+    """
+    x = list(cls.non_steady)
+    pairs: list[MatchingPair] = []
+    i = 0
+    while i + 1 < len(x):
+        a, b = x[i], x[i + 1]
+        ka = cls.kinds[a]
+        kb = cls.kinds[b]
+        if a == b:
+            # the two copies of the 2up node may never be paired with
+            # each other; this can only happen if alternation broke.
+            raise MatchingError(
+                f"2up node at position {a} would pair with itself"
+            )
+        a_down = ka is NodeKind.DOWN
+        b_down = kb is NodeKind.DOWN
+        if a_down and not b_down:
+            pairs.append(MatchingPair(down=a, up=b))
+        elif b_down and not a_down:
+            pairs.append(MatchingPair(down=b, up=a))
+        else:
+            raise MatchingError(
+                f"positions {a} ({ka.name}) and {b} ({kb.name}) cannot "
+                "form a down/up pair — alternation violated"
+            )
+        i += 2
+
+    unmatched = x[i] if i < len(x) else None
+    unmatched_kind = cls.kinds[unmatched] if unmatched is not None else None
+    return BalancedMatching(
+        pairs=tuple(pairs),
+        unmatched=unmatched,
+        unmatched_kind=unmatched_kind,
+    )
+
+
+def verify_matching(
+    matching: BalancedMatching,
+    cls: RoundClassification,
+    before: np.ndarray,
+) -> None:
+    """Check Definition 4.2, Claim 1 and Lemma 4.4 for a round.
+
+    * every pair is one down + one up with only steady nodes between
+      them (neighbourhood condition);
+    * the unmatched node, if any, is the rightmost down node or the
+      leading-zero;
+    * Lemma 4.4: ``h(x_u) ≤ h(x_d)`` in C, the heights between a
+      down-up pair are non-increasing towards the sink and between an
+      up-down pair non-decreasing.
+
+    Raises :class:`MatchingError` on the first violation.
+    """
+    before = np.asarray(before, dtype=np.int64)
+    kinds = cls.kinds
+
+    matched_positions: list[int] = []
+    for pair in matching.pairs:
+        matched_positions.extend((pair.down, pair.up))
+        # only steady nodes strictly between the pair (the 2up node is
+        # its own neighbour for its two pairs, so allow the shared
+        # endpoint to be non-steady)
+        for z in range(pair.left + 1, pair.right):
+            if kinds[z] is not NodeKind.STEADY and z not in (
+                pair.down,
+                pair.up,
+            ):
+                raise MatchingError(
+                    f"non-steady node at {z} strictly inside pair "
+                    f"({pair.down},{pair.up})"
+                )
+        # Lemma 4.4 is stated on the heights of C; the intermediate
+        # heights used while processing a down-2up-down triple are
+        # checked inside process_pair, which also fixes the processing
+        # order (see process_round).
+        eff = before
+        h_d, h_u = int(eff[pair.down]), int(eff[pair.up])
+        if h_u > h_d:
+            raise MatchingError(
+                f"Lemma 4.4 violated: h(up={pair.up})={h_u} > "
+                f"h(down={pair.down})={h_d}"
+            )
+        # Lemma 4.4: heights run monotonically from x_d to x_u; the
+        # ranges include the final comparison against the interval's
+        # right endpoint (z ranges over all nodes except the right end).
+        if pair.kind is PairKind.DOWN_UP:
+            for z in range(pair.down, pair.up):
+                if eff[z] < eff[z + 1]:
+                    raise MatchingError(
+                        f"down-up interval ({pair.down},{pair.up}) not "
+                        f"non-increasing at {z}"
+                    )
+        else:
+            for z in range(pair.up, pair.down):
+                if eff[z] > eff[z + 1]:
+                    raise MatchingError(
+                        f"up-down interval ({pair.up},{pair.down}) not "
+                        f"non-decreasing at {z}"
+                    )
+
+    # each non-steady position used the right number of times
+    from collections import Counter
+
+    used = Counter(matched_positions)
+    if matching.unmatched is not None:
+        used[matching.unmatched] += 1
+    expected = Counter(cls.non_steady)
+    if used != expected:
+        raise MatchingError(
+            f"matching does not cover non-steady nodes exactly: "
+            f"{used} != {expected}"
+        )
+
+    if matching.unmatched is not None:
+        k = kinds[matching.unmatched]
+        if k is NodeKind.DOWN:
+            later_downs = [
+                p
+                for p in cls.non_steady
+                if p > matching.unmatched and kinds[p] is NodeKind.DOWN
+            ]
+            if later_downs:
+                raise MatchingError(
+                    "unmatched down node is not the rightmost down node"
+                )
+        elif k in (NodeKind.UP, NodeKind.UP2):
+            if matching.unmatched != cls.leading_zero:
+                raise MatchingError(
+                    "unmatched up node is not the leading-zero (Claim 1)"
+                )
+        else:  # pragma: no cover - impossible: steady nodes not in X
+            raise MatchingError("unmatched node is steady")

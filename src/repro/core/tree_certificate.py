@@ -1,0 +1,271 @@
+"""Runtime certification of the Tree algorithm's bound (Theorem 5.11).
+
+The §5 proof re-uses the path machinery with three changes, all
+implemented here:
+
+* the balanced matching is built per priority line with crossover
+  pairs (Algorithm 6, :mod:`repro.core.tree_matching`);
+* the attachment scheme only tracks *even*-height residues (Rule 2 is
+  limited to even values), so the residue count of Lemma 4.6 halves its
+  exponent and the bound becomes ≈ 2·log₂ n + O(1)
+  (:func:`repro.core.bounds.tree_upper_bound` computes it exactly);
+* the direction/interval rules 3–5 are replaced by Rules 6–7
+  (Definition 5.4), checked on the tree by :func:`validate_tree_rules`.
+
+As with paths, a clean certified run *mechanically* proves the height
+bound for that execution; a raised :class:`CertificationError` pins
+down the exact round and rule that broke.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .attachment import AttachmentScheme
+from .bounds import tree_upper_bound
+from .classify import NodeKind
+from .maintenance import process_pair
+from .tree_matching import (
+    TreeMatching,
+    TreePair,
+    build_tree_matching,
+    classify_tree_round,
+    decompose_lines,
+    tree_path_between,
+    verify_tree_matching,
+)
+from ..errors import AttachmentError, CertificationError
+from ..network.events import StepRecord
+from ..network.topology import Topology
+
+__all__ = ["TreeCertificateReport", "TreeCertifier", "validate_tree_rules",
+           "certify_tree_run"]
+
+
+def validate_tree_rules(
+    scheme: AttachmentScheme, heights: np.ndarray, topology: Topology
+) -> None:
+    """Check Rules 1, 2 (by construction), 6, 7 and even-fullness."""
+    heights = np.asarray(heights, dtype=np.int64)
+    for slot, y in scheme:
+        x = slot.node
+        if slot.packet > heights[x]:
+            raise AttachmentError(
+                f"{slot}: node {x} has height {heights[x]} < packet "
+                f"{slot.packet} (stale slot)"
+            )
+        if heights[y] != slot.level:
+            raise AttachmentError(
+                f"Rule 1: residue {y} has height {heights[y]} != "
+                f"level {slot.level}"
+            )
+        # Rule 6: the guardian of an even residue is not behind it,
+        # i.e. x is not in y's subtree (y is not on x's route to sink).
+        if y in topology.path_to_sink(x)[1:]:
+            raise AttachmentError(
+                f"Rule 6: guardian {x} is behind residue {y}"
+            )
+        # Rule 7: interval heights along both branches of the pair.
+        between, tip = tree_path_between(topology, x, y)
+        if tip is None:
+            for z in between:
+                if heights[z] < slot.level:
+                    raise AttachmentError(
+                        f"Rule 7: node {z} between residue {y} and "
+                        f"guardian {x} is below {slot.level}"
+                    )
+        else:
+            x_route = topology.path_to_sink(x)
+            x_side = set(x_route[1 : x_route.index(tip)])
+            for z in between:
+                bound = slot.level + 1 if z in x_side else slot.level
+                if heights[z] < bound:
+                    raise AttachmentError(
+                        f"Rule 7 (crossover): node {z} (h={heights[z]}) on "
+                        f"the {'guardian' if z in x_side else 'residue'} "
+                        f"branch of ({x},{y}) is below {bound}"
+                    )
+
+    # even-fullness
+    for v in range(topology.n):
+        for i, j in scheme.expected_slots(int(heights[v])):
+            from .attachment import Slot
+
+            if scheme.residue_at(Slot(v, i, j)) is None:
+                raise AttachmentError(
+                    f"fullness: slot {v}[{i},{j}] empty (h={heights[v]})"
+                )
+
+
+def _order_tree_pairs(
+    matching: TreeMatching,
+    kinds: list[NodeKind],
+    before: np.ndarray,
+    topology: Topology,
+) -> list[TreePair]:
+    """Same parity rule as the path case for the shared 2up node."""
+    pairs = list(matching.pairs)
+    up2 = next(
+        (i for i, k in enumerate(kinds) if k is NodeKind.UP2), None
+    )
+    if up2 is None:
+        return pairs
+    shared = [p for p in pairs if p.up == up2]
+    if len(shared) != 2:
+        return pairs
+    rest = [p for p in pairs if p.up != up2]
+    # the "left" pair is the one whose down node lies behind the 2up
+    # node (the 2up is on the down node's route to the sink).
+    a, b = shared
+    a_behind = up2 in topology.path_to_sink(a.down)[1:]
+    left_pair, right_pair = (a, b) if a_behind else (b, a)
+    return (
+        [right_pair, left_pair]
+        if before[up2] % 2 == 0
+        else [left_pair, right_pair]
+    ) + rest
+
+
+@dataclass
+class TreeCertificateReport:
+    """Outcome of a certified tree run."""
+
+    n: int
+    rounds: int = 0
+    max_height: int = 0
+    max_residues: int = 0
+    crossover_pairs: int = 0
+    bound: int = 0
+
+    @property
+    def certified(self) -> bool:
+        return self.max_height <= self.bound
+
+
+class TreeCertifier:
+    """Maintains the §5 proof object alongside a Tree-policy run.
+
+    Consumes :class:`StepRecord` traces (it needs the actual sends to
+    reconstruct priority lines) from a packet or fast simulator running
+    :class:`repro.policies.tree.TreeOddEvenPolicy` with pre-injection
+    decisions.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        tie_rule: str = "min_id",
+        validate_every: int = 1,
+    ) -> None:
+        self.topology = topology
+        self.tie_rule = tie_rule
+        self.validate_every = max(1, int(validate_every))
+        self.scheme = AttachmentScheme(even_only=True)
+        self.heights = np.zeros(topology.n, dtype=np.int64)
+        self.report = TreeCertificateReport(
+            n=topology.n, bound=tree_upper_bound(topology.n)
+        )
+
+    def observe(self, record: StepRecord) -> None:
+        """Advance the certificate by one recorded round."""
+        topo = self.topology
+        before = np.asarray(record.heights_before, dtype=np.int64)
+        after = np.asarray(record.heights_after, dtype=np.int64)
+        if (before != self.heights).any():
+            raise CertificationError("trace does not chain with certifier state")
+        injection = record.injections[0] if record.injections else None
+        if len(record.injections) > 1:
+            raise CertificationError("tree certificate requires rate c = 1")
+
+        decomp = decompose_lines(
+            topo, before, record.sends, injection, self.tie_rule
+        )
+        matching = build_tree_matching(topo, before, after, decomp, injection)
+        kinds = classify_tree_round(before, after, topo)
+        validate = self.report.rounds % self.validate_every == 0
+        if validate:
+            verify_tree_matching(matching, topo, before, kinds)
+
+        work = before.copy()
+        for pair in _order_tree_pairs(matching, kinds, before, topo):
+            process_pair(self.scheme, work, pair.down, pair.up)
+
+        if matching.unmatched is not None:
+            pos = matching.unmatched
+            if kinds[pos] is NodeKind.DOWN:
+                if self.scheme.is_residue(pos):
+                    raise CertificationError(
+                        f"unmatched down node {pos} is a residue"
+                    )
+                h = int(work[pos])
+                from .attachment import Slot
+
+                levels = [j for j in range(1, h - 1) if j % 2 == 0]
+                for j in levels:
+                    self.scheme.detach_slot(Slot(pos, h, j))
+                work[pos] -= 1
+            else:
+                if self.scheme.is_residue(pos):
+                    raise CertificationError(
+                        f"leading-zero {pos} is a residue"
+                    )
+                if work[pos] > 1:
+                    raise CertificationError(
+                        f"unmatched up node {pos} has intermediate height "
+                        f"{work[pos]} > 1"
+                    )
+                work[pos] += 1
+
+        if (work != after).any():
+            raise CertificationError(
+                "tree pair processing did not reproduce C' (diff at "
+                f"{np.flatnonzero(work != after).tolist()})"
+            )
+        self.heights = after.copy()
+
+        r = self.report
+        r.rounds += 1
+        r.max_height = max(r.max_height, int(after.max(initial=0)))
+        r.max_residues = max(r.max_residues, len(self.scheme))
+        r.crossover_pairs += sum(1 for p in matching.pairs if p.crossover)
+        if validate:
+            validate_tree_rules(self.scheme, after, topo)
+        if r.max_height > r.bound:
+            raise CertificationError(
+                f"height {r.max_height} exceeds the mechanical tree bound "
+                f"{r.bound}"
+            )
+
+
+def certify_tree_run(
+    topology: Topology,
+    adversary,
+    steps: int,
+    *,
+    tie_rule: str = "min_id",
+    validate_every: int = 1,
+) -> TreeCertificateReport:
+    """Run the Tree policy under ``adversary`` with the certifier
+    attached; returns the certificate report."""
+    from ..network.events import TraceRecorder
+    from ..network.simulator import Simulator
+    from ..policies.tree import TreeOddEvenPolicy
+
+    trace = TraceRecorder(keep_last=1)
+    sim = Simulator(
+        topology,
+        TreeOddEvenPolicy(tie_rule=tie_rule),
+        adversary,
+        trace=trace,
+        decision_timing="pre_injection",
+    )
+    cert = TreeCertifier(
+        topology, tie_rule=tie_rule, validate_every=validate_every
+    )
+    for _ in range(steps):
+        sim.step()
+        cert.observe(trace[-1])
+    return cert.report

@@ -1,0 +1,415 @@
+"""Balanced matchings on trees (§5, Algorithm 6).
+
+For a fixed round, at most one packet enters each *intersection* (node
+of in-degree ≥ 2) because the Tree policy (Algorithm 5) lets only the
+highest-priority sibling forward.  The tree therefore decomposes into
+*lines* — maximal chains of priority children — each starting at a leaf
+and ending either at a *blocked* node (a non-priority sibling) or, for
+the unique *drain*, at the sink.
+
+The matching is built per line exactly as on paths (Algorithm 2).  A
+non-injected blocked line always balances (equal ups and downs); the
+injected line, when it is not the drain, has one excess up node, which
+Algorithm 6 resolves with *crossover pairs*: the excess up x_u is paired
+with the first down node x_d behind the intersection v where x_u's line
+blocks, on the priority line through v; the pairs of that line in front
+of x_d are re-paired (switching to up-down intervals), possibly leaving
+a new excess up that is resolved the same way — a chain of crossovers
+marching towards the drain (paper Figure 3).
+
+Priority lines are reconstructed from the actual sends of the round
+(the certifier replays exactly what the policy did); where no packet
+entered an intersection, the paper's footnote 3 applies: prefer the
+branch holding the injection, then the policy's height-priority winner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .classify import NodeKind
+from ..errors import MatchingError
+from ..network.topology import Topology
+from ..policies.tree import select_priority_children
+
+__all__ = [
+    "TreePair",
+    "TreeMatching",
+    "LineDecomposition",
+    "decompose_lines",
+    "classify_tree_round",
+    "build_tree_matching",
+    "verify_tree_matching",
+    "tree_path_between",
+]
+
+
+@dataclass(frozen=True)
+class TreePair:
+    """A matched (down, up) pair of node ids; crossover pairs join
+    nodes of different lines and have a *tip* (the junction node where
+    the x_d → x_u path turns away from the sink)."""
+
+    down: int
+    up: int
+    crossover: bool = False
+    tip: int | None = None
+
+
+@dataclass(frozen=True)
+class TreeMatching:
+    pairs: tuple[TreePair, ...]
+    unmatched: int | None
+    unmatched_kind: NodeKind | None
+
+
+@dataclass(frozen=True)
+class LineDecomposition:
+    """The round's priority-line structure.
+
+    ``lines[i]`` lists node ids from the line's start (a leaf) to its
+    end (a blocked node or the sink's priority child); ``line_of[v]``
+    maps nodes to line indices; ``drain`` is the index of the line
+    reaching the sink.
+    """
+
+    lines: tuple[tuple[int, ...], ...]
+    line_of: np.ndarray
+    drain: int
+    priority_child: np.ndarray
+
+
+def _choose_priority_children(
+    topology: Topology,
+    decision_heights: np.ndarray,
+    sends: np.ndarray | None,
+    injection: int | None,
+    tie_rule: str = "min_id",
+) -> np.ndarray:
+    """Priority child per node: actual sender > injection branch >
+    policy winner > smallest id (footnote 3)."""
+    n = topology.n
+    winner = select_priority_children(decision_heights, topology, tie_rule)
+    choice = np.full(n, -1, dtype=np.int64)
+
+    # which branch holds the injection?
+    inj_path: set[int] = set()
+    if injection is not None:
+        u = injection
+        while u != -1:
+            inj_path.add(int(u))
+            u = int(topology.succ[u])
+
+    for v in range(n):
+        kids = topology.children[v]
+        if not kids:
+            continue
+        if sends is not None:
+            senders = [k for k in kids if sends[k] > 0]
+            if len(senders) > 1:
+                raise MatchingError(
+                    f"intersection {v} received {len(senders)} packets; "
+                    "Algorithm 5 admits at most one"
+                )
+            if senders:
+                choice[v] = senders[0]
+                continue
+        inj_kids = [k for k in kids if k in inj_path]
+        if inj_kids:
+            choice[v] = inj_kids[0]
+            continue
+        if winner[v] >= 0:
+            choice[v] = winner[v]
+            continue
+        choice[v] = min(kids)
+    return choice
+
+
+def decompose_lines(
+    topology: Topology,
+    decision_heights: np.ndarray,
+    sends: np.ndarray | None = None,
+    injection: int | None = None,
+    tie_rule: str = "min_id",
+) -> LineDecomposition:
+    """Split the tree into priority lines for one round."""
+    priority = _choose_priority_children(
+        topology, decision_heights, sends, injection, tie_rule
+    )
+    n = topology.n
+    line_of = np.full(n, -1, dtype=np.int64)
+    lines: list[tuple[int, ...]] = []
+    drain = -1
+    for leaf in topology.leaves:
+        if leaf == topology.sink:
+            continue
+        nodes = [leaf]
+        u = leaf
+        while True:
+            nxt = int(topology.succ[u])
+            if nxt == -1 or priority[nxt] != u:
+                break
+            if nxt == topology.sink:
+                break
+            nodes.append(nxt)
+            u = nxt
+        idx = len(lines)
+        lines.append(tuple(nodes))
+        for w in nodes:
+            line_of[w] = idx
+        end_succ = int(topology.succ[nodes[-1]])
+        if end_succ == topology.sink and priority[topology.sink] == nodes[-1]:
+            drain = idx
+    if drain < 0 and lines:
+        raise MatchingError("no drain line reaches the sink")
+    return LineDecomposition(
+        lines=tuple(lines),
+        line_of=line_of,
+        drain=drain,
+        priority_child=priority,
+    )
+
+
+def classify_tree_round(
+    before: np.ndarray, after: np.ndarray, topology: Topology
+) -> list[NodeKind]:
+    """Per-node up/down/steady/2up labels (sink forced steady)."""
+    kinds: list[NodeKind] = []
+    up2 = 0
+    for v in range(topology.n):
+        d = int(after[v]) - int(before[v])
+        if v == topology.sink or d == 0:
+            kinds.append(NodeKind.STEADY)
+        elif d == -1:
+            kinds.append(NodeKind.DOWN)
+        elif d == 1:
+            kinds.append(NodeKind.UP)
+        elif d == 2:
+            kinds.append(NodeKind.UP2)
+            up2 += 1
+        else:
+            raise MatchingError(
+                f"node {v} changed height by {d}; impossible at c = 1"
+            )
+    if up2 > 1:
+        raise MatchingError("more than one 2up node in a round")
+    return kinds
+
+
+def _pair_line(
+    seq: list[int], kinds: list[NodeKind]
+) -> tuple[list[TreePair], int | None]:
+    """Algorithm 2 on one line's non-steady sequence (2up twice)."""
+    pairs: list[TreePair] = []
+    i = 0
+    while i + 1 < len(seq):
+        a, b = seq[i], seq[i + 1]
+        if a == b:
+            raise MatchingError(f"2up node {a} would pair with itself")
+        a_down = kinds[a] is NodeKind.DOWN
+        b_down = kinds[b] is NodeKind.DOWN
+        if a_down == b_down:
+            raise MatchingError(
+                f"nodes {a} and {b} cannot form a down/up pair"
+            )
+        pairs.append(
+            TreePair(down=a if a_down else b, up=b if a_down else a)
+        )
+        i += 2
+    return pairs, (seq[i] if i < len(seq) else None)
+
+
+def build_tree_matching(
+    topology: Topology,
+    before: np.ndarray,
+    after: np.ndarray,
+    decomposition: LineDecomposition,
+    injection: int | None,
+) -> TreeMatching:
+    """Algorithm 6: per-line matchings plus crossover resolution."""
+    kinds = classify_tree_round(before, after, topology)
+
+    # non-steady sequences per line, in line order (2up twice)
+    seqs: list[list[int]] = []
+    for line in decomposition.lines:
+        s: list[int] = []
+        for v in line:
+            if kinds[v] is NodeKind.DOWN or kinds[v] is NodeKind.UP:
+                s.append(v)
+            elif kinds[v] is NodeKind.UP2:
+                s.extend((v, v))
+        seqs.append(s)
+
+    all_pairs: list[TreePair] = []
+    unmatched_global: int | None = None
+    pending_up: int | None = None
+
+    for idx, s in enumerate(seqs):
+        pairs, leftover = _pair_line(s, kinds)
+        all_pairs.extend(pairs)
+        if leftover is None:
+            continue
+        if kinds[leftover] is NodeKind.DOWN or idx == decomposition.drain:
+            # rightmost down node or the drain's leading-zero: the path
+            # machinery handles these without a pair
+            if unmatched_global is not None:
+                raise MatchingError(
+                    "two globally unmatched nodes "
+                    f"({unmatched_global} and {leftover})"
+                )
+            unmatched_global = leftover
+        else:
+            if pending_up is not None:
+                raise MatchingError("two excess up nodes in one round")
+            pending_up = leftover
+
+    # ---- crossover resolution (the while loop of Algorithm 6) -------
+    visited_lines: set[int] = set()
+    while pending_up is not None:
+        x_u = int(pending_up)
+        pending_up = None
+        line_idx = int(decomposition.line_of[x_u])
+        if line_idx in visited_lines:
+            raise MatchingError(
+                f"crossover chain revisited line {line_idx}"
+            )
+        visited_lines.add(line_idx)
+        line = decomposition.lines[line_idx]
+        end = line[-1]
+        v = int(topology.succ[end])  # the blocking intersection (or sink)
+        if v == -1:
+            raise MatchingError(
+                f"excess up node {x_u} sits on the drain — cannot cross over"
+            )
+        if v == topology.sink:
+            target_idx = decomposition.drain
+            v_cut = None  # the whole drain is "behind the sink"
+        else:
+            target_idx = int(decomposition.line_of[v])
+            v_cut = v
+        target_seq = seqs[target_idx]
+        target_line = decomposition.lines[target_idx]
+        pos_in_line = {node: i for i, node in enumerate(target_line)}
+        cut = pos_in_line[v_cut] if v_cut is not None else len(target_line)
+
+        # first down node behind v on the priority line
+        x_d = None
+        k = None
+        for i in range(len(target_seq) - 1, -1, -1):
+            node = target_seq[i]
+            if pos_in_line[node] < cut and kinds[node] is NodeKind.DOWN:
+                x_d = node
+                k = i
+                break
+        if x_d is None:
+            raise MatchingError(
+                f"no down node behind intersection {v} to cross over with "
+                f"(excess up {x_u})"
+            )
+
+        # rebuild the target line's pairs: prefix unchanged, x_d leaves
+        # for the crossover, suffix re-paired consecutively.  Any old
+        # leftover of the target line sat at the end of its sequence
+        # (at or after x_d) and is superseded by the re-pairing.
+        if (
+            unmatched_global is not None
+            and decomposition.line_of[unmatched_global] == target_idx
+        ):
+            unmatched_global = None
+        prefix_pairs, pre_left = _pair_line(target_seq[:k], kinds)
+        suffix_pairs, leftover = _pair_line(target_seq[k + 1 :], kinds)
+        if pre_left is not None:
+            raise MatchingError(
+                f"crossover target {x_d} is not at an even index of its "
+                "line's non-steady sequence"
+            )
+        # remove this line's old pairs and install the new arrangement
+        all_pairs = [
+            p
+            for p in all_pairs
+            if decomposition.line_of[p.down] != target_idx
+            or decomposition.line_of[p.up] != target_idx
+            or p.crossover
+        ]
+        all_pairs.extend(prefix_pairs)
+        all_pairs.extend(suffix_pairs)
+        all_pairs.append(
+            TreePair(down=x_d, up=x_u, crossover=True, tip=v)
+        )
+
+        if leftover is not None:
+            if kinds[leftover] is NodeKind.DOWN or target_idx == decomposition.drain:
+                if unmatched_global is not None:
+                    raise MatchingError(
+                        "two globally unmatched nodes after crossover"
+                    )
+                unmatched_global = leftover
+            else:
+                pending_up = leftover
+
+    return TreeMatching(
+        pairs=tuple(all_pairs),
+        unmatched=unmatched_global,
+        unmatched_kind=(
+            kinds[unmatched_global] if unmatched_global is not None else None
+        ),
+    )
+
+
+def tree_path_between(topology: Topology, a: int, b: int) -> tuple[list[int], int | None]:
+    """Nodes strictly between a and b on the tree path, and the tip.
+
+    The *tip* is the node where the a→b path switches from moving
+    towards the sink to moving away (the junction); per §5 it does not
+    count as "between".  Returns (between_nodes_excluding_tip, tip) —
+    tip is None when one endpoint is an ancestor of the other.
+    """
+    pa = topology.path_to_sink(a)
+    pb = topology.path_to_sink(b)
+    sa, sb = set(pa), set(pb)
+    tip = None
+    for u in pa:
+        if u in sb:
+            tip = u
+            break
+    if tip is None:  # pragma: no cover - every pair meets at the sink
+        raise MatchingError(f"nodes {a} and {b} share no path to the sink")
+    ia = pa.index(tip)
+    ib = pb.index(tip)
+    between = pa[1:ia] + pb[1:ib]
+    if tip in (a, b):
+        return between, None
+    return between, tip
+
+
+def verify_tree_matching(
+    matching: TreeMatching,
+    topology: Topology,
+    before: np.ndarray,
+    kinds: list[NodeKind],
+) -> None:
+    """Check Lemma 5.3 for every pair of a tree matching.
+
+    ``h(x_u) ≤ h(x_d)`` and every node *between* them (tip excluded) is
+    at least ``h(x_u)`` tall, all in configuration C.
+    """
+    for pair in matching.pairs:
+        h_u = int(before[pair.up])
+        h_d = int(before[pair.down])
+        if h_u > h_d:
+            raise MatchingError(
+                f"Lemma 5.3: h(up={pair.up})={h_u} > h(down={pair.down})={h_d}"
+            )
+        between, tip = tree_path_between(topology, pair.down, pair.up)
+        for z in between:
+            if before[z] < h_u:
+                raise MatchingError(
+                    f"Lemma 5.3: node {z} (h={before[z]}) between pair "
+                    f"({pair.down},{pair.up}) is below h_u={h_u}"
+                )
+        if pair.crossover and tip is None:
+            raise MatchingError(
+                f"crossover pair ({pair.down},{pair.up}) has no tip"
+            )

@@ -1,0 +1,77 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class.  Sub-classes are grouped by
+subsystem: topology construction, simulation-time invariants, policy
+configuration and the proof-certification machinery.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TopologyError",
+    "SimulationError",
+    "CapacityViolation",
+    "ConservationViolation",
+    "RateViolation",
+    "PolicyError",
+    "LocalityViolation",
+    "CertificationError",
+    "MatchingError",
+    "AttachmentError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TopologyError(ReproError):
+    """Raised when a topology is malformed (cycles, multiple roots, ...)."""
+
+
+class SimulationError(ReproError):
+    """Raised when the simulation engine detects an inconsistent state."""
+
+
+class CapacityViolation(SimulationError):
+    """A link carried more than ``c`` packets in a single step."""
+
+
+class ConservationViolation(SimulationError):
+    """Packets were created or destroyed outside injection/consumption."""
+
+
+class RateViolation(SimulationError):
+    """An adversary attempted to inject more than ``c`` packets in a step."""
+
+
+class PolicyError(ReproError):
+    """Raised when a forwarding policy is misconfigured or misused."""
+
+
+class LocalityViolation(PolicyError):
+    """A policy attempted to read state outside its declared locality."""
+
+
+class CertificationError(ReproError):
+    """The proof-machinery certifier found a violated invariant.
+
+    If this is ever raised during an Odd-Even run with pre-injection
+    decision timing, either the implementation or the paper's proof has
+    a gap; the message carries enough context to reconstruct the round.
+    """
+
+
+class MatchingError(CertificationError):
+    """A balanced matching (Definition 4.2 / Lemma 5.1) is ill-formed."""
+
+
+class AttachmentError(CertificationError):
+    """An attachment scheme rule (Definitions 4.5/4.8/5.4) is violated."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment is invoked with invalid parameters."""

@@ -1,0 +1,19 @@
+"""The experiment harness: one module per regenerated paper artefact.
+
+See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+recorded paper-vs-measured outcomes.  Run from the CLI::
+
+    python -m repro run E2 --preset quick
+    python -m repro run all --preset full --out results/
+"""
+
+from .base import Experiment, standard_suite
+from .registry import EXPERIMENTS, all_experiment_ids, get_experiment
+
+__all__ = [
+    "Experiment",
+    "standard_suite",
+    "EXPERIMENTS",
+    "get_experiment",
+    "all_experiment_ids",
+]

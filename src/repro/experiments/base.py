@@ -1,0 +1,107 @@
+"""Experiment harness scaffolding.
+
+Each experiment (see DESIGN.md §4 for the index) subclasses
+:class:`Experiment` and regenerates one of the paper's theorem-level
+artefacts at two presets:
+
+* ``quick`` — CI-sized, seconds; used by the test-suite and the
+  pytest-benchmark harness;
+* ``full`` — paper-scale sweeps used to produce EXPERIMENTS.md.
+
+An experiment's ``passed`` verdict encodes the *shape* of the paper's
+claim (who wins, growth class, bound respected) — absolute constants
+are reported but never asserted.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from ..adversaries import (
+    Adversary,
+    BackfillAdversary,
+    FarEndAdversary,
+    MaxHeightChaserAdversary,
+    OnOffAdversary,
+    PreSinkAdversary,
+    PressureAdversary,
+    RoundRobinAdversary,
+    SeesawAdversary,
+    UniformRandomAdversary,
+)
+from ..errors import ExperimentError
+from ..io.results import ExperimentResult
+
+__all__ = ["Experiment", "standard_suite", "PRESETS"]
+
+PRESETS = ("quick", "full")
+
+
+def standard_suite(seed: int = 0) -> list[Adversary]:
+    """The adversary suite used for "worst over the suite" sweeps.
+
+    Covers the archetypes from the paper and its references: far-end
+    streams (anti-Downhill/FIE), the seesaw (anti-Greedy), plateau
+    pressure (anti-Downhill-or-Flat), adaptive hill-climbers, plus
+    benign random/periodic traffic.
+    """
+    return [
+        FarEndAdversary(),
+        PreSinkAdversary(),
+        SeesawAdversary(),
+        PressureAdversary(),
+        MaxHeightChaserAdversary(),
+        BackfillAdversary(),
+        RoundRobinAdversary(),
+        OnOffAdversary(node=1, on=5, off=2),
+        UniformRandomAdversary(seed=seed),
+    ]
+
+
+class Experiment(ABC):
+    """One reproducible paper artefact."""
+
+    id: str = "E0"
+    title: str = "abstract experiment"
+    paper_ref: str = ""
+    claim: str = ""
+
+    def run(self, preset: str = "quick") -> ExperimentResult:
+        """Execute at the given preset and return the result record."""
+        if preset not in PRESETS:
+            raise ExperimentError(
+                f"unknown preset {preset!r}; choose from {PRESETS}"
+            )
+        return self._run(preset)
+
+    @abstractmethod
+    def _run(self, preset: str) -> ExperimentResult:
+        ...
+
+    def _result(
+        self,
+        *,
+        preset: str,
+        headers: Sequence[str],
+        rows: Sequence[Sequence],
+        passed: bool,
+        notes: Sequence[str] = (),
+        artifacts: dict[str, str] | None = None,
+        params: dict | None = None,
+    ) -> ExperimentResult:
+        return ExperimentResult(
+            experiment_id=self.id,
+            title=self.title,
+            paper_claim=self.claim,
+            headers=list(headers),
+            rows=[list(r) for r in rows],
+            passed=passed,
+            preset=preset,
+            notes=list(notes),
+            artifacts=dict(artifacts or {}),
+            params=dict(params or {}),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Experiment {self.id}: {self.title}>"

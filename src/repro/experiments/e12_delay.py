@@ -1,0 +1,106 @@
+"""E12 — §6 open question: delay characteristics of Odd-Even.
+
+The conclusions name delay analysis of Odd-Even "an intriguing
+direction for further research".  This experiment provides the
+measurement: end-to-end delay distributions (mean/p95/p99/max) for
+Odd-Even against the baselines, under benign random traffic and under
+the seesaw, with FIFO service.  The structural expectations asserted:
+packets are actually delivered, delays are at least the hop distance,
+and greedy's delays blow up with its buffers under the seesaw.
+"""
+
+from __future__ import annotations
+
+from ..adversaries import SeesawAdversary, UniformRandomAdversary
+from ..analysis import measure_delays
+from ..io.results import ExperimentResult
+from ..policies import (
+    DownhillOrFlatPolicy,
+    GreedyPolicy,
+    OddEvenPolicy,
+)
+from .base import Experiment
+
+__all__ = ["DelayExperiment"]
+
+
+class DelayExperiment(Experiment):
+    id = "E12"
+    title = "Delay characteristics (open question of §6)"
+    paper_ref = "§6 Conclusions"
+    claim = (
+        "Measured here, not claimed by the paper: how the O(log n) buffer "
+        "policy trades off end-to-end delay against the baselines."
+    )
+
+    def _run(self, preset: str) -> ExperimentResult:
+        n = 64 if preset == "quick" else 256
+        steps = 12 * n if preset == "quick" else 24 * n
+
+        policies = (OddEvenPolicy, GreedyPolicy, DownhillOrFlatPolicy)
+        adversaries = (
+            lambda: UniformRandomAdversary(p=0.8, seed=21),
+            lambda: SeesawAdversary(),
+        )
+
+        rows = []
+        results = {}
+        for make_adv in adversaries:
+            for policy_cls in policies:
+                r = measure_delays(n, policy_cls(), make_adv(), steps)
+                results[(r.adversary, r.policy)] = r
+                rows.append(
+                    [r.adversary, r.policy, r.delivered,
+                     round(r.mean, 1), round(r.p95, 1), round(r.p99, 1),
+                     round(r.max, 1), r.max_height]
+                )
+
+        # service-discipline sweep (FIFO vs LIS vs SIS, §1.1 policies):
+        # heights are identical, the delay *distribution* is not
+        discipline_rows = {}
+        for disc in ("fifo", "lis", "sis"):
+            r = measure_delays(
+                n, OddEvenPolicy(), UniformRandomAdversary(p=0.8, seed=21),
+                steps, discipline=disc,
+            )
+            discipline_rows[disc] = r
+            rows.append(
+                [f"uniform+{disc}", r.policy, r.delivered,
+                 round(r.mean, 1), round(r.p95, 1), round(r.p99, 1),
+                 round(r.max, 1), r.max_height]
+            )
+
+        checks = []
+        ok = True
+        for (adv, pol), r in results.items():
+            delivered = r.delivered > 0
+            ok &= delivered
+            checks.append(f"{'OK ' if delivered else 'BAD'} {pol}@{adv} "
+                          f"delivered {r.delivered} packets")
+        seesaw_name = SeesawAdversary().name
+        uni_name = UniformRandomAdversary(p=0.8, seed=21).name
+        greedy_blowup = (
+            results[(seesaw_name, "greedy")].max
+            > results[(uni_name, "greedy")].max
+        )
+        ok &= greedy_blowup
+        checks.append(
+            f"{'OK ' if greedy_blowup else 'BAD'} greedy max delay blows up "
+            "under the seesaw"
+        )
+        heights_disc = {r.max_height for r in discipline_rows.values()}
+        disc_ok = len(heights_disc) == 1
+        ok &= disc_ok
+        checks.append(
+            f"{'OK ' if disc_ok else 'BAD'} FIFO/LIS/SIS heights identical "
+            "(the buffer bounds are discipline-independent)"
+        )
+        return self._result(
+            preset=preset,
+            headers=["adversary", "policy", "delivered", "mean", "p95",
+                     "p99", "max", "max height"],
+            rows=rows,
+            passed=ok,
+            notes=checks,
+            params={"n": n, "steps": steps},
+        )

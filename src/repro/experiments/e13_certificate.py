@@ -1,0 +1,96 @@
+"""E13 — the §4 proof machinery, live (paper Figures 1 and 2).
+
+Runs a certified Odd-Even execution, keeps the attachment scheme, and
+re-renders the paper's illustrative figures from *actual* certified
+state: a tall node with its packets/slots/residues (Figure 1) and a
+before/after of one round's pair processing (Figure 2).  The pass
+criterion is the certificate itself: every round's matching and
+attachment rules verified, and the Lemma 4.6 residue count consistent
+with the observed maximum height.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..adversaries import RecursiveLowerBoundAttack
+from ..core.bounds import path_residue_count
+from ..core.certificate import OddEvenCertifier
+from ..io.results import ExperimentResult
+from ..network.engine_fast import PathEngine
+from ..policies import OddEvenPolicy
+from ..viz.attachment_render import (
+    render_configuration,
+    render_node_attachments,
+    render_pair_processing,
+)
+from .base import Experiment
+
+__all__ = ["CertificateExperiment"]
+
+
+class CertificateExperiment(Experiment):
+    id = "E13"
+    title = "Attachment-scheme certificate (Figures 1 and 2, live)"
+    paper_ref = "§4.1–4.3; Figures 1, 2"
+    claim = (
+        "A balanced matching + attachment scheme can be maintained through "
+        "every round of an Odd-Even execution; a height-m node implies "
+        "2^(m-2)-1 distinct residues."
+    )
+
+    def _run(self, preset: str) -> ExperimentResult:
+        n = 128 if preset == "quick" else 1024
+
+        # Drive heights up with the real lower-bound attack while the
+        # certifier maintains the proof object round by round (the
+        # certificate state follows the attack's kept scenario through
+        # every rollback).
+        from ..core.certificate import CertifiedPathEngine
+
+        cert = OddEvenCertifier(n - 1, validate_every=5)
+        observed = CertifiedPathEngine(
+            PathEngine(n, OddEvenPolicy(), None), cert
+        )
+        attack = RecursiveLowerBoundAttack(ell=1).run(observed)
+
+        rep = cert.report
+        peak_node = int(np.argmax(cert.heights))
+        peak = int(cert.heights[peak_node])
+        residues_now = len(cert.scheme.residues())
+        lemma_ok = residues_now >= path_residue_count(peak)
+
+        fig1 = render_node_attachments(cert.scheme, cert.heights, peak_node)
+        fig2 = render_pair_processing(
+            cert.scheme, cert.heights, cert.scheme, cert.heights,
+            cert.last_matching,
+        ) if cert.last_matching else "(no matching in final round)"
+        config = render_configuration(cert.scheme, cert.heights)
+
+        rows = [
+            ["rounds certified", rep.rounds],
+            ["max height", rep.max_height],
+            ["mechanical bound", rep.bound],
+            ["attack forced", attack.forced_height],
+            ["final peak height", peak],
+            ["residues (current)", residues_now],
+            [f"Lemma 4.6 demand 2^({peak}-2)-1", path_residue_count(peak)],
+            ["max residues seen", rep.max_residues],
+        ]
+        passed = rep.certified and lemma_ok and rep.rounds > 0
+        return self._result(
+            preset=preset,
+            headers=["quantity", "value"],
+            rows=rows,
+            passed=passed,
+            notes=[
+                "the certificate is mechanical: a clean run proves the "
+                "bound for this execution",
+            ],
+            artifacts={
+                "figure 1 (peak node attachments)": fig1,
+                "configuration with residues": config,
+                "figure 2 (last round processing)": fig2,
+            },
+            params={"n": n},
+        )

@@ -1,0 +1,110 @@
+"""E16 — the §6 open question: local O(c·log n) algorithms for rate c.
+
+The paper leaves open whether local algorithms with O(log n)-style
+buffers exist for injection rates c > 1.  This experiment runs the
+candidate *Scaled Odd-Even* (Odd-Even on ⌈h/c⌉-quantised heights, see
+:mod:`repro.policies.rate_c`) against the Theorem 3.1 attack and a
+rate-amplified adversary suite, across n and c:
+
+* at every rate the growth over n must classify as logarithmic, and
+* measured heights must stay below the conjectured c·(log₂ n + 3),
+* while rate-c greedy stays linear (the control).
+
+This is exploratory evidence on an open problem, not a theorem; the
+numbers are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from ..adversaries import (
+    AmplifiedAdversary,
+    RecursiveLowerBoundAttack,
+)
+from ..analysis import classify_growth
+from ..core.bounds import odd_even_upper_bound
+from ..io.results import ExperimentResult
+from ..network.engine_fast import PathEngine
+from ..policies import GreedyPolicy
+from ..policies.rate_c import ScaledOddEvenPolicy
+from .base import Experiment, standard_suite
+
+__all__ = ["RateCExperiment"]
+
+
+class RateCExperiment(Experiment):
+    id = "E16"
+    title = "Scaled Odd-Even at rates c > 1 (open question of §6)"
+    paper_ref = "§6 Conclusions (open problem); Theorem 3.1"
+    claim = (
+        "Conjecture made executable: quantising Odd-Even to c-packet "
+        "blocks keeps worst-case buffers at O(c log n) for rate-c "
+        "adversaries."
+    )
+
+    def _run(self, preset: str) -> ExperimentResult:
+        if preset == "quick":
+            ns = [64, 256, 1024]
+            cs = [1, 2, 4]
+        else:
+            ns = [64, 256, 1024, 4096]
+            cs = [1, 2, 4, 8]
+
+        rows = []
+        ok = True
+        for c in cs:
+            measured = []
+            for n in ns:
+                engine = PathEngine(
+                    n, ScaledOddEvenPolicy(c), None, capacity=c
+                )
+                attack = RecursiveLowerBoundAttack(ell=1).run(engine)
+                m = attack.forced_height
+                # rate-c amplified suite (a subset keeps runtime sane)
+                for adv in standard_suite()[:5]:
+                    eng = PathEngine(
+                        n,
+                        ScaledOddEvenPolicy(c),
+                        AmplifiedAdversary(adv, c),
+                        capacity=c,
+                    )
+                    eng.run(8 * n)
+                    m = max(m, eng.max_height)
+                measured.append(m)
+                conj = c * odd_even_upper_bound(n)
+                within = m <= conj
+                ok &= within
+                rows.append(
+                    [c, n, m, round(attack.predicted, 1), round(conj, 1),
+                     "yes" if within else "NO"]
+                )
+            cls, power, _ = classify_growth(ns, measured)
+            log_like = cls.value in ("logarithmic", "constant")
+            ok &= log_like
+            rows.append(
+                [c, "growth", cls.value, round(power.exponent, 2), "", ""]
+            )
+
+        # the control: rate-c greedy remains linear
+        n = ns[-1]
+        c = cs[1]
+        engine = PathEngine(n, GreedyPolicy(), None, capacity=c)
+        attack = RecursiveLowerBoundAttack(ell=1).run(engine)
+        greedy_linear = attack.forced_height >= n / 4
+        ok &= greedy_linear
+        rows.append(
+            [c, n, attack.forced_height, round(attack.predicted, 1),
+             "greedy control", "linear" if greedy_linear else "NO"]
+        )
+
+        return self._result(
+            preset=preset,
+            headers=["c", "n", "max height", "attack predicted",
+                     "conjecture c(log2 n+3)", "within"],
+            rows=rows,
+            passed=ok,
+            notes=[
+                "evidence for the open conjecture, not a proof: scaled "
+                "Odd-Even stays logarithmic at every tested rate",
+            ],
+            params={"ns": ns, "cs": cs},
+        )

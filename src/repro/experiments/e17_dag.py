@@ -1,0 +1,170 @@
+"""E17 — the §6 open question: does any of this generalise to DAGs?
+
+The conclusions ask whether the paper's algorithms extend "to arbitrary
+routing patterns, or to DAGs" (the concurrent work [22] studies acyclic
+networks).  This experiment explores the question on the DAG substrate
+(:mod:`repro.network.dag`):
+
+1. **Consistency** — on a degenerate DAG (a path viewed as a DAG) the
+   DAG engine + DAG Odd-Even reproduce the path results exactly: the
+   Theorem 3.1 attack forces Θ(log n) against DAG Odd-Even and Θ(n)
+   against DAG Greedy.
+2. **Redundancy relief** — on width-W layered DAGs and diamond grids,
+   the same attack forces *less* as W grows: the block-density argument
+   leaks through the extra edges, i.e. the Ω(log n) bound as
+   constructed does not transfer to DAGs with genuine path diversity.
+   (A rate-1 adversary against a width-W cut is simply underpowered.)
+3. **Bounded behaviour** — across all families and workloads, DAG
+   Odd-Even is never observed above the tree bound 2·log₂ n + O(1).
+
+Exploratory evidence on an open problem; recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from ..adversaries import (
+    FarEndAdversary,
+    FixedNodeAdversary,
+    PhasedAdversary,
+    RecursiveLowerBoundAttack,
+    RoundRobinAdversary,
+    UniformRandomAdversary,
+)
+from ..core.bounds import theorem_3_1_lower_bound, tree_upper_bound
+from ..io.results import ExperimentResult
+from ..network.dag import (
+    DagTopology,
+    diamond_grid,
+    from_tree,
+    layered_dag,
+    tree_with_shortcuts,
+)
+from ..network.dag_engine import DagEngine
+from ..network.topology import path, random_tree
+from ..policies.dag import DagGreedyPolicy, DagOddEvenPolicy
+from .base import Experiment
+
+__all__ = ["DagExperiment"]
+
+
+def _suite_max(dag: DagTopology, policy_cls, steps: int) -> int:
+    """Worst height over the DAG-compatible adversary suite."""
+    worst = 0
+    pre_sink_feeders = [
+        v for v in range(dag.n) if dag.sink in dag.out_edges[v]
+    ]
+    adversaries = [
+        FarEndAdversary(),
+        UniformRandomAdversary(seed=3),
+        RoundRobinAdversary(),
+        PhasedAdversary(
+            [(dag.n, FarEndAdversary()),
+             (dag.n, FixedNodeAdversary(pre_sink_feeders[0]))]
+        ),
+    ]
+    for adv in adversaries:
+        engine = DagEngine(dag, policy_cls(), adv)
+        engine.run(steps)
+        engine.assert_conservation()
+        worst = max(worst, engine.max_height)
+    return worst
+
+
+class DagExperiment(Experiment):
+    id = "E17"
+    title = "DAG generalisation (open question of §6)"
+    paper_ref = "§6 Conclusions (open problem); cf. [22]"
+    claim = (
+        "Exploration: DAG Odd-Even matches the path results on "
+        "degenerate DAGs, path redundancy weakens the Theorem 3.1 "
+        "attack, and DAG Odd-Even stays within the tree bound on every "
+        "tested family."
+    )
+
+    def _run(self, preset: str) -> ExperimentResult:
+        n_path = 256 if preset == "quick" else 1024
+        grid_sizes = (
+            [(1, 64), (2, 32), (4, 16)]
+            if preset == "quick"
+            else [(1, 256), (2, 128), (4, 64), (8, 32)]
+        )
+
+        rows = []
+        ok = True
+
+        # --- 1. degenerate DAG ≡ path -------------------------------
+        degenerate = from_tree(path(n_path))
+        for policy_cls, expect in (
+            (DagOddEvenPolicy, "log"),
+            (DagGreedyPolicy, "linear"),
+        ):
+            engine = DagEngine(degenerate, policy_cls(), None)
+            rep = RecursiveLowerBoundAttack(ell=1).run(engine)
+            if expect == "log":
+                good = (
+                    rep.forced_height >= theorem_3_1_lower_bound(n_path, 1, 1)
+                    and rep.forced_height <= tree_upper_bound(n_path)
+                )
+            else:
+                good = rep.forced_height >= n_path / 4
+            ok &= good
+            rows.append(
+                ["degenerate path", n_path, policy_cls().name,
+                 rep.forced_height, round(rep.predicted, 2),
+                 "yes" if good else "NO"]
+            )
+
+        # --- 2. redundancy relief on grids ---------------------------
+        forced_by_width = {}
+        for w, length in grid_sizes:
+            dag = diamond_grid(w, length)
+            engine = DagEngine(dag, DagOddEvenPolicy(), None)
+            rep = RecursiveLowerBoundAttack(ell=1).run(engine)
+            forced_by_width[w] = rep.forced_height
+            rows.append(
+                [f"diamond grid W={w}", dag.n, "dag-odd-even",
+                 rep.forced_height, round(rep.predicted, 2), ""]
+            )
+        widths = sorted(forced_by_width)
+        relief = all(
+            forced_by_width[a] >= forced_by_width[b]
+            for a, b in zip(widths, widths[1:])
+        )
+        ok &= relief
+
+        # --- 3. bounded behaviour across families --------------------
+        families = [
+            ("layered(8x8,k=2)", layered_dag(8, 8, 2, seed=5)),
+            ("tree+shortcuts", tree_with_shortcuts(
+                random_tree(64 if preset == "quick" else 256, seed=6),
+                16, seed=7)),
+            ("diamond(4x16)", diamond_grid(4, 16)),
+        ]
+        for name, dag in families:
+            worst = _suite_max(dag, DagOddEvenPolicy, 10 * dag.n)
+            bound = tree_upper_bound(dag.n)
+            good = worst <= bound
+            ok &= good
+            rows.append(
+                [name, dag.n, "dag-odd-even", worst, bound,
+                 "yes" if good else "NO"]
+            )
+
+        return self._result(
+            preset=preset,
+            headers=["family", "n", "policy", "max height",
+                     "reference", "within"],
+            rows=rows,
+            passed=ok,
+            notes=[
+                "the attack's block-density argument leaks through extra "
+                "edges: forced height is non-increasing in grid width "
+                f"({ {w: forced_by_width[w] for w in widths} }) — the "
+                "Omega(log n) construction does not transfer to DAGs "
+                "with genuine path diversity",
+                "DAG Odd-Even stayed within the tree bound on every "
+                "family; consistency with the path theorems holds on "
+                "degenerate DAGs",
+            ],
+            params={"n_path": n_path, "grids": grid_sizes},
+        )

@@ -1,0 +1,71 @@
+"""Experiment registry: id → experiment class.
+
+The ids match DESIGN.md §4 and EXPERIMENTS.md; the CLI and benchmarks
+resolve experiments through :func:`get_experiment`.
+"""
+
+from __future__ import annotations
+
+from ..errors import ExperimentError
+from .base import Experiment
+from .e01_policy_table import PolicyTableExperiment
+from .e02_odd_even_upper import OddEvenUpperExperiment
+from .e03_lower_bound import LowerBoundExperiment
+from .e04_burstiness import BurstinessExperiment
+from .e05_downhill_or_flat import DownhillOrFlatExperiment
+from .e06_greedy_linear import GreedyLinearExperiment
+from .e07_tree_upper import TreeUpperExperiment
+from .e08_locality_gap import LocalityGapExperiment
+from .e09_timing_robustness import TimingRobustnessExperiment
+from .e10_centralized import CentralizedExperiment
+from .e11_undirected import UndirectedExperiment
+from .e12_delay import DelayExperiment
+from .e13_certificate import CertificateExperiment
+from .e14_tree_matching import TreeMatchingExperiment
+from .e15_ablation import AblationExperiment
+from .e16_rate_c import RateCExperiment
+from .e17_dag import DagExperiment
+from .e18_stability import StabilityExperiment
+
+__all__ = ["EXPERIMENTS", "get_experiment", "all_experiment_ids"]
+
+EXPERIMENTS: dict[str, type[Experiment]] = {
+    cls.id: cls
+    for cls in (
+        PolicyTableExperiment,
+        OddEvenUpperExperiment,
+        LowerBoundExperiment,
+        BurstinessExperiment,
+        DownhillOrFlatExperiment,
+        GreedyLinearExperiment,
+        TreeUpperExperiment,
+        LocalityGapExperiment,
+        TimingRobustnessExperiment,
+        CentralizedExperiment,
+        UndirectedExperiment,
+        DelayExperiment,
+        CertificateExperiment,
+        TreeMatchingExperiment,
+        AblationExperiment,
+        RateCExperiment,
+        DagExperiment,
+        StabilityExperiment,
+    )
+}
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Instantiate an experiment by id (case-insensitive)."""
+    key = experiment_id.upper()
+    try:
+        return EXPERIMENTS[key]()
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: "
+            f"{', '.join(sorted(EXPERIMENTS, key=lambda e: int(e[1:])))}"
+        ) from None
+
+
+def all_experiment_ids() -> list[str]:
+    """All experiment ids in numeric order."""
+    return sorted(EXPERIMENTS, key=lambda e: int(e[1:]))

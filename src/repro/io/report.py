@@ -1,0 +1,66 @@
+"""Markdown reproduction reports (the EXPERIMENTS.md generator).
+
+The logic behind ``tools/generate_experiments_md.py``, importable and
+tested: load saved :class:`~repro.io.results.ExperimentResult` records
+and render the paper-vs-measured markdown document.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+__all__ = ["markdown_table", "load_results_dir", "render_markdown_report"]
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """A GitHub-flavoured markdown table."""
+
+    def fmt(v: Any) -> str:
+        if isinstance(v, float):
+            return f"{v:.2f}".rstrip("0").rstrip(".")
+        return str(v)
+
+    out = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    out.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        out.append("| " + " | ".join(fmt(v) for v in row) + " |")
+    return "\n".join(out)
+
+
+def load_results_dir(directory: str | Path) -> list[dict[str, Any]]:
+    """Load all ``e*.json`` result records, ordered by experiment id."""
+    return [
+        json.loads(p.read_text())
+        for p in sorted(
+            Path(directory).glob("e*.json"), key=lambda p: int(p.stem[1:])
+        )
+    ]
+
+
+def render_markdown_report(
+    results: Sequence[dict[str, Any]],
+    *,
+    preamble: str = "",
+) -> str:
+    """Render the full paper-vs-measured report as markdown text."""
+    lines: list[str] = []
+    if preamble:
+        lines.append(preamble)
+    passed = sum(1 for r in results if r["passed"])
+    lines.append(
+        f"**Status: {passed}/{len(results)} experiments pass their "
+        "shape assertions.**\n"
+    )
+    for r in results:
+        status = "PASS" if r["passed"] else "FAIL"
+        lines.append(f"## {r['experiment_id']} — {r['title']} [{status}]\n")
+        lines.append(f"*Paper claim.* {r['paper_claim']}\n")
+        lines.append(markdown_table(r["headers"], r["rows"]))
+        lines.append("")
+        if r["notes"]:
+            lines.append("*Measured notes.*")
+            lines.extend(f"- {note}" for note in r["notes"])
+            lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Result records and serialisation for the experiment harness.
+
+Every experiment produces an :class:`ExperimentResult`: a table (the
+regenerated "paper artefact"), optional ASCII-chart artefacts, free-form
+notes, and a pass/fail verdict for its shape assertion ("who wins, by
+roughly what factor").  Results serialise to JSON and render to text;
+``EXPERIMENTS.md`` is generated from these records.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..analysis.tables import format_table, rows_to_csv
+
+__all__ = ["ExperimentResult", "save_result", "load_result"]
+
+
+@dataclass
+class ExperimentResult:
+    """The complete outcome of one experiment run."""
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    headers: list[str]
+    rows: list[list[Any]]
+    passed: bool
+    preset: str = "quick"
+    notes: list[str] = field(default_factory=list)
+    artifacts: dict[str, str] = field(default_factory=dict)
+    params: dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def to_text(self, include_artifacts: bool = True) -> str:
+        """Human-readable report."""
+        status = "PASS" if self.passed else "FAIL"
+        lines = [
+            f"=== {self.experiment_id}: {self.title} [{status}] "
+            f"(preset={self.preset}) ===",
+            f"paper claim: {self.paper_claim}",
+            "",
+            format_table(self.headers, self.rows),
+        ]
+        if self.notes:
+            lines.append("")
+            lines.extend(f"note: {n}" for n in self.notes)
+        if include_artifacts and self.artifacts:
+            for name, art in self.artifacts.items():
+                lines.extend(["", f"--- {name} ---", art])
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        return rows_to_csv(self.headers, self.rows)
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, default=str)
+
+
+def save_result(result: ExperimentResult, directory: str | Path) -> Path:
+    """Write ``<id>.json`` and ``<id>.txt`` into ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    base = directory / result.experiment_id.lower()
+    base.with_suffix(".json").write_text(result.to_json())
+    base.with_suffix(".txt").write_text(result.to_text())
+    return base.with_suffix(".json")
+
+
+def load_result(path: str | Path) -> ExperimentResult:
+    """Load a previously saved JSON result."""
+    data = json.loads(Path(path).read_text())
+    return ExperimentResult(**data)

@@ -1,0 +1,107 @@
+"""JSONL persistence for step traces.
+
+A recorded :class:`~repro.network.events.TraceRecorder` can be written
+to a JSON-lines file and reloaded later — for sharing a failing run,
+re-auditing it with :func:`repro.network.validation.check_trace`, or
+replaying its injections against another policy via
+:class:`~repro.adversaries.ReplayAdversary`.
+
+Format: one JSON object per line with keys ``step``, ``before``,
+``injections``, ``sends``, ``after``, ``delivered``; a header line
+carries the topology's successor array so the file is self-describing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..network.events import StepRecord, TraceRecorder
+from ..network.topology import Topology
+
+__all__ = ["save_trace", "load_trace", "trace_to_replay_tape"]
+
+_FORMAT = "repro-trace-v1"
+
+
+def save_trace(
+    trace: TraceRecorder | list[StepRecord],
+    topology: Topology,
+    path: str | Path,
+) -> Path:
+    """Write a trace (with its topology) as JSONL; returns the path."""
+    path = Path(path)
+    records = list(trace)
+    with path.open("w") as fh:
+        fh.write(
+            json.dumps(
+                {
+                    "format": _FORMAT,
+                    "n": topology.n,
+                    "succ": topology.succ.tolist(),
+                    "steps": len(records),
+                }
+            )
+            + "\n"
+        )
+        for rec in records:
+            fh.write(
+                json.dumps(
+                    {
+                        "step": rec.step,
+                        "before": np.asarray(rec.heights_before).tolist(),
+                        "injections": list(rec.injections),
+                        "sends": np.asarray(rec.sends).tolist(),
+                        "after": np.asarray(rec.heights_after).tolist(),
+                        "delivered": rec.delivered,
+                    }
+                )
+                + "\n"
+            )
+    return path
+
+
+def load_trace(path: str | Path) -> tuple[Topology, list[StepRecord]]:
+    """Read a JSONL trace; returns (topology, records).
+
+    Raises
+    ------
+    ValueError
+        If the header is missing or announces an unknown format.
+    """
+    path = Path(path)
+    with path.open() as fh:
+        header_line = fh.readline()
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not a trace file") from exc
+        if header.get("format") != _FORMAT:
+            raise ValueError(
+                f"{path}: unknown trace format {header.get('format')!r}"
+            )
+        topology = Topology(np.asarray(header["succ"], dtype=np.int64))
+        records: list[StepRecord] = []
+        for line in fh:
+            d = json.loads(line)
+            records.append(
+                StepRecord(
+                    step=int(d["step"]),
+                    heights_before=np.asarray(d["before"], dtype=np.int64),
+                    injections=tuple(d["injections"]),
+                    sends=np.asarray(d["sends"], dtype=np.int64),
+                    heights_after=np.asarray(d["after"], dtype=np.int64),
+                    delivered=int(d["delivered"]),
+                )
+            )
+    return topology, records
+
+
+def trace_to_replay_tape(
+    records: list[StepRecord],
+) -> list[tuple[int, ...]]:
+    """Extract the injection tape (one batch per step) from a trace,
+    ready for :class:`repro.adversaries.ReplayAdversary`."""
+    return [tuple(rec.injections) for rec in records]

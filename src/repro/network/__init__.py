@@ -1,0 +1,72 @@
+"""Discrete-step adversarial-queuing substrate (the §2 model).
+
+Topologies, packets, buffers, the reference packet-tracking
+:class:`Simulator`, the vectorised :class:`PathEngine`, metric
+collection, trace recording and after-the-fact trace auditing.
+"""
+
+from .buffers import Buffer, Discipline
+from .dag import (
+    DagTopology,
+    diamond_grid,
+    from_tree,
+    layered_dag,
+    tree_with_shortcuts,
+)
+from .dag_engine import DagEngine, DagPolicy
+from .engine_fast import DecisionTiming, PathEngine, UndirectedPathEngine
+from .events import StepRecord, TraceRecorder
+from .metrics import DelayRecorder, MaxHeightTracker, MetricsBundle, SeriesRecorder
+from .packet import Packet
+from .simulator import RunResult, Simulator
+from .topology import (
+    SINK_SUCC,
+    Topology,
+    balanced_tree,
+    broom,
+    caterpillar,
+    from_networkx,
+    from_parent_array,
+    path,
+    random_tree,
+    spider,
+    star_of_paths,
+)
+from .validation import check_step_record, check_trace
+
+__all__ = [
+    "Buffer",
+    "Discipline",
+    "DagTopology",
+    "DagEngine",
+    "DagPolicy",
+    "diamond_grid",
+    "from_tree",
+    "layered_dag",
+    "tree_with_shortcuts",
+    "DecisionTiming",
+    "PathEngine",
+    "UndirectedPathEngine",
+    "StepRecord",
+    "TraceRecorder",
+    "DelayRecorder",
+    "MaxHeightTracker",
+    "MetricsBundle",
+    "SeriesRecorder",
+    "Packet",
+    "RunResult",
+    "Simulator",
+    "SINK_SUCC",
+    "Topology",
+    "balanced_tree",
+    "broom",
+    "caterpillar",
+    "from_networkx",
+    "from_parent_array",
+    "path",
+    "random_tree",
+    "spider",
+    "star_of_paths",
+    "check_step_record",
+    "check_trace",
+]

@@ -1,0 +1,121 @@
+"""Per-node buffers and queueing disciplines.
+
+A buffer stores the packets currently held by a node.  The paper's
+results are about buffer *sizes*, not the order packets leave, so the
+discipline is irrelevant to the height bounds — but it does affect delay
+(experiment E12), so FIFO and LIFO are both provided.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from enum import Enum
+from typing import Iterator
+
+from .packet import Packet
+
+__all__ = ["Discipline", "Buffer"]
+
+
+class Discipline(str, Enum):
+    """Order in which packets leave a buffer.
+
+    FIFO/LIFO order by *arrival at this buffer*; LIS/SIS
+    (Longest-/Shortest-in-System, the universally-stable disciplines of
+    Andrews et al. discussed in §1.1) order by *injection time into the
+    network* — the two differ once streams merge at tree intersections.
+    """
+
+    FIFO = "fifo"
+    LIFO = "lifo"
+    LIS = "lis"
+    SIS = "sis"
+
+
+class Buffer:
+    """An unbounded packet buffer with a selectable service discipline.
+
+    Unboundedness is deliberate: the paper's model never drops packets;
+    the quantity of interest is the maximum occupancy ever reached.
+    """
+
+    __slots__ = ("_items", "_discipline")
+
+    def __init__(self, discipline: Discipline | str = Discipline.FIFO) -> None:
+        self._items: deque[Packet] = deque()
+        self._discipline = Discipline(discipline)
+
+    @property
+    def discipline(self) -> Discipline:
+        return self._discipline
+
+    @property
+    def height(self) -> int:
+        """Current occupancy — the paper's ``h(v)``."""
+        return len(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __iter__(self) -> Iterator[Packet]:
+        return iter(self._items)
+
+    def push(self, packet: Packet) -> None:
+        """Accept a packet (from the adversary or a predecessor)."""
+        self._items.append(packet)
+
+    def _system_extreme_index(self) -> int:
+        """Index of the LIS/SIS service target (ties by injection id)."""
+        key = lambda iv: (iv[1].birth_step, iv[1].pid)  # noqa: E731
+        pairs = enumerate(self._items)
+        if self._discipline is Discipline.LIS:
+            return min(pairs, key=key)[0]
+        return max(pairs, key=key)[0]
+
+    def pop(self) -> Packet:
+        """Remove and return the next packet to forward.
+
+        Raises
+        ------
+        IndexError
+            If the buffer is empty.
+        """
+        if self._discipline is Discipline.FIFO:
+            return self._items.popleft()
+        if self._discipline is Discipline.LIFO:
+            return self._items.pop()
+        if not self._items:
+            raise IndexError("pop from an empty buffer")
+        idx = self._system_extreme_index()
+        self._items.rotate(-idx)
+        pkt = self._items.popleft()
+        self._items.rotate(idx)
+        return pkt
+
+    def peek(self) -> Packet:
+        """Return (without removing) the next packet to forward."""
+        if self._discipline is Discipline.FIFO:
+            return self._items[0]
+        if self._discipline is Discipline.LIFO:
+            return self._items[-1]
+        if not self._items:
+            raise IndexError("peek at an empty buffer")
+        return self._items[self._system_extreme_index()]
+
+    def snapshot(self) -> tuple[Packet, ...]:
+        """Immutable view of the current contents, oldest first."""
+        return tuple(self._items)
+
+    def clone(self) -> "Buffer":
+        """Deep-enough copy for simulator checkpointing.
+
+        Packet objects are shared; only the container is copied.  The
+        simulator clones packets separately when checkpointing because
+        their mutable fields (``delivered_step``, ``hops``) change.
+        """
+        b = Buffer(self._discipline)
+        b._items = deque(self._items)
+        return b

@@ -1,0 +1,251 @@
+"""Single-sink DAG topologies (the §6 open question about DAGs).
+
+The paper closes asking whether its algorithms generalise "to arbitrary
+routing patterns, or to DAGs"; the concurrent work it cites ([22],
+Patt-Shamir & Rosenbaum, PODC'17) studies exactly the acyclic setting.
+This module provides the substrate to explore the question empirically:
+directed acyclic graphs in which every node has at least one out-edge
+on a path to a unique sink, and a packet may be forwarded along *any*
+out-edge (the policy chooses — "arbitrary routing patterns" in the
+paper's words, constrained to progress towards the sink by acyclicity).
+
+Builders:
+
+* :func:`layered_dag` — L layers of W nodes; each node gets k random
+  out-edges into the next layer (the classic synthetic DAG);
+* :func:`diamond_grid` — the W×L grid with edges right and down-right,
+  a structured worst case with heavy path overlap;
+* :func:`tree_with_shortcuts` — an in-tree plus random skip edges, for
+  comparing against the tree baseline directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .topology import Topology
+from ..errors import TopologyError
+
+__all__ = [
+    "DagTopology",
+    "layered_dag",
+    "diamond_grid",
+    "tree_with_shortcuts",
+    "from_tree",
+]
+
+
+@dataclass(frozen=True)
+class DagTopology:
+    """An immutable single-sink DAG.
+
+    ``out_edges[v]`` lists the nodes v may forward to; the sink has
+    none.  Construction validates acyclicity, reachability of the sink
+    from every node, and the absence of self-loops or duplicates.
+    """
+
+    out_edges: tuple[tuple[int, ...], ...]
+    sink: int
+    depth: np.ndarray = field(init=False)  # shortest hop distance to sink
+    topo_order: np.ndarray = field(init=False)  # sinkwards topological order
+
+    def __post_init__(self) -> None:
+        n = len(self.out_edges)
+        if not 0 <= self.sink < n:
+            raise TopologyError("sink out of range")
+        if self.out_edges[self.sink]:
+            raise TopologyError("the sink must have no out-edges")
+        for v, outs in enumerate(self.out_edges):
+            if len(set(outs)) != len(outs):
+                raise TopologyError(f"duplicate out-edge at node {v}")
+            for u in outs:
+                if not 0 <= u < n:
+                    raise TopologyError(f"edge {v}->{u} out of range")
+                if u == v:
+                    raise TopologyError(f"self-loop at node {v}")
+            if v != self.sink and not outs:
+                raise TopologyError(f"node {v} has no out-edges")
+
+        # Kahn's algorithm on reversed edges: order from the sink out.
+        indeg = np.zeros(n, dtype=np.int64)  # in reversed graph
+        rev: list[list[int]] = [[] for _ in range(n)]
+        for v, outs in enumerate(self.out_edges):
+            for u in outs:
+                rev[u].append(v)
+                indeg[v] += 1
+        order = []
+        depth = np.full(n, -1, dtype=np.int64)
+        queue = [self.sink]
+        depth[self.sink] = 0
+        remaining = indeg.copy()
+        while queue:
+            u = queue.pop()
+            order.append(u)
+            for w in rev[u]:
+                if depth[w] < 0 or depth[u] + 1 < depth[w]:
+                    depth[w] = depth[u] + 1
+                remaining[w] -= 1
+                if remaining[w] == 0:
+                    queue.append(w)
+        if len(order) != n:
+            raise TopologyError(
+                "graph has a cycle or a node that cannot reach the sink"
+            )
+        object.__setattr__(self, "depth", depth)
+        object.__setattr__(
+            self, "topo_order", np.asarray(order, dtype=np.int64)
+        )
+
+    @property
+    def n(self) -> int:
+        return len(self.out_edges)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(o) for o in self.out_edges)
+
+    def sources(self) -> tuple[int, ...]:
+        """Nodes with no incoming edges (the natural injection sites)."""
+        has_in = np.zeros(self.n, dtype=bool)
+        for outs in self.out_edges:
+            for u in outs:
+                has_in[u] = True
+        return tuple(
+            v for v in range(self.n) if not has_in[v] and v != self.sink
+        )
+
+    @property
+    def is_path(self) -> bool:
+        """DAG engines never take the path fast-path (even when the
+        graph happens to be one); the attack uses :meth:`spine_order`."""
+        return False
+
+    def spine_order(self) -> np.ndarray:
+        """A deepest shortest path to the sink, far end first.
+
+        Gives the Theorem 3.1 attack an injection corridor on a DAG,
+        exactly as on trees.
+        """
+        v = int(np.argmax(self.depth))
+        order = [v]
+        while v != self.sink:
+            v = min(
+                self.out_edges[v], key=lambda u: (self.depth[u], u)
+            )
+            order.append(v)
+        return np.asarray(order, dtype=np.int64)
+
+    def as_tree(self) -> Topology:
+        """Shortest-path in-tree (each node keeps one min-depth edge).
+
+        This is the routing a tree policy would use on the same graph —
+        the baseline E17 compares the DAG policies against.
+        """
+        succ = np.full(self.n, -1, dtype=np.int64)
+        for v in range(self.n):
+            if v == self.sink:
+                continue
+            outs = self.out_edges[v]
+            succ[v] = min(outs, key=lambda u: (self.depth[u], u))
+        return Topology(succ)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DagTopology(n={self.n}, edges={self.edge_count}, "
+            f"sink={self.sink}, depth={int(self.depth.max())})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+
+def layered_dag(
+    layers: int,
+    width: int,
+    out_degree: int = 2,
+    seed: int | None = None,
+) -> DagTopology:
+    """``layers`` × ``width`` nodes; each node has ``out_degree`` random
+    edges into the next layer; the final layer feeds the sink (node 0).
+    Node ids: 1 + layer*width + slot, layer 0 farthest from the sink...
+    actually layer ``layers-1`` connects to the sink directly.
+    """
+    if layers < 1 or width < 1 or out_degree < 1:
+        raise TopologyError("layers, width, out_degree must be >= 1")
+    rng = np.random.default_rng(seed)
+    n = 1 + layers * width
+    out: list[list[int]] = [[] for _ in range(n)]
+
+    def node(layer: int, slot: int) -> int:
+        return 1 + layer * width + slot
+
+    k = min(out_degree, width)
+    for layer in range(layers):
+        for slot in range(width):
+            v = node(layer, slot)
+            if layer == layers - 1:
+                out[v] = [0]
+            else:
+                targets = rng.choice(width, size=k, replace=False)
+                out[v] = [node(layer + 1, int(t)) for t in targets]
+    return DagTopology(tuple(tuple(o) for o in out), sink=0)
+
+
+def diamond_grid(width: int, length: int) -> DagTopology:
+    """A ``width`` × ``length`` grid; node (r, c) forwards to (r, c+1)
+    and (r+1, c+1) (wrapping rows), the last column feeds the sink.
+
+    Every source-sink path has the same length, and paths overlap
+    heavily — the congestion shape studied for directed grids in
+    [14, 15] (§1.1), restricted to a single sink.
+    """
+    if width < 1 or length < 1:
+        raise TopologyError("width and length must be >= 1")
+    n = 1 + width * length
+    out: list[list[int]] = [[] for _ in range(n)]
+
+    def node(r: int, c: int) -> int:
+        return 1 + c * width + r
+
+    for c in range(length):
+        for r in range(width):
+            v = node(r, c)
+            if c == length - 1:
+                out[v] = [0]
+            else:
+                nxt = {node(r, c + 1), node((r + 1) % width, c + 1)}
+                out[v] = sorted(nxt)
+    return DagTopology(tuple(tuple(o) for o in out), sink=0)
+
+
+def tree_with_shortcuts(
+    tree: Topology, shortcuts: int, seed: int | None = None
+) -> DagTopology:
+    """An in-tree plus ``shortcuts`` random strictly-depth-decreasing
+    extra edges — the minimal DAG-ification of a tree."""
+    rng = np.random.default_rng(seed)
+    out: list[list[int]] = [[] for _ in range(tree.n)]
+    for v in range(tree.n):
+        p = int(tree.succ[v])
+        if p >= 0:
+            out[v].append(p)
+    added = 0
+    attempts = 0
+    while added < shortcuts and attempts < 50 * (shortcuts + 1):
+        attempts += 1
+        v = int(rng.integers(0, tree.n))
+        u = int(rng.integers(0, tree.n))
+        if v == tree.sink or u == v:
+            continue
+        if tree.depth[u] < tree.depth[v] and u not in out[v]:
+            out[v].append(u)
+            added += 1
+    return DagTopology(tuple(tuple(sorted(o)) for o in out), sink=tree.sink)
+
+
+def from_tree(tree: Topology) -> DagTopology:
+    """View an in-tree as a (degenerate) DAG."""
+    return tree_with_shortcuts(tree, shortcuts=0)

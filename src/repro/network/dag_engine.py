@@ -1,0 +1,177 @@
+"""Height-only engine for single-sink DAGs (the §6 exploration).
+
+Model: the natural extension of §2 — each *edge* carries at most c = 1
+packet per step; a node holding packets may, per step, forward at most
+one packet along *one* of its out-edges (keeping the per-node service
+rate of the path/tree model, so results are comparable); the policy
+chooses the edge.  Decisions are simultaneous on a height snapshot;
+pre-/post-injection timing as in the other engines.
+
+DAG policies implement :class:`DagPolicy.choose`: given the heights,
+return for every node either the chosen out-neighbour or -1 (hold).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+import numpy as np
+
+from .dag import DagTopology
+from .metrics import MetricsBundle
+from ..errors import RateViolation, SimulationError
+
+__all__ = ["DagPolicy", "DagEngine"]
+
+
+class DagPolicy(ABC):
+    """Forwarding rule for DAGs: pick an out-edge (or hold) per node."""
+
+    name: str = "abstract-dag"
+    locality: int | None = 1
+
+    def reset(self, dag: DagTopology) -> None:
+        """Hook called once before a run."""
+
+    @abstractmethod
+    def choose(self, heights: np.ndarray, dag: DagTopology) -> np.ndarray:
+        """``target[v]`` = out-neighbour to send to, or -1 to hold.
+
+        Nodes with empty buffers and the sink must hold; the engine
+        validates.
+        """
+
+
+class DagEngine:
+    """Synchronous height-only simulator on a :class:`DagTopology`."""
+
+    def __init__(
+        self,
+        dag: DagTopology,
+        policy: DagPolicy,
+        adversary=None,
+        *,
+        decision_timing: str = "pre_injection",
+        injection_limit: int = 1,
+        series_every: int = 0,
+    ) -> None:
+        if decision_timing not in ("pre_injection", "post_injection"):
+            raise SimulationError(f"unknown decision timing {decision_timing!r}")
+        self.dag = dag
+        self.policy = policy
+        self.adversary = adversary
+        self.decision_timing = decision_timing
+        self.capacity = 1  # per-node service rate, as on paths/trees
+        self.injection_limit = int(injection_limit)
+        self.heights = np.zeros(dag.n, dtype=np.int64)
+        self.step_index = 0
+        self.metrics = MetricsBundle.for_n(dag.n, series_every)
+        policy.reset(dag)
+        if adversary is not None:
+            # tree-style adversaries need .children/.leaves etc.; DAG
+            # workloads use the duck-typed subset (sink, n, depth)
+            adversary.reset(dag, self.injection_limit)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.dag.n
+
+    @property
+    def topology(self) -> DagTopology:
+        """Alias so orchestrating adversaries (Theorem 3.1 attack) can
+        drive a DAG engine through the same interface."""
+        return self.dag
+
+    def _validate_targets(self, targets: np.ndarray) -> None:
+        for v in range(self.dag.n):
+            t = int(targets[v])
+            if t < 0:
+                continue
+            if v == self.dag.sink:
+                raise SimulationError("the sink cannot forward")
+            if self.heights is not None and t not in self.dag.out_edges[v]:
+                raise SimulationError(
+                    f"policy chose a non-edge {v}->{t}"
+                )
+
+    def step(self, injections: tuple[int, ...] | None = None) -> None:
+        h = self.heights
+        if injections is None and self.adversary is not None:
+            injections = tuple(
+                self.adversary.inject(self.step_index, h, self.dag)
+            )
+        sites = tuple(int(s) for s in (injections or ()))
+        if len(sites) > self.injection_limit:
+            raise RateViolation(
+                f"{len(sites)} injections > limit {self.injection_limit}"
+            )
+        for s in sites:
+            if not 0 <= s < self.dag.n or s == self.dag.sink:
+                raise RateViolation(f"bad injection site {s}")
+
+        if self.decision_timing == "pre_injection":
+            targets = self.policy.choose(h.copy(), self.dag)
+            sendable = h > 0
+            for s in sites:
+                h[s] += 1
+        else:
+            for s in sites:
+                h[s] += 1
+            targets = self.policy.choose(h.copy(), self.dag)
+            sendable = h > 0
+        self._validate_targets(targets)
+        self.metrics.injected += len(sites)
+
+        delivered = 0
+        recv = np.zeros(self.dag.n, dtype=np.int64)
+        sent = np.zeros(self.dag.n, dtype=np.int64)
+        for v in range(self.dag.n):
+            t = int(targets[v])
+            if t < 0 or not sendable[v]:
+                continue
+            sent[v] = 1
+            if t == self.dag.sink:
+                delivered += 1
+            else:
+                recv[t] += 1
+        h -= sent
+        h += recv
+        h[self.dag.sink] = 0
+        if (h < 0).any():
+            raise SimulationError("negative height on a DAG node")
+        self.metrics.delivered += delivered
+
+        self.step_index += 1
+        self.metrics.observe(self.step_index, h)
+
+    def run(self, steps: int) -> "DagEngine":
+        for _ in range(steps):
+            self.step()
+        return self
+
+    @property
+    def max_height(self) -> int:
+        return self.metrics.max_height
+
+    # checkpointing (for the recursive attack on a DAG spine)
+    def checkpoint(self) -> dict[str, Any]:
+        return {
+            "heights": self.heights.copy(),
+            "step": self.step_index,
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def restore(self, cp: dict[str, Any]) -> None:
+        self.heights = cp["heights"].copy()
+        self.step_index = cp["step"]
+        self.metrics.restore(cp["metrics"])
+
+    def assert_conservation(self) -> None:
+        in_flight = int(self.heights.sum())
+        if self.metrics.injected != self.metrics.delivered + in_flight:
+            raise SimulationError(
+                f"conservation broken: {self.metrics.injected} != "
+                f"{self.metrics.delivered} + {in_flight}"
+            )

@@ -1,0 +1,337 @@
+"""Height-only engines.
+
+:class:`PathEngine` simulates a directed path with pure numpy height
+arithmetic — no packet objects — which is what makes the paper-scale
+sweeps (n up to 2¹⁴–2¹⁶, millions of steps in total) tractable in
+Python.  The packet-tracking :class:`repro.network.simulator.Simulator`
+is the reference implementation; a hypothesis test asserts the two
+produce identical height trajectories.
+
+:class:`UndirectedPathEngine` extends the model with a leftwards
+(away-from-sink) link per edge for the Theorem 3.3 experiment.
+
+Both engines support :meth:`checkpoint` / :meth:`restore`, which the
+recursive lower-bound adversary of Theorem 3.1 uses to explore its two
+scenarios and keep the denser one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Literal
+
+import numpy as np
+
+from .events import StepRecord, TraceRecorder
+from .metrics import MetricsBundle
+from .topology import Topology, path
+from .validation import validate_injections
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..adversaries.base import Adversary
+from ..errors import ConservationViolation, SimulationError
+from ..policies.base import ForwardingPolicy
+from ..policies.undirected import UndirectedPathPolicy
+
+__all__ = ["DecisionTiming", "PathEngine", "UndirectedPathEngine"]
+
+DecisionTiming = Literal["pre_injection", "post_injection"]
+
+
+@dataclass
+class _Checkpoint:
+    heights: np.ndarray
+    step: int
+    metrics: dict[str, Any]
+
+
+class PathEngine:
+    """Vectorised directed-path engine (heights only).
+
+    Parameters
+    ----------
+    n:
+        Number of nodes including the sink; positions are ordered from
+        the far end (0) to the sink (n-1), matching
+        :func:`repro.network.topology.path`.
+    policy:
+        Any :class:`ForwardingPolicy`; pairwise policies are evaluated
+        through their vectorised rule.
+    adversary:
+        Traffic source; may be ``None`` for drain-only runs.
+    capacity:
+        Link capacity = injection rate ``c`` (§2).
+    decision_timing:
+        ``"pre_injection"`` computes forwarding decisions from the
+        start-of-step configuration (the semantics analysed by the
+        paper's proof, see DESIGN.md §3); ``"post_injection"`` lets
+        decisions see the freshly injected packets.
+    series_every / trace:
+        Optional time-series sampling stride and full trace recording.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        policy: ForwardingPolicy,
+        adversary: Adversary | None,
+        *,
+        capacity: int = 1,
+        injection_limit: int | None = None,
+        decision_timing: DecisionTiming = "pre_injection",
+        series_every: int = 0,
+        trace: TraceRecorder | None = None,
+        validate: bool = False,
+    ) -> None:
+        if n < 2:
+            raise SimulationError("a useful path needs at least 2 nodes")
+        if decision_timing not in ("pre_injection", "post_injection"):
+            raise SimulationError(f"unknown decision timing {decision_timing!r}")
+        policy.check_capacity(capacity)
+        self.topology: Topology = path(n)
+        self.policy = policy
+        self.adversary = adversary
+        self.capacity = int(capacity)
+        # the (rho, sigma) model of [21] allows a sigma-burst in one
+        # step, exceeding the link capacity; default is the plain rate-c
+        # adversary of §2.
+        self.injection_limit = int(
+            capacity if injection_limit is None else injection_limit
+        )
+        self.decision_timing: DecisionTiming = decision_timing
+        self.validate = validate
+        self.trace = trace
+        self.heights = np.zeros(n, dtype=np.int64)
+        self.step_index = 0
+        self.metrics = MetricsBundle.for_n(n, series_every)
+        policy.reset(self.topology)
+        if adversary is not None:
+            adversary.reset(self.topology, self.injection_limit)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.topology.n
+
+    @property
+    def sink(self) -> int:
+        return self.topology.sink
+
+    def _decide(self, heights: np.ndarray) -> np.ndarray:
+        counts = self.policy.send_counts(heights, self.topology, self.capacity)
+        if self.validate:
+            if counts.min(initial=0) < 0 or counts.max(initial=0) > self.capacity:
+                raise SimulationError("policy produced an illegal send count")
+            if (counts > heights).any():
+                raise SimulationError("policy sent from an empty buffer")
+        return counts
+
+    def step(self, injections: tuple[int, ...] | None = None) -> None:
+        """Advance one round (injection mini-step, then forwarding).
+
+        ``injections`` overrides the adversary for this step — used by
+        orchestrating adversaries (Theorem 3.1) that drive the engine
+        directly with checkpoints.
+        """
+        h = self.heights
+        before = h.copy() if self.trace is not None else None
+
+        if injections is not None:
+            sites = validate_injections(
+                injections, self.topology, self.injection_limit
+            )
+        elif self.adversary is not None:
+            sites = validate_injections(
+                self.adversary.inject(self.step_index, h, self.topology),
+                self.topology,
+                self.injection_limit,
+            )
+        else:
+            sites = ()
+        self.policy.observe_injections(sites)
+
+        if self.decision_timing == "pre_injection":
+            counts = self._decide(h)
+            for s in sites:
+                h[s] += 1
+        else:
+            for s in sites:
+                h[s] += 1
+            counts = self._decide(h)
+
+        self.metrics.injected += len(sites)
+        delivered = int(counts[-2]) if self.n >= 2 else 0
+        # simultaneous moves: node i loses counts[i], node i+1 gains them
+        h -= counts
+        h[1:] += counts[:-1]
+        h[-1] = 0  # the sink consumes instantly
+        self.metrics.delivered += delivered
+
+        self.step_index += 1
+        self.metrics.observe(self.step_index, h)
+        if self.validate:
+            self.assert_conservation()
+        if self.trace is not None:
+            self.trace.append(
+                StepRecord(
+                    step=self.step_index - 1,
+                    heights_before=before,
+                    injections=sites,
+                    sends=counts.copy(),
+                    heights_after=h.copy(),
+                    delivered=delivered,
+                )
+            )
+
+    def run(self, steps: int) -> "PathEngine":
+        """Advance ``steps`` rounds; returns self for chaining."""
+        for _ in range(steps):
+            self.step()
+        return self
+
+    # ------------------------------------------------------------------
+    def assert_conservation(self) -> None:
+        """Injected packets must equal delivered + still buffered."""
+        in_flight = int(self.heights.sum())
+        if self.metrics.injected != self.metrics.delivered + in_flight:
+            raise ConservationViolation(
+                f"injected={self.metrics.injected} != delivered="
+                f"{self.metrics.delivered} + in_flight={in_flight}"
+            )
+
+    def checkpoint(self) -> _Checkpoint:
+        """Snapshot engine state (used by the Theorem 3.1 adversary)."""
+        return _Checkpoint(
+            heights=self.heights.copy(),
+            step=self.step_index,
+            metrics=self.metrics.snapshot(),
+        )
+
+    def restore(self, cp: _Checkpoint) -> None:
+        """Roll back to a previous :meth:`checkpoint`."""
+        self.heights = cp.heights.copy()
+        self.step_index = cp.step
+        self.metrics.restore(cp.metrics)
+
+    @property
+    def max_height(self) -> int:
+        return self.metrics.max_height
+
+
+class UndirectedPathEngine:
+    """Bidirectional path engine for the Theorem 3.3 experiment (E11).
+
+    Each undirected edge provides capacity 1 in each direction per
+    step.  Policies are :class:`UndirectedPathPolicy` instances; the
+    engine sanitises their masks (no sends from empty buffers, no
+    leftwards send from position 0, nothing from the sink, and a node
+    holding a single packet may use only one direction — rightwards
+    wins).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        policy: UndirectedPathPolicy,
+        adversary: Adversary | None,
+        *,
+        capacity: int = 1,
+        decision_timing: DecisionTiming = "pre_injection",
+        series_every: int = 0,
+    ) -> None:
+        if n < 2:
+            raise SimulationError("a useful path needs at least 2 nodes")
+        if capacity != 1:
+            raise SimulationError(
+                "the undirected engine implements the c = 1 model only"
+            )
+        self.topology: Topology = path(n)
+        self.policy = policy
+        self.adversary = adversary
+        self.capacity = 1
+        self.injection_limit = 1
+        self.decision_timing: DecisionTiming = decision_timing
+        self.heights = np.zeros(n, dtype=np.int64)
+        self.step_index = 0
+        self.metrics = MetricsBundle.for_n(n, series_every)
+        policy.reset(n)
+        if adversary is not None:
+            adversary.reset(self.topology, capacity)
+
+    @property
+    def n(self) -> int:
+        return self.topology.n
+
+    def _decide(self, h: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        right, left = self.policy.send_directions(h)
+        right = right.copy()
+        left = left.copy()
+        right &= h > 0
+        left &= h > 0
+        right[-1] = False
+        left[-1] = False
+        left[0] = False
+        # one packet cannot split in two directions
+        both = right & left & (h < 2)
+        left[both] = False
+        return right, left
+
+    def step(self, injections: tuple[int, ...] | None = None) -> None:
+        h = self.heights
+        if injections is not None:
+            sites = validate_injections(
+                injections, self.topology, self.injection_limit
+            )
+        elif self.adversary is not None:
+            sites = validate_injections(
+                self.adversary.inject(self.step_index, h, self.topology),
+                self.topology,
+                self.injection_limit,
+            )
+        else:
+            sites = ()
+
+        if self.decision_timing == "pre_injection":
+            right, left = self._decide(h)
+            for s in sites:
+                h[s] += 1
+        else:
+            for s in sites:
+                h[s] += 1
+            right, left = self._decide(h)
+
+        self.metrics.injected += len(sites)
+        delivered = int(right[-2])
+        moved = right.astype(np.int64) + left.astype(np.int64)
+        h -= moved
+        h[1:] += right[:-1].astype(np.int64)
+        h[:-1] += left[1:].astype(np.int64)
+        h[-1] = 0
+        self.metrics.delivered += delivered
+        if (h < 0).any():
+            raise SimulationError("negative height: policy oversent")
+
+        self.step_index += 1
+        self.metrics.observe(self.step_index, h)
+
+    def run(self, steps: int) -> "UndirectedPathEngine":
+        for _ in range(steps):
+            self.step()
+        return self
+
+    def checkpoint(self) -> _Checkpoint:
+        return _Checkpoint(
+            heights=self.heights.copy(),
+            step=self.step_index,
+            metrics=self.metrics.snapshot(),
+        )
+
+    def restore(self, cp: _Checkpoint) -> None:
+        self.heights = cp.heights.copy()
+        self.step_index = cp.step
+        self.metrics.restore(cp.metrics)
+
+    @property
+    def max_height(self) -> int:
+        return self.metrics.max_height

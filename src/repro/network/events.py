@@ -1,0 +1,70 @@
+"""Structured per-step trace records.
+
+Traces are optional (they cost memory) and are consumed by the
+certifier — which must see, for every round, the configuration before,
+the configuration after and the injection site — and by the ASCII
+renderers that regenerate the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["StepRecord", "TraceRecorder"]
+
+
+@dataclass(frozen=True, slots=True)
+class StepRecord:
+    """What happened in one step (paper round).
+
+    Attributes
+    ----------
+    step:
+        0-based step index.
+    heights_before:
+        Configuration C at the start of the step.
+    injections:
+        Node ids that received a packet in the injection mini-step
+        (length ≤ c; possibly with repeats when c > 1).
+    sends:
+        ``sends[v]`` = packets node v forwarded in the forwarding
+        mini-step.
+    heights_after:
+        Configuration C' at the start of the next step.
+    delivered:
+        Packets consumed by the sink during this step.
+    """
+
+    step: int
+    heights_before: np.ndarray
+    injections: tuple[int, ...]
+    sends: np.ndarray
+    heights_after: np.ndarray
+    delivered: int
+
+
+class TraceRecorder:
+    """Accumulates :class:`StepRecord` objects (optionally bounded)."""
+
+    def __init__(self, keep_last: int | None = None) -> None:
+        self.keep_last = keep_last
+        self.records: list[StepRecord] = []
+
+    def append(self, record: StepRecord) -> None:
+        self.records.append(record)
+        if self.keep_last is not None and len(self.records) > self.keep_last:
+            del self.records[: len(self.records) - self.keep_last]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __getitem__(self, i):
+        return self.records[i]
+
+    def clear(self) -> None:
+        self.records.clear()

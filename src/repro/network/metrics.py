@@ -1,0 +1,162 @@
+"""Occupancy, throughput and delay accounting.
+
+The measured quantity of every experiment is the maximum buffer height
+ever reached (the paper's buffer-size requirement: a buffer of size B
+suffices iff no height ever exceeds B).  The collector also tracks
+where and when the maximum occurred, per-node maxima, an optional
+sampled time-series, and (packet engine only) delay statistics.
+
+Collectors support :meth:`snapshot` / :meth:`restore` so the recursive
+lower-bound adversary (Theorem 3.1) can roll back a discarded scenario
+without polluting the measurements of the kept one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["MaxHeightTracker", "SeriesRecorder", "DelayRecorder", "MetricsBundle"]
+
+
+class MaxHeightTracker:
+    """Running maximum height, with location and per-node maxima."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.max_height = 0
+        self.argmax_node = -1
+        self.argmax_step = -1
+        self.per_node_max = np.zeros(n, dtype=np.int64)
+
+    def observe(self, step: int, heights: np.ndarray) -> None:
+        np.maximum(self.per_node_max, heights, out=self.per_node_max)
+        m = int(heights.max()) if heights.size else 0
+        if m > self.max_height:
+            self.max_height = m
+            self.argmax_node = int(np.argmax(heights))
+            self.argmax_step = step
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "max_height": self.max_height,
+            "argmax_node": self.argmax_node,
+            "argmax_step": self.argmax_step,
+            "per_node_max": self.per_node_max.copy(),
+        }
+
+    def restore(self, snap: dict[str, Any]) -> None:
+        self.max_height = snap["max_height"]
+        self.argmax_node = snap["argmax_node"]
+        self.argmax_step = snap["argmax_step"]
+        self.per_node_max = snap["per_node_max"].copy()
+
+
+class SeriesRecorder:
+    """Sampled time-series of the instantaneous maximum height.
+
+    ``every`` controls the sampling stride; stride 0 disables
+    recording (the default for large sweeps, where per-step python
+    appends would dominate).
+    """
+
+    def __init__(self, every: int = 0) -> None:
+        self.every = int(every)
+        self.steps: list[int] = []
+        self.values: list[int] = []
+
+    @property
+    def enabled(self) -> bool:
+        return self.every > 0
+
+    def observe(self, step: int, heights: np.ndarray) -> None:
+        if self.enabled and step % self.every == 0:
+            self.steps.append(step)
+            self.values.append(int(heights.max()) if heights.size else 0)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"steps": list(self.steps), "values": list(self.values)}
+
+    def restore(self, snap: dict[str, Any]) -> None:
+        self.steps = list(snap["steps"])
+        self.values = list(snap["values"])
+
+
+class DelayRecorder:
+    """Histogram of packet delays (packet-tracking engine only)."""
+
+    def __init__(self) -> None:
+        self.delays: list[int] = []
+
+    def record(self, delay: int) -> None:
+        self.delays.append(delay)
+
+    @property
+    def count(self) -> int:
+        return len(self.delays)
+
+    def summary(self) -> dict[str, float]:
+        """Mean / percentiles / max of recorded delays (NaN if empty)."""
+        if not self.delays:
+            nan = float("nan")
+            return {"count": 0, "mean": nan, "p50": nan, "p95": nan,
+                    "p99": nan, "max": nan}
+        arr = np.asarray(self.delays, dtype=np.float64)
+        return {
+            "count": float(arr.size),
+            "mean": float(arr.mean()),
+            "p50": float(np.percentile(arr, 50)),
+            "p95": float(np.percentile(arr, 95)),
+            "p99": float(np.percentile(arr, 99)),
+            "max": float(arr.max()),
+        }
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"delays": list(self.delays)}
+
+    def restore(self, snap: dict[str, Any]) -> None:
+        self.delays = list(snap["delays"])
+
+
+@dataclass
+class MetricsBundle:
+    """Everything an engine records during a run."""
+
+    tracker: MaxHeightTracker
+    series: SeriesRecorder = field(default_factory=SeriesRecorder)
+    delays: DelayRecorder = field(default_factory=DelayRecorder)
+    injected: int = 0
+    delivered: int = 0
+
+    @classmethod
+    def for_n(cls, n: int, series_every: int = 0) -> "MetricsBundle":
+        return cls(
+            tracker=MaxHeightTracker(n),
+            series=SeriesRecorder(series_every),
+        )
+
+    def observe(self, step: int, heights: np.ndarray) -> None:
+        self.tracker.observe(step, heights)
+        self.series.observe(step, heights)
+
+    @property
+    def max_height(self) -> int:
+        return self.tracker.max_height
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "tracker": self.tracker.snapshot(),
+            "series": self.series.snapshot(),
+            "delays": self.delays.snapshot(),
+            "injected": self.injected,
+            "delivered": self.delivered,
+        }
+
+    def restore(self, snap: dict[str, Any]) -> None:
+        self.tracker.restore(snap["tracker"])
+        self.series.restore(snap["series"])
+        self.delays.restore(snap["delays"])
+        self.injected = snap["injected"]
+        self.delivered = snap["delivered"]

@@ -1,0 +1,51 @@
+"""Packet records for the packet-tracking engine.
+
+The height-only fast engine (:mod:`repro.network.engine_fast`) never
+materialises packets; the object engine does, so that per-packet delay
+and ordering statistics (§6 of the paper poses delay as an open
+question; experiment E12 measures it) can be computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Packet"]
+
+
+@dataclass(slots=True)
+class Packet:
+    """A single message travelling towards the sink.
+
+    Attributes
+    ----------
+    pid:
+        Globally unique id, assigned in injection order.
+    origin:
+        Node at which the adversary injected the packet.
+    birth_step:
+        Step index (0-based) of the injection mini-step.
+    delivered_step:
+        Step index at which the packet was consumed by the sink, or
+        ``None`` while still in flight.
+    hops:
+        Number of links traversed so far.
+    """
+
+    pid: int
+    origin: int
+    birth_step: int
+    delivered_step: int | None = field(default=None)
+    hops: int = field(default=0)
+
+    @property
+    def in_flight(self) -> bool:
+        """True while the packet has not yet been consumed."""
+        return self.delivered_step is None
+
+    @property
+    def delay(self) -> int | None:
+        """Steps from injection to consumption, or ``None`` in flight."""
+        if self.delivered_step is None:
+            return None
+        return self.delivered_step - self.birth_step

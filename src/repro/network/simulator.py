@@ -1,0 +1,256 @@
+"""Reference packet-tracking simulator for arbitrary in-trees.
+
+This is the faithful implementation of the §2 model:
+
+* time proceeds in steps, each split into two mini-steps;
+* mini-step 1: the adversary injects at most ``c`` packets anywhere;
+* mini-step 2: every node simultaneously forwards at most ``c`` packets
+  along its outgoing link, as chosen by the scheduling policy;
+* the sink consumes packets instantly; buffers are unbounded and no
+  packet is ever dropped (zero loss is an *invariant* here, checked by
+  conservation accounting, not a metric).
+
+Packets are real objects so that delays, ordering and provenance are
+measurable (experiment E12).  For big parameter sweeps on paths prefer
+:class:`repro.network.engine_fast.PathEngine`; a property-based test
+proves the two engines generate identical height trajectories.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from .buffers import Buffer, Discipline
+from .events import StepRecord, TraceRecorder
+from .metrics import MetricsBundle
+from .packet import Packet
+from .topology import Topology
+from .validation import validate_injections
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..adversaries.base import Adversary
+from ..errors import ConservationViolation, SimulationError
+from ..policies.base import ForwardingPolicy
+
+__all__ = ["Simulator", "RunResult"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Summary of a finished run."""
+
+    steps: int
+    max_height: int
+    argmax_node: int
+    argmax_step: int
+    injected: int
+    delivered: int
+    in_flight: int
+    delay_summary: dict[str, float]
+
+
+class Simulator:
+    """Packet-level synchronous simulator on an arbitrary in-tree."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        policy: ForwardingPolicy,
+        adversary: Adversary | None,
+        *,
+        capacity: int = 1,
+        injection_limit: int | None = None,
+        decision_timing: str = "pre_injection",
+        discipline: Discipline | str = Discipline.FIFO,
+        series_every: int = 0,
+        trace: TraceRecorder | None = None,
+        validate: bool = True,
+    ) -> None:
+        if decision_timing not in ("pre_injection", "post_injection"):
+            raise SimulationError(f"unknown decision timing {decision_timing!r}")
+        policy.check_capacity(capacity)
+        self.topology = topology
+        self.policy = policy
+        self.adversary = adversary
+        self.capacity = int(capacity)
+        # see PathEngine: the (rho, sigma) model allows one-step bursts
+        # above the link capacity.
+        self.injection_limit = int(
+            capacity if injection_limit is None else injection_limit
+        )
+        self.decision_timing = decision_timing
+        self.discipline = Discipline(discipline)
+        self.validate = validate
+        self.trace = trace
+
+        self.buffers: list[Buffer] = [
+            Buffer(self.discipline) for _ in range(topology.n)
+        ]
+        self.step_index = 0
+        self._next_pid = 0
+        self.delivered_packets: list[Packet] = []
+        self.metrics = MetricsBundle.for_n(topology.n, series_every)
+        policy.reset(topology)
+        if adversary is not None:
+            adversary.reset(topology, self.injection_limit)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.topology.n
+
+    @property
+    def heights(self) -> np.ndarray:
+        """Current configuration (h(sink) ≡ 0 by construction)."""
+        return np.asarray([b.height for b in self.buffers], dtype=np.int64)
+
+    def _inject(self, sites: tuple[int, ...]) -> None:
+        for s in sites:
+            pkt = Packet(
+                pid=self._next_pid, origin=s, birth_step=self.step_index
+            )
+            self._next_pid += 1
+            self.buffers[s].push(pkt)
+        self.metrics.injected += len(sites)
+
+    def _forward(self, counts: np.ndarray) -> int:
+        """Apply simultaneous moves; returns packets delivered."""
+        sink = self.topology.sink
+        moving: list[tuple[int, Packet]] = []
+        for v in np.flatnonzero(counts):
+            v = int(v)
+            k = int(counts[v])
+            if self.validate:
+                if v == sink:
+                    raise SimulationError("the sink cannot forward packets")
+                if k > self.capacity:
+                    raise SimulationError(
+                        f"node {v} sent {k} > capacity {self.capacity}"
+                    )
+                if k > self.buffers[v].height:
+                    raise SimulationError(
+                        f"node {v} sent {k} from height {self.buffers[v].height}"
+                    )
+            dest = int(self.topology.succ[v])
+            for _ in range(k):
+                moving.append((dest, self.buffers[v].pop()))
+        delivered = 0
+        for dest, pkt in moving:
+            pkt.hops += 1
+            if dest == sink:
+                pkt.delivered_step = self.step_index
+                self.delivered_packets.append(pkt)
+                self.metrics.delays.record(pkt.delay)
+                delivered += 1
+            else:
+                self.buffers[dest].push(pkt)
+        self.metrics.delivered += delivered
+        return delivered
+
+    def step(self, injections: tuple[int, ...] | None = None) -> None:
+        """Advance one round.
+
+        ``injections`` overrides the adversary for this step (used by
+        orchestrating adversaries such as the Theorem 3.1 attack).
+        """
+        h_before = self.heights
+        if injections is not None:
+            sites = validate_injections(
+                injections, self.topology, self.injection_limit
+            )
+        elif self.adversary is not None:
+            sites = validate_injections(
+                self.adversary.inject(self.step_index, h_before, self.topology),
+                self.topology,
+                self.injection_limit,
+            )
+        else:
+            sites = ()
+        self.policy.observe_injections(sites)
+
+        if self.decision_timing == "pre_injection":
+            counts = self.policy.send_counts(
+                h_before, self.topology, self.capacity
+            )
+            self._inject(sites)
+        else:
+            self._inject(sites)
+            counts = self.policy.send_counts(
+                self.heights, self.topology, self.capacity
+            )
+        delivered = self._forward(counts)
+
+        self.step_index += 1
+        h_after = self.heights
+        self.metrics.observe(self.step_index, h_after)
+        if self.validate:
+            self.assert_conservation(h_after)
+        if self.trace is not None:
+            self.trace.append(
+                StepRecord(
+                    step=self.step_index - 1,
+                    heights_before=h_before,
+                    injections=sites,
+                    sends=np.asarray(counts, dtype=np.int64),
+                    heights_after=h_after,
+                    delivered=delivered,
+                )
+            )
+
+    def run(self, steps: int) -> RunResult:
+        """Advance ``steps`` rounds and return a summary."""
+        for _ in range(steps):
+            self.step()
+        return self.result()
+
+    def result(self) -> RunResult:
+        h = self.heights
+        return RunResult(
+            steps=self.step_index,
+            max_height=self.metrics.max_height,
+            argmax_node=self.metrics.tracker.argmax_node,
+            argmax_step=self.metrics.tracker.argmax_step,
+            injected=self.metrics.injected,
+            delivered=self.metrics.delivered,
+            in_flight=int(h.sum()),
+            delay_summary=self.metrics.delays.summary(),
+        )
+
+    # ------------------------------------------------------------------
+    def assert_conservation(self, heights: np.ndarray | None = None) -> None:
+        """Zero-loss invariant: injected == delivered + buffered."""
+        h = self.heights if heights is None else heights
+        in_flight = int(h.sum())
+        if self.metrics.injected != self.metrics.delivered + in_flight:
+            raise ConservationViolation(
+                f"injected={self.metrics.injected} != delivered="
+                f"{self.metrics.delivered} + in_flight={in_flight}"
+            )
+
+    @property
+    def max_height(self) -> int:
+        return self.metrics.max_height
+
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> dict[str, Any]:
+        """Deep snapshot (packets included) for scenario rollback."""
+        return {
+            "buffers": copy.deepcopy(self.buffers),
+            "step": self.step_index,
+            "next_pid": self._next_pid,
+            "delivered_packets": copy.deepcopy(self.delivered_packets),
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def restore(self, cp: dict[str, Any]) -> None:
+        """Roll back to a previous :meth:`checkpoint`."""
+        self.buffers = copy.deepcopy(cp["buffers"])
+        self.step_index = cp["step"]
+        self._next_pid = cp["next_pid"]
+        self.delivered_packets = copy.deepcopy(cp["delivered_packets"])
+        self.metrics.restore(cp["metrics"])

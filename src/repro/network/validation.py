@@ -1,0 +1,148 @@
+"""Standalone invariant checkers over step traces.
+
+The engines validate online; these functions re-verify recorded
+:class:`~repro.network.events.StepRecord` traces after the fact, which
+is what the test-suite and the certifier use to audit a run
+independently of the engine that produced it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .events import StepRecord
+from .topology import Topology
+from ..errors import (
+    CapacityViolation,
+    ConservationViolation,
+    RateViolation,
+    SimulationError,
+)
+
+__all__ = [
+    "validate_injections",
+    "check_step_record",
+    "check_trace",
+]
+
+
+def validate_injections(
+    sites, topology: Topology, limit: int
+) -> tuple[int, ...]:
+    """Check an injection batch against the model constraints.
+
+    Raises
+    ------
+    RateViolation
+        If more than ``limit`` packets are injected, a site is out of
+        range, or the adversary targets the sink (which consumes
+        instantly, so injecting there is a modelling error, not a
+        strategy).
+    """
+    sites = tuple(int(s) for s in sites)
+    if len(sites) > limit:
+        raise RateViolation(
+            f"adversary injected {len(sites)} packets; rate limit is {limit}"
+        )
+    for s in sites:
+        if not 0 <= s < topology.n:
+            raise RateViolation(f"injection site {s} out of range")
+        if s == topology.sink:
+            raise RateViolation("injection at the sink is not allowed")
+    return sites
+
+
+def check_step_record(
+    record: StepRecord,
+    topology: Topology,
+    capacity: int,
+    decision_timing: str = "pre_injection",
+) -> None:
+    """Audit a single step record against the §2 model.
+
+    Verifies the rate constraint, per-link capacity, send feasibility
+    (no sends from buffers that were empty at decision time) and that
+    the before/after configurations are consistent with the recorded
+    moves.
+    """
+    n = topology.n
+    before = np.asarray(record.heights_before, dtype=np.int64)
+    after = np.asarray(record.heights_after, dtype=np.int64)
+    sends = np.asarray(record.sends, dtype=np.int64)
+    if before.shape != (n,) or after.shape != (n,) or sends.shape != (n,):
+        raise SimulationError("record arrays have wrong shape")
+
+    if len(record.injections) > capacity:
+        raise RateViolation(
+            f"step {record.step}: {len(record.injections)} injections > c={capacity}"
+        )
+    for s in record.injections:
+        if not 0 <= s < n or s == topology.sink:
+            raise RateViolation(f"step {record.step}: bad injection site {s}")
+
+    if sends.min(initial=0) < 0 or sends.max(initial=0) > capacity:
+        raise CapacityViolation(
+            f"step {record.step}: a link carried more than c={capacity} packets"
+        )
+    if sends[topology.sink] != 0:
+        raise SimulationError(f"step {record.step}: the sink forwarded a packet")
+
+    inj = np.zeros(n, dtype=np.int64)
+    for s in record.injections:
+        inj[s] += 1
+    available = before if decision_timing == "pre_injection" else before + inj
+    if (sends > available).any():
+        raise SimulationError(
+            f"step {record.step}: send from an empty buffer"
+        )
+
+    recv = np.zeros(n, dtype=np.int64)
+    delivered = 0
+    for v in range(n):
+        k = int(sends[v])
+        if k == 0:
+            continue
+        dest = int(topology.succ[v])
+        if dest == topology.sink:
+            delivered += k
+        else:
+            recv[dest] += k
+    expected = before + inj - sends + recv
+    expected[topology.sink] = 0
+    if (expected != after).any():
+        raise ConservationViolation(
+            f"step {record.step}: configuration inconsistent with moves"
+        )
+    if delivered != record.delivered:
+        raise ConservationViolation(
+            f"step {record.step}: delivered count mismatch "
+            f"({delivered} != {record.delivered})"
+        )
+
+
+def check_trace(
+    records: Iterable[StepRecord],
+    topology: Topology,
+    capacity: int,
+    decision_timing: str = "pre_injection",
+) -> int:
+    """Audit a whole trace; returns the number of steps checked.
+
+    Also verifies the steps chain together (heights_after of step t
+    equals heights_before of step t+1).
+    """
+    prev_after: np.ndarray | None = None
+    count = 0
+    for rec in records:
+        check_step_record(rec, topology, capacity, decision_timing)
+        if prev_after is not None and (
+            np.asarray(rec.heights_before) != prev_after
+        ).any():
+            raise SimulationError(
+                f"step {rec.step}: trace does not chain with previous step"
+            )
+        prev_after = np.asarray(rec.heights_after)
+        count += 1
+    return count

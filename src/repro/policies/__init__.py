@@ -1,0 +1,57 @@
+"""Forwarding policies: the paper's algorithms and every baseline.
+
+=====================  ========  ===========  =====================================
+Policy                 Locality  Worst case   Source
+=====================  ========  ===========  =====================================
+Odd-Even               1-local   log₂ n + 3   paper Algorithm 1 / Theorem 4.13
+Tree Odd-Even          2-local   O(log n)     paper Algorithm 5 / Theorem 5.11
+Greedy                 0-local   Θ(n)         Rosén & Scalosub [23]
+Downhill               1-local   Ω(n)         Miller & Patt-Shamir [21]
+Downhill-or-Flat       1-local   Θ(√n)        paper Theorem 4.1
+Forward-If-Empty       1-local   unbounded    Miller & Patt-Shamir [21]
+Centralized trains     global    σ + 2        Miller & Patt-Shamir [21]
+Modular(m)             1-local   measured     ablation family (experiment E15)
+Height balancing       1-local   measured     undirected-path control (E11)
+=====================  ========  ===========  =====================================
+"""
+
+from .base import ForwardingPolicy, PairwisePolicy, locality_respected
+from .centralized import CentralizedTrainPolicy
+from .dag import DagGreedyPolicy, DagOddEvenPolicy
+from .downhill import DownhillOrFlatPolicy, DownhillPolicy
+from .fie import ForwardIfEmptyPolicy
+from .greedy import GreedyPolicy
+from .modular import ModularPolicy
+from .odd_even import OddEvenPolicy
+from .rate_c import ScaledOddEvenPolicy
+from .registry import POLICY_FACTORIES, available_policies, make_policy
+from .tree import TreeOddEvenPolicy, select_priority_children
+from .undirected import (
+    DirectedAsUndirected,
+    HeightBalancingPolicy,
+    UndirectedPathPolicy,
+)
+
+__all__ = [
+    "ForwardingPolicy",
+    "PairwisePolicy",
+    "locality_respected",
+    "OddEvenPolicy",
+    "TreeOddEvenPolicy",
+    "select_priority_children",
+    "GreedyPolicy",
+    "DownhillPolicy",
+    "DownhillOrFlatPolicy",
+    "ForwardIfEmptyPolicy",
+    "CentralizedTrainPolicy",
+    "DagOddEvenPolicy",
+    "DagGreedyPolicy",
+    "ModularPolicy",
+    "ScaledOddEvenPolicy",
+    "UndirectedPathPolicy",
+    "DirectedAsUndirected",
+    "HeightBalancingPolicy",
+    "POLICY_FACTORIES",
+    "make_policy",
+    "available_policies",
+]

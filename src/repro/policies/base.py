@@ -1,0 +1,167 @@
+"""Forwarding-policy abstractions.
+
+A *policy* (the paper's "scheduling policy" / "queueing discipline")
+decides, in every forwarding mini-step, which nodes send a packet to
+their successor.  All decisions in a step are simultaneous and are
+functions of the same height snapshot — the defining feature of the
+synchronous model of §2.
+
+Two decision granularities are supported:
+
+* :meth:`ForwardingPolicy.send_mask` — which nodes forward one packet
+  (capacity c = 1, the setting of the paper's algorithms);
+* :meth:`ForwardingPolicy.send_counts` — how many packets each node
+  forwards (for capacity c > 1 baselines and lower-bound experiments).
+
+Locality is *declared* metadata (``locality`` attribute).  Rather than
+slowing the hot loop with access guards, the test-suite verifies the
+declaration behaviourally: :func:`locality_respected` perturbs heights
+outside a node's ℓ-ball and asserts the node's decision is unchanged.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..errors import PolicyError
+from ..network.topology import Topology
+
+__all__ = [
+    "ForwardingPolicy",
+    "PairwisePolicy",
+    "locality_respected",
+]
+
+
+class ForwardingPolicy(ABC):
+    """Base class for all schedulers.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier used by the registry, CLI and reports.
+    locality:
+        ℓ such that decisions depend only on heights within hop
+        distance ℓ; ``None`` marks a centralized (global-view) policy.
+    max_capacity:
+        Largest link capacity the policy is defined for (``None`` means
+        any).  The paper's local algorithms assume ``c = 1``.
+    """
+
+    name: str = "abstract"
+    locality: int | None = None
+    max_capacity: int | None = None
+
+    def reset(self, topology: Topology) -> None:
+        """Hook called once before a run; stateful policies clear here."""
+
+    def observe_injections(self, sites: tuple[int, ...]) -> None:
+        """Called by the engine each step with that step's injection
+        sites, before decisions are requested.
+
+        Local policies ignore this (their information is the heights in
+        their ℓ-ball); the *centralized* train algorithm of [21] is
+        defined in terms of the injected packet's path and overrides it.
+        """
+
+    def check_capacity(self, capacity: int) -> None:
+        """Raise :class:`PolicyError` if ``capacity`` is unsupported."""
+        if capacity < 1:
+            raise PolicyError(f"capacity must be >= 1, got {capacity}")
+        if self.max_capacity is not None and capacity > self.max_capacity:
+            raise PolicyError(
+                f"policy {self.name!r} is defined for c <= "
+                f"{self.max_capacity}, got c = {capacity}"
+            )
+
+    @abstractmethod
+    def send_mask(self, heights: np.ndarray, topology: Topology) -> np.ndarray:
+        """Boolean array: ``mask[v]`` iff node ``v`` forwards one packet.
+
+        ``heights`` is the decision-time snapshot (length ``topology.n``,
+        with ``heights[sink] == 0``).  Implementations must never mark
+        the sink or an empty node as sending.
+        """
+
+    def send_counts(
+        self, heights: np.ndarray, topology: Topology, capacity: int
+    ) -> np.ndarray:
+        """Integer array of packets forwarded per node (≤ capacity).
+
+        The default is only valid for ``capacity == 1``; capacity-aware
+        policies (e.g. greedy) override it.
+        """
+        self.check_capacity(capacity)
+        if capacity != 1:
+            raise PolicyError(
+                f"policy {self.name!r} has no multi-packet rule; "
+                "override send_counts for c > 1"
+            )
+        return self.send_mask(heights, topology).astype(np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        loc = "centralized" if self.locality is None else f"{self.locality}-local"
+        return f"<{type(self).__name__} {self.name!r} ({loc})>"
+
+
+class PairwisePolicy(ForwardingPolicy):
+    """A 1-local policy whose rule compares ``h(v)`` with ``h(s(v))``.
+
+    Subclasses implement :meth:`forwards` as a vectorised predicate.
+    This covers Greedy, Downhill, Downhill-or-Flat, FIE and Odd-Even —
+    every local path algorithm discussed in §4 — and runs unchanged on
+    trees (where it becomes the 1-local strawman of experiment E8,
+    since it performs no sibling arbitration).
+    """
+
+    locality: int | None = 1
+
+    @abstractmethod
+    def forwards(self, h_v: np.ndarray, h_succ: np.ndarray) -> np.ndarray:
+        """Vectorised rule: does a node of height ``h_v`` forward to a
+        successor of height ``h_succ``?  Emptiness (``h_v == 0``) is
+        handled by the caller and need not be checked here."""
+
+    def send_mask(self, heights: np.ndarray, topology: Topology) -> np.ndarray:
+        succ = topology.succ
+        # heights[succ] is junk for the sink (succ == -1 wraps); masked out.
+        h_succ = heights[succ]
+        mask = (heights > 0) & self.forwards(heights, h_succ)
+        mask[topology.sink] = False
+        return mask
+
+
+def locality_respected(
+    policy: ForwardingPolicy,
+    topology: Topology,
+    heights: np.ndarray,
+    node: int,
+    rng: np.random.Generator,
+    trials: int = 8,
+    max_height: int = 12,
+) -> bool:
+    """Behavioural locality check used by the test-suite.
+
+    Randomly rewrites heights *outside* ``node``'s ℓ-ball and reports
+    whether the node's decision ever changed.  Centralized policies
+    (``locality is None``) vacuously pass.
+    """
+    if policy.locality is None:
+        return True
+    ball = topology.ball(node, policy.locality)
+    outside = np.asarray(
+        [v for v in range(topology.n) if v not in ball and v != topology.sink],
+        dtype=np.int64,
+    )
+    base = policy.send_mask(heights, topology)[node]
+    if outside.size == 0:
+        return True
+    for _ in range(trials):
+        h = heights.copy()
+        h[outside] = rng.integers(0, max_height + 1, size=outside.size)
+        h[topology.sink] = 0
+        if policy.send_mask(h, topology)[node] != base:
+            return False
+    return True

@@ -1,0 +1,75 @@
+"""Centralized train-forwarding algorithm of Miller & Patt-Shamir [21].
+
+The paper's introduction contrasts its *local* Θ(log n) algorithm with
+the *centralized* constant-buffer algorithm of [21]: with injection
+rate ρ (= link capacity) and burstiness σ, buffers of size σ + 2ρ
+suffice.  The algorithm is "unavoidably centralized, relying on
+simultaneously forwarding long *trains* of packets", and (footnote 1 of
+the paper) for ρ > 1 it must be run as ρ separate single-packet
+activations rather than one ρ-packet train.
+
+Mechanism implemented here, for ρ = c = 1 on arbitrary in-trees:
+
+* when the adversary injects a packet at node t, the algorithm
+  *activates* the path from t to the sink — every non-empty node on it
+  forwards one packet, simultaneously (a train);
+* each injected packet in a σ-burst triggers its own activation (a node
+  can still forward at most c = 1 per step, so colliding trains stall
+  behind one another — the σ term of the bound);
+* on injection-free steps one pulse is fired from the deepest non-empty
+  node, purely for work conservation (it cannot raise any buffer).
+
+Why buffers stay at σ + 2: a node on an activated path that holds a
+packet sends one and receives at most one — no growth; an empty node
+receives at most one per activation; only the injected node nets +1,
+and it is also the head of its own activation.  Global knowledge of the
+injection site is exactly what a local algorithm cannot have — which is
+why Theorem 3.1 applies to everything else in this library and not to
+this policy (``locality = None``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ForwardingPolicy
+from ..network.topology import Topology
+
+__all__ = ["CentralizedTrainPolicy"]
+
+
+class CentralizedTrainPolicy(ForwardingPolicy):
+    """Injection-path activation (the [21] constant-buffer algorithm)."""
+
+    name = "centralized-train"
+    locality = None  # centralized
+    max_capacity = 1
+
+    def __init__(self) -> None:
+        self._pending: tuple[int, ...] = ()
+
+    def reset(self, topology: Topology) -> None:
+        self._pending = ()
+
+    def observe_injections(self, sites: tuple[int, ...]) -> None:
+        self._pending = tuple(sites)
+
+    def send_mask(self, heights: np.ndarray, topology: Topology) -> np.ndarray:
+        mask = np.zeros(topology.n, dtype=bool)
+        starts = list(dict.fromkeys(self._pending))  # dedupe, keep order
+        self._pending = ()
+        if not starts:
+            nonempty = np.flatnonzero(heights > 0)
+            if nonempty.size == 0:
+                return mask
+            depths = topology.depth[nonempty]
+            starts = [int(nonempty[int(np.argmax(depths))])]
+        for start in starts:
+            u = int(start)
+            while u != topology.sink:
+                if heights[u] > 0:
+                    mask[u] = True
+                u = int(topology.succ[u])
+        return mask
+    # Note: a node appearing on several activated paths still sends at
+    # most one packet (mask is boolean) — the c = 1 link capacity.

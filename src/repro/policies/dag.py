@@ -1,0 +1,63 @@
+"""DAG forwarding policies (the §6 "arbitrary routing patterns" probe).
+
+*DAG Odd-Even* applies the two-line rule against the **lowest**
+out-neighbour: among v's out-edges pick the neighbour u with minimal
+height (ties towards smaller depth, then id); forward iff the parity
+rule h-odd → h(u) ≤ h(v) / h-even → h(u) < h(v) passes.  Choosing the
+minimum gives the rule its best chance — if it blocks, every out-edge
+blocks, exactly like the single-successor case.
+
+*DAG Greedy* forwards whenever possible to the lowest out-neighbour —
+the work-conserving baseline.
+
+Both are 1-local (heights of out-neighbours only).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..network.dag import DagTopology
+from ..network.dag_engine import DagPolicy
+
+__all__ = ["DagOddEvenPolicy", "DagGreedyPolicy"]
+
+
+def _lowest_out_neighbour(
+    v: int, heights: np.ndarray, dag: DagTopology
+) -> int:
+    outs = dag.out_edges[v]
+    return min(outs, key=lambda u: (heights[u], dag.depth[u], u))
+
+
+class DagOddEvenPolicy(DagPolicy):
+    """Odd-Even towards the lowest out-neighbour."""
+
+    name = "dag-odd-even"
+    locality = 1
+
+    def choose(self, heights: np.ndarray, dag: DagTopology) -> np.ndarray:
+        targets = np.full(dag.n, -1, dtype=np.int64)
+        for v in range(dag.n):
+            if v == dag.sink or heights[v] == 0:
+                continue
+            u = _lowest_out_neighbour(v, heights, dag)
+            h, hu = int(heights[v]), int(heights[u])
+            if (h % 2 == 1 and hu <= h) or (h % 2 == 0 and hu < h):
+                targets[v] = u
+        return targets
+
+
+class DagGreedyPolicy(DagPolicy):
+    """Always forward, to the lowest out-neighbour."""
+
+    name = "dag-greedy"
+    locality = 1
+
+    def choose(self, heights: np.ndarray, dag: DagTopology) -> np.ndarray:
+        targets = np.full(dag.n, -1, dtype=np.int64)
+        for v in range(dag.n):
+            if v == dag.sink or heights[v] == 0:
+                continue
+            targets[v] = _lowest_out_neighbour(v, heights, dag)
+        return targets

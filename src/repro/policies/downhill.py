@@ -1,0 +1,42 @@
+"""Downhill and Downhill-or-Flat baselines (§4, Theorem 4.1).
+
+*Downhill* (from Miller & Patt-Shamir [21]) forwards only when the
+successor's buffer is *strictly* smaller; [21] shows it needs Ω(n)
+buffers in the worst case (packets freeze on a flat profile, so a
+left-end injection stream piles into a staircase).
+
+*Downhill-or-Flat* relaxes the rule to "equal or smaller".  Theorem 4.1
+states this already improves the worst case to Θ(√n) — the stepping
+stone between the linear baselines and the Θ(log n) Odd-Even rule.
+Experiment E5 exhibits both directions of the Θ(√n) bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import PairwisePolicy
+
+__all__ = ["DownhillPolicy", "DownhillOrFlatPolicy"]
+
+
+class DownhillPolicy(PairwisePolicy):
+    """Forward iff ``h(s(v)) < h(v)`` (strict descent). Ω(n) worst case."""
+
+    name = "downhill"
+    locality = 1
+    max_capacity = 1
+
+    def forwards(self, h_v: np.ndarray, h_succ: np.ndarray) -> np.ndarray:
+        return h_succ < h_v
+
+
+class DownhillOrFlatPolicy(PairwisePolicy):
+    """Forward iff ``h(s(v)) <= h(v)``. Θ(√n) worst case (Theorem 4.1)."""
+
+    name = "downhill-or-flat"
+    locality = 1
+    max_capacity = 1
+
+    def forwards(self, h_v: np.ndarray, h_succ: np.ndarray) -> np.ndarray:
+        return h_succ <= h_v

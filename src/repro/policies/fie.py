@@ -1,0 +1,33 @@
+"""Local Forward-If-Empty (FIE) baseline.
+
+The *local* reading of Forward-If-Empty — forward a packet iff the
+successor's buffer is currently empty — is one of the local algorithms
+analysed by Miller & Patt-Shamir [21] and shown there to admit
+unbounded buffers in the worst case: a left-end injection stream can
+only progress every other step (the successor must first drain), so the
+inflow (rate 1) exceeds the sustainable outflow (rate ½) and the
+injected node's buffer grows without bound.
+
+Experiment E1 reproduces exactly that failure mode.  The *centralized*
+train-forwarding repair from [21] lives in
+:mod:`repro.policies.centralized`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import PairwisePolicy
+
+__all__ = ["ForwardIfEmptyPolicy"]
+
+
+class ForwardIfEmptyPolicy(PairwisePolicy):
+    """Forward iff the successor's buffer is empty. Unbounded worst case."""
+
+    name = "fie"
+    locality = 1
+    max_capacity = 1
+
+    def forwards(self, h_v: np.ndarray, h_succ: np.ndarray) -> np.ndarray:
+        return h_succ == 0

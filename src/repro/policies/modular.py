@@ -1,0 +1,57 @@
+"""Modular generalisation of Odd-Even — the ablation family (E15).
+
+Odd-Even partitions heights into two residue classes mod 2 and assigns
+the permissive rule ("forward on flat or downhill") to one class and
+the restrictive rule ("forward only downhill") to the other.  A natural
+question for the ablation study is whether the *specific* choice of
+modulus 2 matters:
+
+* ``ModularPolicy(1, permissive_residues=())`` ≡ Downhill (always
+  restrictive): Ω(n).
+* ``ModularPolicy(1, permissive_residues=(0,))`` ≡ Downhill-or-Flat
+  (always permissive): Θ(√n) (Theorem 4.1).
+* ``ModularPolicy(2, permissive_residues=(1,))`` ≡ Odd-Even: Θ(log n)
+  (Theorem 4.13).
+* larger moduli / other residue sets: measured by experiment E15; the
+  paper's proof machinery (attachment Rules 3–4 tie parity to guardian
+  *direction*) is specific to m = 2, and E15 shows empirically that the
+  m = 2 alternation is what buys the exponential-cost hierarchy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from .base import PairwisePolicy
+from ..errors import PolicyError
+
+__all__ = ["ModularPolicy"]
+
+
+class ModularPolicy(PairwisePolicy):
+    """Forward on flat iff ``h(v) mod m`` is in a permissive set.
+
+    A node of height ``h`` forwards iff ``h(s(v)) < h(v)``, or
+    ``h(s(v)) == h(v)`` and ``h(v) mod m ∈ permissive_residues``.
+    """
+
+    locality = 1
+    max_capacity = 1
+
+    def __init__(self, modulus: int, permissive_residues: Iterable[int] = (1,)):
+        if modulus < 1:
+            raise PolicyError("modulus must be >= 1")
+        residues = sorted({int(r) % modulus for r in permissive_residues})
+        self.modulus = int(modulus)
+        self.permissive_residues = tuple(residues)
+        self._lookup = np.zeros(self.modulus, dtype=bool)
+        for r in residues:
+            self._lookup[r] = True
+        res = ",".join(map(str, residues)) or "-"
+        self.name = f"modular(m={modulus};flat@{res})"
+
+    def forwards(self, h_v: np.ndarray, h_succ: np.ndarray) -> np.ndarray:
+        permissive = self._lookup[h_v % self.modulus]
+        return (h_succ < h_v) | (permissive & (h_succ == h_v))

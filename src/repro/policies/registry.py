@@ -1,0 +1,58 @@
+"""Name → policy factory registry.
+
+Used by the CLI, the experiment harness and the benchmarks so that a
+policy can be selected by a stable string name.  Parametrised policies
+register a canonical default; construct variants directly for sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import ForwardingPolicy
+from .centralized import CentralizedTrainPolicy
+from .downhill import DownhillOrFlatPolicy, DownhillPolicy
+from .fie import ForwardIfEmptyPolicy
+from .greedy import GreedyPolicy
+from .modular import ModularPolicy
+from .odd_even import OddEvenPolicy
+from .rate_c import ScaledOddEvenPolicy
+from .tree import TreeOddEvenPolicy
+from ..errors import PolicyError
+
+__all__ = ["POLICY_FACTORIES", "make_policy", "available_policies"]
+
+POLICY_FACTORIES: dict[str, Callable[[], ForwardingPolicy]] = {
+    "odd-even": OddEvenPolicy,
+    "greedy": GreedyPolicy,
+    "downhill": DownhillPolicy,
+    "downhill-or-flat": DownhillOrFlatPolicy,
+    "fie": ForwardIfEmptyPolicy,
+    "centralized-train": CentralizedTrainPolicy,
+    "tree-odd-even": TreeOddEvenPolicy,
+    "modular-3": lambda: ModularPolicy(3, (1,)),
+    "scaled-odd-even-2": lambda: ScaledOddEvenPolicy(2),
+    "modular-4": lambda: ModularPolicy(4, (1, 3)),
+}
+
+
+def make_policy(name: str) -> ForwardingPolicy:
+    """Instantiate a registered policy by name.
+
+    Raises
+    ------
+    PolicyError
+        If the name is unknown (the message lists the valid options).
+    """
+    try:
+        factory = POLICY_FACTORIES[name]
+    except KeyError:
+        raise PolicyError(
+            f"unknown policy {name!r}; known: {', '.join(sorted(POLICY_FACTORIES))}"
+        ) from None
+    return factory()
+
+
+def available_policies() -> tuple[str, ...]:
+    """Sorted names of all registered policies."""
+    return tuple(sorted(POLICY_FACTORIES))

@@ -1,0 +1,116 @@
+"""Algorithm 5 — the 2-local Tree policy (§5).
+
+A straightforward generalisation of Odd-Even to directed in-trees:
+
+    If the height ``h`` of the node is odd, forward a packet to your
+    successor iff its height is at most ``h`` *and you have the highest
+    priority among your siblings*; if ``h`` is even, the same with
+    "strictly less than ``h``".
+
+The priority scheme completing the algorithm: *a sibling with a higher
+height has higher priority; among siblings of the same maximal height,
+choose arbitrarily.*  Consequently at most one packet enters any
+*intersection* (node of in-degree ≥ 2) per step, and the tree
+decomposes into *lines* whose analysis reduces to the path case with
+crossover matching pairs (Algorithm 6).
+
+Reading sibling heights requires information two hops away (sibling →
+parent → node), hence ``locality = 2``.  Theorem 5.11: buffers stay
+O(log n); the certified constant is 2·log₂ n + O(1) because the tree
+attachment scheme only tracks even-height residues.
+
+Tie-breaking among equal-height siblings is "arbitrary" in the paper;
+we make it configurable (and deterministic by default) because the
+reproduction must be replayable.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from .base import ForwardingPolicy
+from ..errors import PolicyError
+from ..network.topology import Topology
+
+__all__ = ["TreeOddEvenPolicy", "select_priority_children"]
+
+TieRule = Literal["min_id", "max_id", "round_robin"]
+
+
+def select_priority_children(
+    heights: np.ndarray,
+    topology: Topology,
+    tie_rule: TieRule = "min_id",
+    rotation: int = 0,
+) -> np.ndarray:
+    """For every node, the id of its highest-priority child, or -1.
+
+    The highest-priority child is the occupied child of maximal height
+    (ties per ``tie_rule``); -1 if the node has no occupied child.
+    This is shared with the tree-matching certifier (Algorithm 6),
+    which must reconstruct the same priority lines the policy used.
+    """
+    n = topology.n
+    winner = np.full(n, -1, dtype=np.int64)
+    for v in range(n):
+        kids = topology.children[v]
+        if not kids:
+            continue
+        best = -1
+        best_h = 0
+        candidates: list[int] = []
+        for cnode in kids:
+            hc = int(heights[cnode])
+            if hc > best_h:
+                best_h = hc
+                candidates = [cnode]
+            elif hc == best_h and hc > 0:
+                candidates.append(cnode)
+        if not candidates:
+            continue
+        if tie_rule == "min_id":
+            best = min(candidates)
+        elif tie_rule == "max_id":
+            best = max(candidates)
+        elif tie_rule == "round_robin":
+            best = candidates[rotation % len(candidates)]
+        else:  # pragma: no cover - guarded by Literal
+            raise PolicyError(f"unknown tie rule {tie_rule!r}")
+        winner[v] = best
+    return winner
+
+
+class TreeOddEvenPolicy(ForwardingPolicy):
+    """Odd-Even with height-priority sibling arbitration (Algorithm 5)."""
+
+    name = "tree-odd-even"
+    locality = 2
+    max_capacity = 1
+
+    def __init__(self, tie_rule: TieRule = "min_id") -> None:
+        if tie_rule not in ("min_id", "max_id", "round_robin"):
+            raise PolicyError(f"unknown tie rule {tie_rule!r}")
+        self.tie_rule: TieRule = tie_rule
+        self._rotation = 0
+
+    def reset(self, topology: Topology) -> None:
+        self._rotation = 0
+
+    def send_mask(self, heights: np.ndarray, topology: Topology) -> np.ndarray:
+        winner = select_priority_children(
+            heights, topology, self.tie_rule, self._rotation
+        )
+        if self.tie_rule == "round_robin":
+            self._rotation += 1
+        mask = np.zeros(topology.n, dtype=bool)
+        for v in winner[winner >= 0]:
+            v = int(v)
+            h = int(heights[v])
+            h_parent = int(heights[topology.succ[v]])
+            if h & 1:
+                mask[v] = h_parent <= h
+            else:
+                mask[v] = h_parent < h
+        return mask

@@ -1,0 +1,115 @@
+"""Bidirectional policies for *undirected* paths (Theorem 3.3 / E11).
+
+Theorem 3.3 states that allowing packets to travel away from the sink
+does not break the Ω(c·log n/ℓ) barrier (it only buys a constant
+factor ≈ 4).  To exercise that claim we need at least one reasonable
+bidirectional algorithm to attack with the recursive adversary.
+
+The model (following Kothapalli & Scheideler [17], §1.1, adapted to our
+weaker adversary): in each forwarding mini-step a node may send at most
+one packet to its successor (towards the sink) *and* at most one packet
+to its predecessor (away from it); each directed half of an undirected
+edge has capacity 1.
+
+Policies implement :meth:`UndirectedPathPolicy.send_directions`, which
+returns a (rightwards, leftwards) pair of masks over path positions
+(position 0 = far end, position n-1 = sink).  They are executed by
+:class:`repro.network.engine_fast.UndirectedPathEngine`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = [
+    "UndirectedPathPolicy",
+    "DirectedAsUndirected",
+    "HeightBalancingPolicy",
+]
+
+
+class UndirectedPathPolicy(ABC):
+    """Base class for bidirectional path policies.
+
+    Attributes mirror :class:`repro.policies.base.ForwardingPolicy`.
+    """
+
+    name: str = "abstract-undirected"
+    locality: int | None = 1
+    max_capacity: int | None = 1
+
+    def reset(self, n: int) -> None:
+        """Hook called once before a run."""
+
+    @abstractmethod
+    def send_directions(
+        self, heights: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(right, left)`` boolean masks over positions.
+
+        ``heights`` is indexed by path position (0 = far end); the sink
+        is the last position with height pinned to 0.  ``right[i]``
+        forwards a packet to position ``i+1``; ``left[i]`` to ``i-1``.
+        The engine clears impossible sends (empty buffers, the sink,
+        position 0 sending left) and enforces that a node holding a
+        single packet cannot send in both directions.
+        """
+
+
+class DirectedAsUndirected(UndirectedPathPolicy):
+    """Control policy: run a pairwise directed rule, never send left."""
+
+    locality = 1
+
+    def __init__(self, directed_policy) -> None:
+        self._policy = directed_policy
+        self.name = f"undirected({directed_policy.name})"
+
+    def send_directions(self, heights):
+        h_succ = np.empty_like(heights)
+        h_succ[:-1] = heights[1:]
+        h_succ[-1] = 0
+        right = (heights > 0) & self._policy.forwards(heights, h_succ)
+        right[-1] = False
+        return right, np.zeros_like(right)
+
+
+class HeightBalancingPolicy(UndirectedPathPolicy):
+    """Odd-Even towards the sink, plus strict backpressure diffusion.
+
+    Rightwards the rule is exactly Odd-Even.  Leftwards a node sheds a
+    packet when its predecessor is lower by at least ``slack`` — the
+    "balance in both directions" idea of [17] with hysteresis so that
+    packets do not ping-pong (a packet sent left lands on a buffer that
+    is still at least ``slack - 2`` below its source, so the pair
+    cannot immediately bounce it back).
+    """
+
+    locality = 1
+
+    def __init__(self, slack: int = 3) -> None:
+        if slack < 2:
+            raise ValueError("slack < 2 would allow packets to ping-pong")
+        self.slack = int(slack)
+        self.name = f"height-balancing(slack={slack})"
+
+    def send_directions(self, heights):
+        n = heights.size
+        h_succ = np.empty_like(heights)
+        h_succ[:-1] = heights[1:]
+        h_succ[-1] = 0
+        odd = (heights & 1) == 1
+        right = (heights > 0) & np.where(
+            odd, h_succ <= heights, h_succ < heights
+        )
+        right[-1] = False
+
+        h_pred = np.empty_like(heights)
+        h_pred[1:] = heights[:-1]
+        h_pred[0] = 2**31  # sentinel far above any height: end never sends left
+        left = (heights > 0) & (h_pred + self.slack <= heights)
+        left[0] = False
+        left[-1] = False  # the sink consumes; it never re-emits
+        return right, left

@@ -1,0 +1,24 @@
+"""Text-based visualisation: ASCII charts and re-renders of the
+paper's Figures 1–3 from live certifier state."""
+
+from .ascii import height_profile, series_plot, sparkline
+from .dag_render import render_dag, render_dag_profile
+from .attachment_render import (
+    render_configuration,
+    render_node_attachments,
+    render_pair_processing,
+)
+from .tree_render import render_tree, render_tree_matching
+
+__all__ = [
+    "height_profile",
+    "series_plot",
+    "sparkline",
+    "render_dag",
+    "render_dag_profile",
+    "render_configuration",
+    "render_node_attachments",
+    "render_pair_processing",
+    "render_tree",
+    "render_tree_matching",
+]

@@ -1,0 +1,125 @@
+"""ASCII charts (no plotting libraries are available offline).
+
+Three chart kinds cover everything the experiments report:
+
+* :func:`height_profile` — a bar chart of the current configuration,
+  the view used throughout the paper's figures;
+* :func:`series_plot` — y-vs-x scatter for scaling figures (optionally
+  log₂-scaled x), with multiple labelled series;
+* :func:`sparkline` — a one-line occupancy history.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["height_profile", "series_plot", "sparkline"]
+
+_SPARK_CHARS = " ▁▂▃▄▅▆▇█"
+
+
+def height_profile(
+    heights: Sequence[int],
+    *,
+    max_rows: int = 12,
+    label: str | None = None,
+) -> str:
+    """Vertical bar chart of a height configuration.
+
+    Positions run left (far end) to right (sink side); each column is
+    one node.  If the tallest buffer exceeds ``max_rows`` the chart is
+    re-scaled and annotated.
+    """
+    h = np.asarray(heights, dtype=np.int64)
+    if h.size == 0:
+        return "(empty configuration)"
+    peak = int(h.max())
+    scale = 1
+    if peak > max_rows:
+        scale = math.ceil(peak / max_rows)
+    rows = max(1, math.ceil(peak / scale)) if peak > 0 else 1
+    lines: list[str] = []
+    if label:
+        lines.append(label)
+    for r in range(rows, 0, -1):
+        threshold = r * scale
+        row = "".join("█" if v >= threshold else " " for v in h)
+        lines.append(f"{threshold:>4d} |{row}|")
+    lines.append("     +" + "-" * h.size + "+")
+    if scale > 1:
+        lines.append(f"     (1 row = {scale} packets)")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[int | float]) -> str:
+    """One-line mini chart of a series (e.g. max height over time)."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        return ""
+    lo, hi = float(v.min()), float(v.max())
+    if hi == lo:
+        return _SPARK_CHARS[1] * v.size
+    idx = ((v - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1)).astype(int)
+    return "".join(_SPARK_CHARS[i] for i in idx)
+
+
+def series_plot(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 64,
+    height: int = 18,
+    log2_x: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str | None = None,
+) -> str:
+    """Scatter plot of one or more named series on shared axes.
+
+    Each series is an ``(xs, ys)`` pair; series markers cycle through
+    ``*+ox#%&@``.  With ``log2_x`` the x axis is log₂-scaled — the
+    natural axis for the paper's "max height vs log n" figures.
+    """
+    markers = "*+ox#%&@"
+    pts: list[tuple[float, float, str]] = []
+    legend: list[str] = []
+    for i, (name, (xs, ys)) in enumerate(series.items()):
+        m = markers[i % len(markers)]
+        legend.append(f"{m} = {name}")
+        for x, y in zip(xs, ys):
+            fx = math.log2(x) if log2_x else float(x)
+            pts.append((fx, float(y), m))
+    if not pts:
+        return "(no data)"
+
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1
+    if y_hi == y_lo:
+        y_hi = y_lo + 1
+
+    grid = [[" "] * width for _ in range(height)]
+    for fx, fy, m in pts:
+        col = int((fx - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = int((fy - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = m
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        y_val = y_hi - (y_hi - y_lo) * r / (height - 1)
+        prefix = f"{y_val:>8.1f} |" if r % 3 == 0 else "         |"
+        lines.append(prefix + "".join(row))
+    lines.append("         +" + "-" * width)
+    x_axis = f"{x_lo:.1f}".ljust(width // 2) + f"{x_hi:.1f}".rjust(width // 2)
+    lines.append("          " + x_axis)
+    x_name = f"log2({x_label})" if log2_x else x_label
+    lines.append(f"          x: {x_name}, y: {y_label}")
+    lines.extend("          " + l for l in legend)
+    return "\n".join(lines)

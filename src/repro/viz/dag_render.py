@@ -1,0 +1,49 @@
+"""ASCII rendering for single-sink DAGs (E17 artefacts).
+
+Draws the DAG by depth layer with per-node heights and the edge lists —
+enough to read off where congestion sits and how much path diversity a
+family offers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..network.dag import DagTopology
+
+__all__ = ["render_dag", "render_dag_profile"]
+
+
+def render_dag(dag: DagTopology, heights: np.ndarray | None = None) -> str:
+    """Layered listing: one row per shortest-path depth."""
+    by_depth: dict[int, list[int]] = {}
+    for v in range(dag.n):
+        by_depth.setdefault(int(dag.depth[v]), []).append(v)
+    lines = [
+        f"single-sink DAG: {dag.n} nodes, {dag.edge_count} edges, "
+        f"depth {int(dag.depth.max())}"
+    ]
+    for d in sorted(by_depth, reverse=True):
+        cells = []
+        for v in sorted(by_depth[d]):
+            h = f"(h={int(heights[v])})" if heights is not None else ""
+            outs = ",".join(f"n{u}" for u in dag.out_edges[v])
+            arrow = f"->[{outs}]" if outs else " (sink)"
+            cells.append(f"n{v}{h}{arrow}")
+        lines.append(f"  depth {d:>2d}: " + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def render_dag_profile(dag: DagTopology, heights: np.ndarray) -> str:
+    """Per-depth occupancy summary (total and max height per layer)."""
+    heights = np.asarray(heights, dtype=np.int64)
+    lines = ["occupancy by depth layer:"]
+    for d in sorted(set(int(x) for x in dag.depth), reverse=True):
+        members = np.flatnonzero(dag.depth == d)
+        layer = heights[members]
+        bar = "#" * int(layer.sum())
+        lines.append(
+            f"  depth {d:>2d}: total={int(layer.sum()):>3d} "
+            f"max={int(layer.max()):>2d} {bar}"
+        )
+    return "\n".join(lines)

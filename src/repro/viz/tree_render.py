@@ -1,0 +1,65 @@
+"""Regenerate the paper's Figure 3: tree matchings with crossovers.
+
+Draws the round's line decomposition and matching from live certifier
+state: each priority line on its own row, blocked intersections marked,
+crossover pairs listed with their tips — the content of Figure 3
+produced from an actual Algorithm 6 run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.tree_matching import LineDecomposition, TreeMatching
+from ..network.topology import Topology
+
+__all__ = ["render_tree", "render_tree_matching"]
+
+
+def render_tree(topology: Topology, heights: np.ndarray | None = None) -> str:
+    """Indented tree drawing rooted at the sink (heights annotated)."""
+    lines: list[str] = []
+
+    def rec(v: int, depth: int) -> None:
+        h = f" h={int(heights[v])}" if heights is not None else ""
+        tag = " (sink)" if v == topology.sink else ""
+        lines.append("  " * depth + f"n{v}{tag}{h}")
+        for c in topology.children[v]:
+            rec(c, depth + 1)
+
+    rec(topology.sink, 0)
+    return "\n".join(lines)
+
+
+def render_tree_matching(
+    topology: Topology,
+    decomposition: LineDecomposition,
+    matching: TreeMatching,
+    heights: np.ndarray,
+) -> str:
+    """Figure 3 style: lines, the drain, and all (crossover) pairs."""
+    out: list[str] = ["priority lines (start → end):"]
+    for i, line in enumerate(decomposition.lines):
+        tag = "  <- drain" if i == decomposition.drain else ""
+        end_succ = int(topology.succ[line[-1]])
+        blocked = (
+            f" (blocks at n{end_succ})"
+            if i != decomposition.drain and end_succ != -1
+            else ""
+        )
+        nodes = " -> ".join(f"n{v}(h={int(heights[v])})" for v in line)
+        out.append(f"  L{i}: {nodes}{blocked}{tag}")
+    out.append("matching:")
+    for p in matching.pairs:
+        if p.crossover:
+            out.append(
+                f"  crossover (d=n{p.down}, u=n{p.up}) via tip n{p.tip}"
+            )
+        else:
+            out.append(f"  pair (d=n{p.down}, u=n{p.up})")
+    if matching.unmatched is not None:
+        out.append(
+            f"  unmatched: n{matching.unmatched} "
+            f"({matching.unmatched_kind.name.lower()})"
+        )
+    return "\n".join(out)

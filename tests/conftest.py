@@ -1,0 +1,31 @@
+"""Shared fixtures for the repro test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.topology import balanced_tree, path, spider
+
+
+@pytest.fixture
+def small_path():
+    """A 9-node directed path (8 buffering positions + sink)."""
+    return path(9)
+
+
+@pytest.fixture
+def small_spider():
+    """A 3-arm spider with arm length 3 (hub + sink + 9 arm nodes)."""
+    return spider(3, 3)
+
+
+@pytest.fixture
+def small_binary():
+    """A complete binary tree of depth 3 (15 nodes)."""
+    return balanced_tree(2, 3)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,64 @@
+"""Integration tests: the runnable examples and repo tools."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def run_script(*args: str, timeout: int = 300) -> str:
+    proc = subprocess.run(
+        [sys.executable, *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=REPO,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart_small(self):
+        out = run_script("examples/quickstart.py", "64")
+        assert "odd-even" in out
+        assert "greedy" in out
+        assert "certified run" in out and "OK" in out
+
+    def test_quickstart_ordering(self):
+        out = run_script("examples/quickstart.py", "64")
+        # greedy's buffer exceeds odd-even's by an order of magnitude
+        lines = {l.split(":")[0].strip(): l for l in out.splitlines()
+                 if "max buffer" in l}
+        greedy = int(lines["greedy"].split("=")[1].split("(")[0])
+        oddeven = int(lines["odd-even"].split("=")[1].split("(")[0])
+        assert greedy > 5 * oddeven
+
+
+class TestExperimentsMdGenerator:
+    def test_generates_markdown(self, tmp_path):
+        record = {
+            "experiment_id": "E1",
+            "title": "t",
+            "paper_claim": "c",
+            "headers": ["a"],
+            "rows": [[1.5]],
+            "passed": True,
+            "preset": "full",
+            "notes": ["note-1"],
+            "artifacts": {},
+            "params": {},
+        }
+        (tmp_path / "e1.json").write_text(json.dumps(record))
+        out = run_script("tools/generate_experiments_md.py", str(tmp_path))
+        assert "# EXPERIMENTS" in out
+        assert "## E1 — t [PASS]" in out
+        assert "| 1.5 |" in out
+        assert "- note-1" in out
+        assert "1/1 experiments pass" in out

@@ -1,0 +1,75 @@
+"""Integration tests for the experiment harness.
+
+The cheap experiments run end-to-end at the quick preset and must pass
+their shape assertions; the expensive ones are exercised by the
+benchmark harness instead (benchmarks/), so here we only verify their
+metadata and registry wiring.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    EXPERIMENTS,
+    all_experiment_ids,
+    get_experiment,
+    standard_suite,
+)
+from repro.io.results import ExperimentResult
+
+
+class TestRegistry:
+    def test_experiment_count(self):
+        assert len(EXPERIMENTS) == 18
+
+    def test_ids_are_numeric_order(self):
+        ids = all_experiment_ids()
+        assert ids[0] == "E1" and ids[-1] == "E18"
+
+    def test_case_insensitive_lookup(self):
+        assert get_experiment("e7").id == "E7"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("E99")
+
+    def test_every_experiment_has_metadata(self):
+        for eid in all_experiment_ids():
+            exp = get_experiment(eid)
+            assert exp.title and exp.claim and exp.paper_ref
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("E4").run("gigantic")
+
+    def test_suite_has_nine_archetypes(self):
+        assert len(standard_suite()) == 9
+
+
+@pytest.mark.parametrize("eid", ["E4", "E6", "E8", "E13", "E14", "E17"])
+class TestQuickRuns:
+    def test_runs_and_passes(self, eid):
+        result = get_experiment(eid).run("quick")
+        assert isinstance(result, ExperimentResult)
+        assert result.passed, result.to_text()
+        assert result.rows
+        assert result.headers
+
+
+class TestResultShape:
+    def test_e4_rows_cover_all_deltas(self):
+        res = get_experiment("E4").run("quick")
+        deltas = [row[1] for row in res.rows]
+        assert deltas == res.params["deltas"]
+
+    def test_e13_artifacts_render_figures(self):
+        res = get_experiment("E13").run("quick")
+        assert any("figure 1" in k for k in res.artifacts)
+        assert any("figure 2" in k for k in res.artifacts)
+
+    def test_e14_figure3_artifact(self):
+        res = get_experiment("E14").run("quick")
+        art = res.artifacts["figure 3 (crossover round)"]
+        assert "crossover" in art

@@ -1,0 +1,72 @@
+"""Soak tests: long certified runs and cross-engine consistency at
+larger scales than the unit tests use.  These are the closest thing to
+the paper's "for any input stream" quantifier that a test can afford.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversaries import (
+    PhasedAdversary,
+    PressureAdversary,
+    SeesawAdversary,
+    TreeSeesawAdversary,
+    UniformRandomAdversary,
+)
+from repro.core.certificate import certify_path_run
+from repro.core.tree_certificate import certify_tree_run
+from repro.network.topology import broom, caterpillar, random_tree, spider
+
+
+class TestLongCertifiedPaths:
+    def test_ten_thousand_random_rounds(self):
+        rep = certify_path_run(
+            48, UniformRandomAdversary(seed=99), 10_000, validate_every=25
+        )
+        assert rep.certified and rep.rounds == 10_000
+
+    def test_phase_switching_traffic(self):
+        adv = PhasedAdversary(
+            [
+                (500, SeesawAdversary(fill=40)),
+                (500, PressureAdversary()),
+                (500, UniformRandomAdversary(seed=3)),
+            ]
+        )
+        rep = certify_path_run(40, adv, 3_000, validate_every=10)
+        assert rep.certified
+
+    def test_residues_accumulate_under_pressure(self):
+        rep = certify_path_run(64, SeesawAdversary(), 4_000,
+                               validate_every=20)
+        assert rep.certified
+        # the seesaw is too weak to build tall nodes against Odd-Even,
+        # so the residue population stays small as well
+        assert rep.max_residues <= 8
+
+
+class TestTreeFamiliesCertify:
+    @pytest.mark.parametrize(
+        "topo_factory",
+        [
+            lambda: spider(5, 5),
+            lambda: caterpillar(10, 2),
+            lambda: broom(8, 6),
+            lambda: random_tree(48, seed=21),
+        ],
+        ids=["spider", "caterpillar", "broom", "random"],
+    )
+    def test_certified_long_runs(self, topo_factory):
+        topo = topo_factory()
+        for adv in (TreeSeesawAdversary(), UniformRandomAdversary(seed=7)):
+            rep = certify_tree_run(topo, adv, 1_500, validate_every=25)
+            assert rep.certified, (topo, adv.name)
+
+    def test_round_robin_tie_rule_long_run(self):
+        rep = certify_tree_run(
+            spider(4, 4), UniformRandomAdversary(seed=13), 2_000,
+            tie_rule="round_robin", validate_every=25,
+        )
+        assert rep.certified

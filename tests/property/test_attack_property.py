@@ -1,0 +1,84 @@
+"""Property-based tests of the Theorem 3.1 attack driver."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.adversaries import RecursiveLowerBoundAttack
+from repro.core.bounds import (
+    attack_schedule_length,
+    odd_even_upper_bound,
+    theorem_3_1_lower_bound,
+)
+from repro.network.engine_fast import PathEngine
+from repro.policies import (
+    DownhillOrFlatPolicy,
+    DownhillPolicy,
+    GreedyPolicy,
+    OddEvenPolicy,
+)
+
+POLICIES = st.sampled_from(
+    [OddEvenPolicy, GreedyPolicy, DownhillPolicy, DownhillOrFlatPolicy]
+)
+
+
+@st.composite
+def attack_case(draw):
+    ell = draw(st.integers(1, 3))
+    # n must allow at least one halving stage: buffering >= 2*ell
+    n = draw(st.integers(4 * ell + 1, 300))
+    policy_cls = draw(POLICIES)
+    return n, ell, policy_cls
+
+
+@given(attack_case())
+@settings(max_examples=50, deadline=None)
+def test_attack_postconditions(case):
+    """For any size, locality and policy: the attack meets its
+    closed-form prediction, consumes exactly its scheduled number of
+    steps, and its stage densities are monotone and on-target."""
+    n, ell, policy_cls = case
+    engine = PathEngine(n, policy_cls(), None)
+    rep = RecursiveLowerBoundAttack(ell=ell).run(engine)
+
+    assert rep.forced_height >= rep.predicted
+    assert rep.predicted == theorem_3_1_lower_bound(n, 1, ell)
+    assert engine.step_index == attack_schedule_length(n, ell)
+
+    densities = [s.density for s in rep.stages]
+    assert densities == sorted(densities)
+    for s in rep.stages:
+        assert s.density >= s.target_density - 1e-9
+
+    sizes = [s.block_size for s in rep.stages]
+    assert all(a == 2 * b for a, b in zip(sizes, sizes[1:]))
+    assert sizes[-1] < 4 * ell  # loop ran until the block got small
+
+    # blocks stay within the buffering positions
+    for s in rep.stages:
+        assert 0 <= s.block_start
+        assert s.block_start + s.block_size <= n - 1
+
+
+@given(st.integers(5, 200))
+@settings(max_examples=40, deadline=None)
+def test_attack_never_beats_odd_even_bound(n):
+    """Theorem 4.13 from the adversary's side: the strongest generic
+    attack cannot push Odd-Even past log2 n + 3 at any size."""
+    engine = PathEngine(n, OddEvenPolicy(), None)
+    rep = RecursiveLowerBoundAttack(ell=1).run(engine)
+    assert rep.forced_height <= odd_even_upper_bound(n)
+
+
+@given(st.integers(9, 150), st.integers(0, 6))
+@settings(max_examples=30, deadline=None)
+def test_burst_is_exactly_additive_on_odd_even(n, delta):
+    """Corollary 3.2: against Odd-Even the δ-burst adds at least δ."""
+    base = RecursiveLowerBoundAttack(ell=1).run(
+        PathEngine(n, OddEvenPolicy(), None)
+    )
+    burst = RecursiveLowerBoundAttack(ell=1, burst_delta=delta).run(
+        PathEngine(n, OddEvenPolicy(), None, injection_limit=1 + delta)
+    )
+    assert burst.forced_height >= base.forced_height + delta

@@ -1,0 +1,190 @@
+"""Property-based tests of the §2 model invariants.
+
+Hypothesis drives random (policy, adversary, topology) combinations and
+asserts the things that must hold for *every* execution: conservation,
+capacity compliance, non-negative heights, and the equivalence of the
+two engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.adversaries import ScheduleAdversary
+from repro.network.engine_fast import PathEngine
+from repro.network.events import TraceRecorder
+from repro.network.simulator import Simulator
+from repro.network.topology import path, random_tree
+from repro.network.validation import check_trace
+from repro.policies import (
+    DownhillOrFlatPolicy,
+    DownhillPolicy,
+    ForwardIfEmptyPolicy,
+    GreedyPolicy,
+    OddEvenPolicy,
+    TreeOddEvenPolicy,
+)
+
+POLICIES = st.sampled_from(
+    [OddEvenPolicy, GreedyPolicy, DownhillPolicy, DownhillOrFlatPolicy,
+     ForwardIfEmptyPolicy]
+)
+
+
+def schedule_strategy(n_nodes: int, steps: int):
+    """A random rate-1 injection schedule over non-sink nodes."""
+    return st.lists(
+        st.one_of(st.none(), st.integers(0, n_nodes - 2)),
+        min_size=steps,
+        max_size=steps,
+    )
+
+
+@st.composite
+def path_run(draw):
+    n = draw(st.integers(4, 24))
+    steps = draw(st.integers(1, 60))
+    sched = draw(schedule_strategy(n, steps))
+    policy_cls = draw(POLICIES)
+    timing = draw(st.sampled_from(["pre_injection", "post_injection"]))
+    return n, steps, sched, policy_cls, timing
+
+
+def as_adversary(sched):
+    return ScheduleAdversary(
+        {i: (s,) for i, s in enumerate(sched) if s is not None}
+    )
+
+
+@given(path_run())
+@settings(max_examples=60, deadline=None)
+def test_conservation_and_capacity_on_paths(run):
+    n, steps, sched, policy_cls, timing = run
+    trace = TraceRecorder()
+    engine = PathEngine(
+        n, policy_cls(), as_adversary(sched),
+        decision_timing=timing, trace=trace, validate=True,
+    )
+    engine.run(steps)
+    assert (engine.heights >= 0).all()
+    engine.assert_conservation()
+    assert check_trace(trace, engine.topology, 1, timing) == steps
+
+
+@given(path_run())
+@settings(max_examples=40, deadline=None)
+def test_engines_produce_identical_trajectories(run):
+    """The numpy engine and the packet simulator are the same model."""
+    n, steps, sched, policy_cls, timing = run
+    fast = PathEngine(
+        n, policy_cls(), as_adversary(sched), decision_timing=timing
+    )
+    slow = Simulator(
+        path(n), policy_cls(), as_adversary(sched), decision_timing=timing
+    )
+    for _ in range(steps):
+        fast.step()
+        slow.step()
+        assert (fast.heights == slow.heights).all()
+    assert fast.metrics.delivered == slow.metrics.delivered
+    assert fast.max_height == slow.max_height
+
+
+@given(
+    n=st.integers(5, 20),
+    seed=st.integers(0, 10_000),
+    steps=st.integers(1, 50),
+    data=st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_tree_simulation_invariants(n, seed, steps, data):
+    topo = random_tree(n, seed=seed)
+    sched = data.draw(schedule_strategy(n + 1, steps))
+    # remap: avoid the sink (node 0) by shifting
+    sched = [None if s is None else (s % (n - 1)) + 1 for s in sched]
+    trace = TraceRecorder()
+    sim = Simulator(
+        topo, TreeOddEvenPolicy(), as_adversary(sched),
+        trace=trace, validate=True,
+    )
+    sim.run(steps)
+    assert (sim.heights >= 0).all()
+    sim.assert_conservation()
+    assert check_trace(trace, topo, 1) == steps
+    # Algorithm 5: at most one packet enters any node per step
+    for rec in trace:
+        for v in range(topo.n):
+            senders = sum(
+                1 for c in topo.children[v] if rec.sends[c] > 0
+            )
+            assert senders <= 1
+
+
+@given(path_run())
+@settings(max_examples=30, deadline=None)
+def test_checkpoint_restore_is_lossless(run):
+    n, steps, sched, policy_cls, timing = run
+    engine = PathEngine(
+        n, policy_cls(), as_adversary(sched), decision_timing=timing
+    )
+    half = steps // 2
+    engine.run(half)
+    cp = engine.checkpoint()
+    engine.run(steps - half)
+    final_a = engine.heights.copy()
+    delivered_a = engine.metrics.delivered
+    engine.restore(cp)
+    engine.run(steps - half)
+    assert (engine.heights == final_a).all()
+    assert engine.metrics.delivered == delivered_a
+
+
+@given(
+    n=st.integers(4, 20),
+    steps=st.integers(1, 80),
+    slack=st.integers(2, 5),
+    data=st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_undirected_engine_invariants(n, steps, slack, data):
+    """Conservation and non-negativity on the bidirectional engine."""
+    from repro.network.engine_fast import UndirectedPathEngine
+    from repro.policies.undirected import HeightBalancingPolicy
+
+    sched = data.draw(schedule_strategy(n, steps))
+    engine = UndirectedPathEngine(
+        n, HeightBalancingPolicy(slack=slack), as_adversary(sched)
+    )
+    engine.run(steps)
+    assert (engine.heights >= 0).all()
+    assert engine.heights[-1] == 0
+    assert engine.metrics.injected == engine.metrics.delivered + int(
+        engine.heights.sum()
+    )
+
+
+@given(
+    rho=st.sampled_from([0.25, 0.5, 1.0]),
+    sigma=st.integers(0, 5),
+    greedy=st.booleans(),
+    steps=st.integers(1, 120),
+)
+@settings(max_examples=60, deadline=None)
+def test_token_bucket_window_property(rho, sigma, greedy, steps):
+    """Any window of t steps carries at most ceil(rho*t) + sigma + 1
+    packets (the +1 covers fractional-rate token rounding)."""
+    from repro.adversaries import FarEndAdversary, TokenBucketAdversary
+
+    topo = path(12)
+    adv = TokenBucketAdversary(
+        FarEndAdversary(), rho=rho, sigma=sigma, greedy=greedy
+    )
+    adv.reset(topo, sigma + 2)
+    h = np.zeros(12, dtype=np.int64)
+    counts = [len(adv.inject(s, h, topo)) for s in range(steps)]
+    for start in range(len(counts)):
+        running = 0
+        for width, c in enumerate(counts[start:], start=1):
+            running += c
+            assert running <= int(np.ceil(rho * width)) + sigma + 1

@@ -1,0 +1,105 @@
+"""Property-based tests of the policy rules themselves."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.network.topology import path
+from repro.policies import (
+    DownhillOrFlatPolicy,
+    DownhillPolicy,
+    GreedyPolicy,
+    ModularPolicy,
+    OddEvenPolicy,
+    locality_respected,
+)
+from repro.policies.rate_c import ScaledOddEvenPolicy
+
+
+@st.composite
+def height_profile(draw):
+    n = draw(st.integers(3, 24))
+    h = draw(
+        st.lists(st.integers(0, 9), min_size=n, max_size=n)
+    )
+    h[-1] = 0  # the sink
+    return np.asarray(h, dtype=np.int64)
+
+
+@given(height_profile())
+@settings(max_examples=200, deadline=None)
+def test_permissiveness_lattice(h):
+    """Downhill ⊆ Odd-Even ⊆ Downhill-or-Flat ⊆ Greedy, pointwise.
+
+    Odd-Even interpolates exactly between the strict and the permissive
+    rule — restrictive on even heights, permissive on odd ones — so its
+    send set sits between theirs on *every* configuration.
+    """
+    topo = path(h.size)
+    down = DownhillPolicy().send_mask(h, topo)
+    oe = OddEvenPolicy().send_mask(h, topo)
+    dof = DownhillOrFlatPolicy().send_mask(h, topo)
+    greedy = GreedyPolicy().send_mask(h, topo)
+    assert not (down & ~oe).any()
+    assert not (oe & ~dof).any()
+    assert not (dof & ~greedy).any()
+
+
+@given(height_profile())
+@settings(max_examples=100, deadline=None)
+def test_no_policy_sends_from_empty_or_sink(h):
+    topo = path(h.size)
+    for policy in (DownhillPolicy(), OddEvenPolicy(),
+                   DownhillOrFlatPolicy(), GreedyPolicy(),
+                   ModularPolicy(3, (1, 2)), ScaledOddEvenPolicy(1)):
+        mask = policy.send_mask(h, topo)
+        assert not mask[h == 0].any()
+        assert not mask[topo.sink]
+
+
+@given(height_profile())
+@settings(max_examples=100, deadline=None)
+def test_odd_even_is_modular_two(h):
+    topo = path(h.size)
+    assert (
+        OddEvenPolicy().send_mask(h, topo)
+        == ModularPolicy(2, (1,)).send_mask(h, topo)
+    ).all()
+
+
+@given(height_profile())
+@settings(max_examples=100, deadline=None)
+def test_scaled_c1_is_odd_even(h):
+    topo = path(h.size)
+    assert (
+        ScaledOddEvenPolicy(1).send_mask(h, topo)
+        == OddEvenPolicy().send_mask(h, topo)
+    ).all()
+
+
+@given(height_profile(), st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_declared_locality_holds(h, seed):
+    topo = path(h.size)
+    rng = np.random.default_rng(seed)
+    node = int(rng.integers(0, h.size - 1))
+    for policy in (OddEvenPolicy(), DownhillPolicy(),
+                   DownhillOrFlatPolicy(), ScaledOddEvenPolicy(1)):
+        assert locality_respected(policy, topo, h, node, rng, trials=4)
+
+
+@given(height_profile())
+@settings(max_examples=100, deadline=None)
+def test_odd_even_blocked_only_when_taller_or_even_equal(h):
+    """Inverse characterisation of the two-line rule."""
+    topo = path(h.size)
+    mask = OddEvenPolicy().send_mask(h, topo)
+    succ_h = np.append(h[1:], 0)
+    for i in range(h.size - 1):
+        if h[i] == 0:
+            continue
+        blocked = not mask[i]
+        taller = succ_h[i] > h[i]
+        even_equal = (h[i] % 2 == 0) and succ_h[i] == h[i]
+        assert blocked == (taller or even_equal)

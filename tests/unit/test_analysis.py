@@ -1,0 +1,183 @@
+"""Unit tests for the analysis layer: fits, occupancy, stability, delay."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.adversaries import (
+    FarEndAdversary,
+    SeesawAdversary,
+    UniformRandomAdversary,
+)
+from repro.analysis import (
+    GrowthClass,
+    classify_growth,
+    default_step_budget,
+    fit_log,
+    fit_power,
+    measure_delays,
+    measure_path,
+    probe_stability,
+    worst_case_over_suite,
+)
+from repro.policies import (
+    ForwardIfEmptyPolicy,
+    GreedyPolicy,
+    OddEvenPolicy,
+)
+
+
+class TestFits:
+    NS = [2**k for k in range(4, 12)]
+
+    def test_power_fit_recovers_exponent(self):
+        ys = [3.0 * n**0.5 for n in self.NS]
+        fit = fit_power(self.NS, ys)
+        assert fit.exponent == pytest.approx(0.5, abs=0.01)
+        assert fit.coefficient == pytest.approx(3.0, rel=0.05)
+        assert fit.r_squared > 0.999
+
+    def test_log_fit_recovers_slope(self):
+        ys = [2.0 * math.log2(n) + 1.0 for n in self.NS]
+        fit = fit_log(self.NS, ys)
+        assert fit.slope == pytest.approx(2.0, abs=0.01)
+        assert fit.intercept == pytest.approx(1.0, abs=0.1)
+
+    def test_predict_roundtrip(self):
+        ys = [n * 0.5 for n in self.NS]
+        fit = fit_power(self.NS, ys)
+        assert fit.predict(64) == pytest.approx(32.0, rel=0.05)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_power([1, 2], [1, 2])
+
+    def test_classify_log_series(self):
+        ys = [math.log2(n) + 3 for n in self.NS]
+        cls, _, _ = classify_growth(self.NS, ys)
+        assert cls is GrowthClass.LOGARITHMIC
+
+    def test_classify_sqrt_series(self):
+        ys = [1.5 * math.sqrt(n) for n in self.NS]
+        cls, _, _ = classify_growth(self.NS, ys)
+        assert cls is GrowthClass.SQRT
+
+    def test_classify_linear_series(self):
+        ys = [0.5 * n for n in self.NS]
+        cls, _, _ = classify_growth(self.NS, ys)
+        assert cls is GrowthClass.LINEAR
+
+    def test_classify_constant_series(self):
+        cls, _, _ = classify_growth(self.NS, [7.0] * len(self.NS))
+        assert cls is GrowthClass.CONSTANT
+
+    def test_classify_odd_power(self):
+        ys = [n**0.75 for n in self.NS]
+        cls, fit, _ = classify_growth(self.NS, ys)
+        assert cls is GrowthClass.POWER
+        assert fit.exponent == pytest.approx(0.75, abs=0.05)
+
+    def test_noisy_integer_log_series(self):
+        # integer-rounded log data (what measurements actually look like)
+        ys = [round(math.log2(n)) + 3 for n in self.NS]
+        cls, _, _ = classify_growth(self.NS, ys)
+        assert cls is GrowthClass.LOGARITHMIC
+
+
+class TestOccupancy:
+    def test_measure_path_summary(self):
+        res = measure_path(32, GreedyPolicy(), FarEndAdversary(), 100)
+        assert res.n == 32 and res.steps == 100
+        assert res.injected == 100
+        assert res.max_height >= 1
+
+    def test_default_budget_scales(self):
+        assert default_step_budget(100) == 1600
+
+    def test_worst_case_picks_maximum(self):
+        suite = [FarEndAdversary(), SeesawAdversary()]
+        worst = worst_case_over_suite(64, GreedyPolicy, suite, 256)
+        assert worst.adversary == SeesawAdversary().name
+
+    def test_worst_case_empty_suite_rejected(self):
+        with pytest.raises(ValueError):
+            worst_case_over_suite(16, GreedyPolicy, [], 10)
+
+
+class TestStability:
+    def test_odd_even_stable(self):
+        verdict = probe_stability(
+            24, OddEvenPolicy(), UniformRandomAdversary(seed=1), doublings=3
+        )
+        assert verdict.stable
+        assert verdict.growth_rate <= 0.01
+
+    def test_fie_unstable(self):
+        verdict = probe_stability(
+            16, ForwardIfEmptyPolicy(), FarEndAdversary(), doublings=3
+        )
+        assert not verdict.stable
+        assert verdict.growth_rate > 0.2
+
+    def test_horizons_double(self):
+        v = probe_stability(
+            16, OddEvenPolicy(), FarEndAdversary(), base_horizon=32,
+            doublings=3,
+        )
+        assert v.horizons == (32, 64, 128)
+
+    def test_requires_two_doublings(self):
+        with pytest.raises(ValueError):
+            probe_stability(16, OddEvenPolicy(), FarEndAdversary(),
+                            doublings=1)
+
+
+class TestDelay:
+    def test_delays_at_least_distance(self):
+        res = measure_delays(
+            16, GreedyPolicy(), FarEndAdversary(), 100
+        )
+        # every packet travels the full path: delay >= n-1 - 1
+        assert res.p50 >= 14
+        assert res.delivered > 0
+
+    def test_drain_collects_stragglers(self):
+        res = measure_delays(
+            16, OddEvenPolicy(), UniformRandomAdversary(seed=2), 60,
+            drain=True,
+        )
+        assert res.delivered == 60  # everything injected got delivered
+
+    def test_no_drain_censors(self):
+        res = measure_delays(
+            16, OddEvenPolicy(), UniformRandomAdversary(seed=2), 60,
+            drain=False,
+        )
+        assert res.delivered <= 60
+
+
+class TestMeasureTree:
+    def test_summary_fields(self, small_spider):
+        from repro.analysis import measure_tree
+        from repro.adversaries import LeafSweepAdversary
+        from repro.policies import TreeOddEvenPolicy
+
+        res = measure_tree(
+            small_spider, TreeOddEvenPolicy(), LeafSweepAdversary(), 100
+        )
+        assert res.n == small_spider.n
+        assert res.injected == 100
+        assert res.max_height >= 1
+
+    def test_default_budget(self, small_spider):
+        from repro.analysis import measure_tree
+        from repro.adversaries import LeafSweepAdversary
+        from repro.policies import TreeOddEvenPolicy
+
+        res = measure_tree(
+            small_spider, TreeOddEvenPolicy(), LeafSweepAdversary()
+        )
+        assert res.steps == 16 * small_spider.n

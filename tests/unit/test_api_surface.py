@@ -1,0 +1,85 @@
+"""API-surface quality gates.
+
+Every name exported from ``repro.__all__`` must resolve, be documented,
+and be importable directly from the top-level package — the contract a
+downstream user relies on.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_no_private_names_exported(self):
+        # __version__ is the single sanctioned dunder
+        private = [n for n in repro.__all__
+                   if n.startswith("_") and n != "__version__"]
+        assert not private
+
+    @pytest.mark.parametrize("name", sorted(set(repro.__all__) - {"__version__"}))
+    def test_every_export_is_documented(self, name):
+        obj = getattr(repro, name)
+        doc = inspect.getdoc(obj)
+        assert doc and len(doc) > 10, f"{name} lacks a docstring"
+
+    def test_version_is_semver(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+    def test_subpackage_docstrings(self):
+        import repro.adversaries
+        import repro.analysis
+        import repro.core
+        import repro.experiments
+        import repro.io
+        import repro.network
+        import repro.policies
+        import repro.viz
+
+        for mod in (repro, repro.network, repro.policies, repro.adversaries,
+                    repro.core, repro.analysis, repro.experiments, repro.viz,
+                    repro.io):
+            assert mod.__doc__ and len(mod.__doc__) > 30
+
+
+class TestMultiPacketRuleGuard:
+    def test_mask_policy_rejects_c2_counts(self):
+        import numpy as np
+
+        from repro.errors import PolicyError
+        from repro.network.topology import path
+        from repro.policies import DownhillPolicy
+
+        # Downhill declares max_capacity=1, so check_capacity fires first
+        with pytest.raises(PolicyError):
+            DownhillPolicy().send_counts(
+                np.zeros(4, dtype=np.int64), path(4), capacity=2
+            )
+
+    def test_default_counts_need_override_for_c2(self):
+        import numpy as np
+
+        from repro.errors import PolicyError
+        from repro.network.topology import path
+        from repro.policies.base import PairwisePolicy
+
+        class NoCap(PairwisePolicy):
+            name = "nocap"
+            max_capacity = None
+
+            def forwards(self, h_v, h_succ):
+                return h_succ < h_v
+
+        with pytest.raises(PolicyError, match="multi-packet"):
+            NoCap().send_counts(
+                np.zeros(4, dtype=np.int64), path(4), capacity=2
+            )

@@ -1,0 +1,182 @@
+"""Unit tests for attachment schemes (Definitions 4.5/4.8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.attachment import AttachmentScheme, Slot
+from repro.errors import AttachmentError
+
+
+class TestSlot:
+    def test_valid_slot(self):
+        s = Slot(node=0, packet=5, level=3)
+        assert (s.packet, s.level) == (5, 3)
+
+    def test_packet_below_three_rejected(self):
+        with pytest.raises(AttachmentError):
+            Slot(0, 2, 1)
+
+    def test_level_above_packet_minus_two_rejected(self):
+        with pytest.raises(AttachmentError):
+            Slot(0, 4, 3)
+
+    def test_level_zero_rejected(self):
+        with pytest.raises(AttachmentError):
+            Slot(0, 4, 0)
+
+    def test_ordering_and_hash(self):
+        assert Slot(0, 3, 1) == Slot(0, 3, 1)
+        assert len({Slot(0, 3, 1), Slot(0, 3, 1), Slot(1, 3, 1)}) == 2
+
+
+class TestSchemeMutation:
+    def test_attach_and_query(self):
+        s = AttachmentScheme()
+        s.attach(Slot(0, 3, 1), 4)
+        assert s.residue_at(Slot(0, 3, 1)) == 4
+        assert s.guardian_of(4) == Slot(0, 3, 1)
+        assert s.is_residue(4)
+        assert len(s) == 1
+
+    def test_rule_2_slot_exclusive(self):
+        s = AttachmentScheme()
+        s.attach(Slot(0, 3, 1), 4)
+        with pytest.raises(AttachmentError):
+            s.attach(Slot(0, 3, 1), 5)
+
+    def test_rule_2_node_exclusive(self):
+        s = AttachmentScheme()
+        s.attach(Slot(0, 3, 1), 4)
+        with pytest.raises(AttachmentError):
+            s.attach(Slot(2, 3, 1), 4)
+
+    def test_self_attachment_rejected(self):
+        s = AttachmentScheme()
+        with pytest.raises(AttachmentError):
+            s.attach(Slot(3, 3, 1), 3)
+
+    def test_detach_slot_returns_node(self):
+        s = AttachmentScheme()
+        s.attach(Slot(0, 3, 1), 4)
+        assert s.detach_slot(Slot(0, 3, 1)) == 4
+        assert not s.is_residue(4)
+
+    def test_detach_node_returns_slot(self):
+        s = AttachmentScheme()
+        s.attach(Slot(0, 4, 2), 7)
+        assert s.detach_node(7) == Slot(0, 4, 2)
+
+    def test_detach_missing_raises(self):
+        s = AttachmentScheme()
+        with pytest.raises(AttachmentError):
+            s.detach_slot(Slot(0, 3, 1))
+        with pytest.raises(AttachmentError):
+            s.detach_node(9)
+
+    def test_even_only_rejects_odd_levels(self):
+        s = AttachmentScheme(even_only=True)
+        with pytest.raises(AttachmentError):
+            s.attach(Slot(0, 3, 1), 4)
+        s.attach(Slot(0, 4, 2), 4)  # even level fine
+
+    def test_copy_is_independent(self):
+        s = AttachmentScheme()
+        s.attach(Slot(0, 3, 1), 4)
+        c = s.copy()
+        c.detach_node(4)
+        assert s.is_residue(4) and not c.is_residue(4)
+
+    def test_slots_of(self):
+        s = AttachmentScheme()
+        s.attach(Slot(0, 3, 1), 4)
+        s.attach(Slot(0, 4, 1), 5)
+        s.attach(Slot(1, 3, 1), 6)
+        assert len(s.slots_of(0)) == 2
+
+
+class TestExpectedSlots:
+    def test_height_two_has_none(self):
+        assert AttachmentScheme().expected_slots(2) == []
+
+    def test_height_three(self):
+        assert AttachmentScheme().expected_slots(3) == [(3, 1)]
+
+    def test_height_five_count(self):
+        # packets 3,4,5 contribute 1+2+3 slots
+        assert len(AttachmentScheme().expected_slots(5)) == 6
+
+    def test_even_only_filters(self):
+        slots = AttachmentScheme(even_only=True).expected_slots(6)
+        assert all(j % 2 == 0 for _, j in slots)
+        assert (4, 2) in slots and (6, 4) in slots
+
+
+class TestValidation:
+    def _full_scheme_for(self, heights):
+        """Build a valid full scheme for a simple profile by hand."""
+        s = AttachmentScheme()
+        return s
+
+    def test_empty_scheme_validates_flat_config(self):
+        AttachmentScheme().validate(np.asarray([0, 1, 2, 0]))
+
+    def test_fullness_violation_detected(self):
+        s = AttachmentScheme()
+        with pytest.raises(AttachmentError, match="fullness"):
+            s.validate(np.asarray([0, 0, 3]))
+
+    def test_rule_1_height_mismatch(self):
+        s = AttachmentScheme()
+        s.attach(Slot(2, 3, 1), 0)
+        with pytest.raises(AttachmentError, match="Rule 1"):
+            s.validate(np.asarray([2, 1, 3]))  # residue 0 has height 2 != 1
+
+    def test_rule_3_even_residue_guarded_from_front(self):
+        s = AttachmentScheme()
+        s.attach(Slot(0, 4, 2), 2)  # guardian at 0, residue at 2: behind!
+        with pytest.raises(AttachmentError, match="Rule 3"):
+            s.validate(np.asarray([4, 2, 2]), check_between=False)
+
+    def test_rule_4_odd_residue_guarded_from_behind(self):
+        s = AttachmentScheme()
+        s.attach(Slot(2, 3, 1), 0)  # guardian at 2 (front), residue at 0: odd!
+        with pytest.raises(AttachmentError, match="Rule 4"):
+            s.validate(np.asarray([1, 1, 3]), check_between=False)
+
+    def test_rule_5_valley_between(self):
+        s = AttachmentScheme()
+        s.attach(Slot(0, 4, 2), 3)  # even residue 3 guarded... wrong side
+        s = AttachmentScheme()
+        s.attach(Slot(3, 4, 2), 0)
+        # wait: even residue must be guarded from the front -> guardian 3
+        with pytest.raises(AttachmentError, match="Rule 5"):
+            s.validate(
+                np.asarray([2, 0, 4, 4]), check_direction=True
+            )  # node 1 (h=0) sits below level 2 between 0 and 3
+
+    def test_valid_full_configuration_passes(self):
+        # single height-3 node at position 2 whose only slot guards the
+        # height-1 node in front of it (odd residue -> guardian behind)
+        s = AttachmentScheme()
+        s.attach(Slot(2, 3, 1), 3)
+        s.validate(np.asarray([0, 0, 3, 1, 0]))
+
+    def test_valid_full_height_four_configuration(self):
+        # height-4 node at position 3: slots (3,1), (4,1), (4,2);
+        # odd residues in front (rule 4), even residue behind... rule 3
+        # says even residue is guarded from the FRONT, so the height-2
+        # residue sits behind the guardian
+        s = AttachmentScheme()
+        s.attach(Slot(3, 3, 1), 4)
+        s.attach(Slot(3, 4, 1), 5)
+        s.attach(Slot(3, 4, 2), 1)
+        heights = np.asarray([0, 2, 2, 4, 1, 1, 0])
+        s.validate(heights)
+
+    def test_stale_slot_detected(self):
+        s = AttachmentScheme()
+        s.attach(Slot(1, 4, 2), 0)
+        with pytest.raises(AttachmentError, match="stale"):
+            s.validate(np.asarray([2, 3, 0]), check_direction=False)

@@ -1,0 +1,142 @@
+"""Unit tests for the closed-form theorem bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    centralized_upper_bound,
+    corollary_3_2_lower_bound,
+    downhill_or_flat_reference,
+    fie_growth_rate,
+    greedy_reference,
+    odd_even_upper_bound,
+    path_height_bound_from_residues,
+    path_residue_count,
+    theorem_3_1_lower_bound,
+    tree_residue_count,
+    tree_upper_bound,
+)
+
+
+class TestTheorem31:
+    def test_ell_one_formula(self):
+        # c(1 + (log n - 1)/2) for ell = 1
+        assert theorem_3_1_lower_bound(1024, 1, 1) == pytest.approx(
+            1 + (10 - 1) / 2
+        )
+
+    def test_scales_with_capacity(self):
+        assert theorem_3_1_lower_bound(256, 4, 1) == pytest.approx(
+            4 * theorem_3_1_lower_bound(256, 1, 1)
+        )
+
+    def test_decreases_with_locality(self):
+        vals = [theorem_3_1_lower_bound(4096, 1, ell) for ell in (1, 2, 4)]
+        assert vals[0] > vals[1] > vals[2]
+
+    def test_never_below_c(self):
+        assert theorem_3_1_lower_bound(4, 3, 8) >= 3
+
+    def test_grows_logarithmically(self):
+        a = theorem_3_1_lower_bound(2**10, 1, 1)
+        b = theorem_3_1_lower_bound(2**20, 1, 1)
+        assert b - a == pytest.approx(5.0)  # 10 extra bits / 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            theorem_3_1_lower_bound(1, 1, 1)
+        with pytest.raises(ValueError):
+            theorem_3_1_lower_bound(4, 0, 1)
+
+
+class TestCorollary32:
+    def test_adds_delta(self):
+        base = theorem_3_1_lower_bound(256, 1, 1)
+        assert corollary_3_2_lower_bound(256, 1, 1, 7) == base + 7
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            corollary_3_2_lower_bound(256, 1, 1, -1)
+
+
+class TestOddEvenUpper:
+    def test_formula(self):
+        assert odd_even_upper_bound(1024) == 13.0
+
+    def test_within_factor_two_of_lower_bound(self):
+        # §1.2: the 1-local upper bound is within a factor 2 of the
+        # lower bound, asymptotically
+        for k in (10, 16, 24):
+            n = 2**k
+            upper = odd_even_upper_bound(n)
+            lower = theorem_3_1_lower_bound(n, 1, 1)
+            assert upper / lower <= 2.5
+
+
+class TestResidueCounting:
+    def test_lemma_4_6_values(self):
+        assert [path_residue_count(p) for p in range(0, 7)] == [
+            0, 0, 0, 1, 3, 7, 15,
+        ]
+
+    def test_recurrence_one_plus_double(self):
+        for p in range(3, 12):
+            assert path_residue_count(p) == 1 + 2 * path_residue_count(p - 1)
+
+    def test_height_bound_inversion(self):
+        # largest m with 2^(m-2) - 1 <= n
+        assert path_height_bound_from_residues(1) == 3
+        assert path_height_bound_from_residues(2) == 3
+        assert path_height_bound_from_residues(3) == 4
+        assert path_height_bound_from_residues(1023) == 12
+
+    def test_inversion_below_lemma_4_7(self):
+        for n in (4, 16, 100, 1000, 10_000):
+            assert path_height_bound_from_residues(n) <= math.log2(n) + 3
+
+
+class TestTreeBounds:
+    def test_small_values(self):
+        assert tree_residue_count(3) == 0
+        assert tree_residue_count(4) == 1
+        assert tree_residue_count(5) == 2
+        assert tree_residue_count(6) == 5
+
+    def test_monotone(self):
+        vals = [tree_residue_count(p) for p in range(3, 20)]
+        assert vals == sorted(vals)
+
+    def test_exponential_growth(self):
+        # the even-only recurrence still grows geometrically
+        assert tree_residue_count(20) > 2 ** (20 / 2 - 2)
+
+    def test_tree_upper_bound_is_o_log(self):
+        for n in (16, 256, 4096, 65536):
+            assert tree_upper_bound(n) <= 2 * math.log2(n) + 5
+
+    def test_tree_bound_above_path_bound(self):
+        # tracking fewer residues can only weaken the bound
+        for n in (16, 256, 4096):
+            assert tree_upper_bound(n) >= path_height_bound_from_residues(n)
+
+
+class TestReferenceCurves:
+    def test_sqrt_reference(self):
+        assert downhill_or_flat_reference(144) == 12.0
+
+    def test_greedy_reference(self):
+        assert greedy_reference(100) == 50.0
+
+    def test_centralized(self):
+        assert centralized_upper_bound(3) == 5
+        assert centralized_upper_bound(0, rho=2) == 4
+
+    def test_centralized_invalid(self):
+        with pytest.raises(ValueError):
+            centralized_upper_bound(-1)
+
+    def test_fie_rate(self):
+        assert fie_growth_rate() == 0.5

@@ -1,0 +1,96 @@
+"""Unit tests for packets and buffer disciplines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.buffers import Buffer, Discipline
+from repro.network.packet import Packet
+
+
+def mk(pid: int) -> Packet:
+    return Packet(pid=pid, origin=0, birth_step=0)
+
+
+class TestPacket:
+    def test_in_flight_until_delivered(self):
+        p = mk(1)
+        assert p.in_flight
+        p.delivered_step = 5
+        assert not p.in_flight
+
+    def test_delay_none_in_flight(self):
+        assert mk(1).delay is None
+
+    def test_delay_computed(self):
+        p = Packet(pid=0, origin=3, birth_step=2)
+        p.delivered_step = 9
+        assert p.delay == 7
+
+    def test_hops_default_zero(self):
+        assert mk(0).hops == 0
+
+
+class TestBuffer:
+    def test_empty_height(self):
+        assert Buffer().height == 0
+
+    def test_bool_and_len(self):
+        b = Buffer()
+        assert not b
+        b.push(mk(1))
+        assert b and len(b) == 1
+
+    def test_fifo_order(self):
+        b = Buffer(Discipline.FIFO)
+        for i in range(3):
+            b.push(mk(i))
+        assert [b.pop().pid for _ in range(3)] == [0, 1, 2]
+
+    def test_lifo_order(self):
+        b = Buffer(Discipline.LIFO)
+        for i in range(3):
+            b.push(mk(i))
+        assert [b.pop().pid for _ in range(3)] == [2, 1, 0]
+
+    def test_discipline_from_string(self):
+        assert Buffer("lifo").discipline is Discipline.LIFO
+
+    def test_unknown_discipline_rejected(self):
+        with pytest.raises(ValueError):
+            Buffer("random")
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            Buffer().pop()
+
+    def test_peek_matches_next_pop_fifo(self):
+        b = Buffer()
+        b.push(mk(1))
+        b.push(mk(2))
+        assert b.peek().pid == b.pop().pid == 1
+
+    def test_peek_matches_next_pop_lifo(self):
+        b = Buffer("lifo")
+        b.push(mk(1))
+        b.push(mk(2))
+        assert b.peek().pid == b.pop().pid == 2
+
+    def test_snapshot_oldest_first(self):
+        b = Buffer("lifo")
+        for i in range(3):
+            b.push(mk(i))
+        assert [p.pid for p in b.snapshot()] == [0, 1, 2]
+
+    def test_clone_is_independent_container(self):
+        b = Buffer()
+        b.push(mk(1))
+        c = b.clone()
+        c.pop()
+        assert b.height == 1 and c.height == 0
+
+    def test_iter_yields_contents(self):
+        b = Buffer()
+        for i in range(4):
+            b.push(mk(i))
+        assert sorted(p.pid for p in b) == [0, 1, 2, 3]

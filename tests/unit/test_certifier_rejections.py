@@ -1,0 +1,117 @@
+"""Negative-path tests: the certifiers must *reject* executions that
+do not follow the certified dynamics.
+
+A certifier that accepts everything certifies nothing; these tests
+feed it corrupted or foreign height sequences and demand a
+CertificationError (or subclass) with a useful message.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.certificate import OddEvenCertifier
+from repro.errors import CertificationError
+from repro.network.engine_fast import PathEngine
+from repro.adversaries import FarEndAdversary, SeesawAdversary
+from repro.policies import (
+    DownhillOrFlatPolicy,
+    DownhillPolicy,
+    ForwardIfEmptyPolicy,
+    GreedyPolicy,
+)
+
+
+def feed(cert: OddEvenCertifier, rounds) -> None:
+    for after in rounds:
+        cert.observe(np.asarray(after, dtype=np.int64))
+
+
+class TestImpossibleDynamics:
+    def test_teleporting_packet_rejected(self):
+        cert = OddEvenCertifier(4)
+        with pytest.raises(CertificationError):
+            # two nodes up at once with no down anywhere
+            feed(cert, [[1, 0, 0, 1]])
+
+    def test_mass_creation_rejected(self):
+        cert = OddEvenCertifier(3)
+        with pytest.raises(CertificationError):
+            feed(cert, [[0, 3, 0]])
+
+    def test_double_drop_rejected(self):
+        cert = OddEvenCertifier(3)
+        # build height 2 legally: two leading-zero rounds, then a pair
+        feed(cert, [[1, 0, 0], [1, 1, 0], [0, 2, 0]])
+        with pytest.raises(CertificationError):
+            feed(cert, [[0, 0, 0]])  # height fell by 2 in one round
+
+    def test_up_without_matching_down_rejected(self):
+        cert = OddEvenCertifier(4)
+        feed(cert, [[0, 0, 1, 0]])
+        with pytest.raises(CertificationError):
+            # an up node with a non-empty front and nothing going down:
+            # not a leading-zero, so Claim 1 has no home for it
+            feed(cert, [[1, 0, 1, 0]])
+
+    def test_matching_level_soundness_not_send_feasibility(self):
+        """Documented scope: the certifier validates the *charging
+        accounting* (what bounds heights), not per-node send
+        feasibility — a down-up pair across a steady node is accepted
+        even though a physical node cannot relay in the same round.
+        The engine-level auditor (check_step_record) covers physical
+        feasibility separately."""
+        cert = OddEvenCertifier(4)
+        feed(cert, [[1, 0, 0, 0]])
+        feed(cert, [[0, 0, 1, 0]])  # accepted: legal charging, heights bounded
+        assert cert.report.rounds == 2
+
+
+@pytest.mark.parametrize(
+    "policy_cls",
+    [GreedyPolicy, DownhillPolicy, DownhillOrFlatPolicy,
+     ForwardIfEmptyPolicy],
+    ids=lambda c: c.__name__,
+)
+def test_foreign_policies_eventually_rejected(policy_cls):
+    """Feeding the Odd-Even certifier a *different* policy's execution
+    must fail: either the round classification breaks (greedy sends on
+    rising profiles) or the mechanical bound is exceeded.
+
+    This is the soundness half of the certificate: it does not bless
+    arbitrary executions."""
+    n = 16
+    engine = PathEngine(n, policy_cls(), SeesawAdversary())
+    cert = OddEvenCertifier(n - 1)
+    with pytest.raises(CertificationError):
+        for _ in range(2000):
+            engine.step()
+            cert.observe(engine.heights[:-1])
+        # a policy whose trajectory is Odd-Even-compatible for 2000
+        # seesaw rounds does not exist among the baselines
+        raise AssertionError("foreign execution was never rejected")
+
+
+def test_fie_far_end_rejected():
+    n = 12
+    engine = PathEngine(n, ForwardIfEmptyPolicy(), FarEndAdversary())
+    cert = OddEvenCertifier(n - 1)
+    with pytest.raises(CertificationError):
+        for _ in range(500):
+            engine.step()
+            cert.observe(engine.heights[:-1])
+        raise AssertionError("FIE execution was never rejected")
+
+
+def test_error_message_names_the_rule():
+    cert = OddEvenCertifier(3)
+    try:
+        feed(cert, [[1, 0, 1]])
+    except CertificationError as exc:
+        assert any(
+            token in str(exc)
+            for token in ("alternation", "pair", "leading-zero", "Claim")
+        )
+    else:  # pragma: no cover
+        raise AssertionError("expected a CertificationError")

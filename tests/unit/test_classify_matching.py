@@ -1,0 +1,154 @@
+"""Unit tests for round classification and balanced matchings (§4.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.classify import NodeKind, classify_round
+from repro.core.matching import (
+    PairKind,
+    build_matching,
+    verify_matching,
+)
+from repro.errors import CertificationError, MatchingError
+
+
+def classify(before, after):
+    return classify_round(
+        np.asarray(before, dtype=np.int64), np.asarray(after, dtype=np.int64)
+    )
+
+
+class TestClassifyRound:
+    def test_steady_everywhere(self):
+        cls = classify([1, 2, 0], [1, 2, 0])
+        assert all(k is NodeKind.STEADY for k in cls.kinds)
+        assert cls.non_steady == ()
+
+    def test_down_and_up(self):
+        cls = classify([2, 1], [1, 2])
+        assert cls.kinds[0] is NodeKind.DOWN
+        assert cls.kinds[1] is NodeKind.UP
+
+    def test_up2_counted_twice(self):
+        cls = classify([1, 0, 0], [0, 2, 0])
+        assert cls.kinds[1] is NodeKind.UP2
+        assert cls.non_steady == (0, 1, 1)
+        assert cls.up2_position == 1
+
+    def test_two_up2_rejected(self):
+        with pytest.raises(CertificationError):
+            classify([0, 0], [2, 2])
+
+    def test_drop_by_two_rejected(self):
+        with pytest.raises(CertificationError):
+            classify([3, 0], [1, 0])
+
+    def test_rise_by_three_rejected(self):
+        with pytest.raises(CertificationError):
+            classify([0], [3])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(CertificationError):
+            classify([0, 0], [0])
+
+    def test_leading_zero_detected(self):
+        cls = classify([1, 0, 0, 0], [0, 1, 0, 0])
+        assert cls.leading_zero == 1
+
+    def test_leading_zero_requires_empty_front(self):
+        cls = classify([1, 0, 0, 1], [0, 1, 0, 1])
+        assert cls.leading_zero is None
+
+    def test_leading_zero_requires_start_from_zero(self):
+        cls = classify([1, 1, 0], [0, 2, 0])
+        # node 1 is a 2up from height 1, not a leading-zero
+        assert cls.leading_zero is None
+
+    def test_up2_from_zero_at_end_is_leading_zero(self):
+        # the sink-adjacent node received + got injected from height 0
+        cls = classify([1, 0], [0, 2])
+        assert cls.leading_zero == 1
+
+
+class TestBuildMatching:
+    def test_simple_down_up(self):
+        cls = classify([2, 1], [1, 2])
+        m = build_matching(cls)
+        assert len(m.pairs) == 1
+        assert m.pairs[0].down == 0 and m.pairs[0].up == 1
+        assert m.pairs[0].kind is PairKind.DOWN_UP
+        assert m.unmatched is None
+
+    def test_up_down_pair(self):
+        # injection at 0 (up), node 1 sent (down)
+        cls = classify([0, 1], [1, 0])
+        m = build_matching(cls)
+        assert m.pairs[0].kind is PairKind.UP_DOWN
+
+    def test_unmatched_rightmost_down(self):
+        # single send into the sink, no injection
+        cls = classify([0, 1], [0, 0])
+        m = build_matching(cls)
+        assert m.pairs == ()
+        assert m.unmatched == 1
+        assert m.unmatched_kind is NodeKind.DOWN
+
+    def test_unmatched_leading_zero(self):
+        cls = classify([0, 0, 0], [1, 0, 0])
+        m = build_matching(cls)
+        assert m.unmatched == 0
+
+    def test_down_2up_down_forms_two_pairs(self):
+        # profile [1, 2, 1]: node 0 sends into 1 (odd, equal... rather:
+        # constructed directly) — node 1 receives + injected, node 2 sends
+        cls = classify([1, 2, 1], [0, 4, 0])
+        m = build_matching(cls)
+        assert len(m.pairs) == 2
+        downs = sorted(p.down for p in m.pairs)
+        assert downs == [0, 2]
+        assert all(p.up == 1 for p in m.pairs)
+
+    def test_two_consecutive_downs_rejected(self):
+        cls = classify([1, 1, 0], [0, 0, 0])
+        with pytest.raises(MatchingError):
+            build_matching(cls)
+
+
+class TestVerifyMatching:
+    def test_valid_round_passes(self):
+        before = np.asarray([2, 1, 0])
+        after = np.asarray([1, 2, 0])
+        cls = classify(before, after)
+        m = build_matching(cls)
+        verify_matching(m, cls, before)  # no raise
+
+    def test_lemma_4_4_endpoint_violation(self):
+        # up node taller than its down partner in C
+        before = np.asarray([1, 3, 0])
+        after = np.asarray([0, 4, 0])
+        cls = classify(before, after)
+        m = build_matching(cls)
+        with pytest.raises(MatchingError):
+            verify_matching(m, cls, before)
+
+    def test_down_up_interval_monotonicity(self):
+        # heights must be non-increasing from the down node to the up
+        before = np.asarray([2, 1, 3, 1])
+        after = np.asarray([1, 1, 3, 2])  # pair (0, 3) with a bump at 2
+        cls = classify(before, after)
+        m = build_matching(cls)
+        with pytest.raises(MatchingError):
+            verify_matching(m, cls, before)
+
+    def test_unmatched_down_must_be_rightmost(self):
+        # fabricate: downs at 0 and 2, up at 1 -> pairs (0,1), unmatched 2 OK;
+        # but a non-rightmost unmatched down is rejected by construction,
+        # so here we check the positive case
+        before = np.asarray([2, 1, 1])
+        after = np.asarray([1, 2, 0])
+        cls = classify(before, after)
+        m = build_matching(cls)
+        verify_matching(m, cls, before)
+        assert m.unmatched == 2

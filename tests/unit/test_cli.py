@@ -1,0 +1,102 @@
+"""Unit tests for the command-line front-end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "E4"])
+        assert args.experiments == ["E4"]
+        assert args.preset == "quick"
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.policy == "odd-even"
+        assert args.n == 128
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "odd-even" in out
+
+    def test_describe(self, capsys):
+        assert main(["describe", "e2"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 4.13" in out
+
+    def test_describe_unknown(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            main(["describe", "E99"])
+
+    def test_run_single_quick(self, capsys, tmp_path):
+        code = main(["run", "E6", "--preset", "quick", "--out",
+                     str(tmp_path), "--no-artifacts"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[PASS]" in out
+        assert (tmp_path / "e6.json").exists()
+
+    def test_simulate_prints_profile(self, capsys):
+        code = main(["simulate", "--policy", "greedy",
+                     "--adversary", "seesaw", "-n", "32",
+                     "--steps", "128"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "max height" in out
+        assert "height profile" in out
+
+    def test_simulate_uniform_seeded(self, capsys):
+        main(["simulate", "--adversary", "uniform", "-n", "16",
+              "--steps", "64", "--seed", "7"])
+        first = capsys.readouterr().out
+        main(["simulate", "--adversary", "uniform", "-n", "16",
+              "--steps", "64", "--seed", "7"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_simulate_policy_capacity_mismatch_is_friendly(self, capsys):
+        # scaled-odd-even-2 requires c = 2; the CLI runs at c = 1 and
+        # must fail with a clean message, not a traceback
+        code = main(["simulate", "--policy", "scaled-odd-even-2",
+                     "-n", "16", "--steps", "8"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_certify_path(self, capsys):
+        code = main(["certify", "--topology", "path:32",
+                     "--adversary", "seesaw", "--steps", "200"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CERTIFIED path run" in out
+
+    def test_certify_path_attack_with_figure(self, capsys):
+        code = main(["certify", "--topology", "path:48",
+                     "--adversary", "attack", "--show-figure"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "attack forced" in out
+        assert "packet" in out  # figure rendered
+
+    def test_certify_tree(self, capsys):
+        code = main(["certify", "--topology", "spider:3x3",
+                     "--adversary", "uniform", "--steps", "150"])
+        assert code == 0
+        assert "crossover pairs" in capsys.readouterr().out
+
+    def test_certify_bad_topology(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            main(["certify", "--topology", "moebius:9"])

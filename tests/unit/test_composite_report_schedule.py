@@ -1,0 +1,158 @@
+"""Unit tests for composite adversaries, the report module and the
+attack schedule-length formula."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversaries import (
+    AlternatingAdversary,
+    FixedNodeAdversary,
+    MixtureAdversary,
+    RecursiveLowerBoundAttack,
+)
+from repro.core.bounds import attack_schedule_length
+from repro.io.report import (
+    load_results_dir,
+    markdown_table,
+    render_markdown_report,
+)
+from repro.network.engine_fast import PathEngine
+from repro.network.topology import path
+from repro.policies import OddEvenPolicy
+
+
+def zero_heights(topo):
+    return np.zeros(topo.n, dtype=np.int64)
+
+
+class TestMixture:
+    def test_requires_members(self):
+        with pytest.raises(ValueError):
+            MixtureAdversary([])
+
+    def test_weights_validated(self):
+        with pytest.raises(ValueError):
+            MixtureAdversary([FixedNodeAdversary(0)], weights=[1, 2])
+        with pytest.raises(ValueError):
+            MixtureAdversary(
+                [FixedNodeAdversary(0), FixedNodeAdversary(1)],
+                weights=[0, 0],
+            )
+
+    def test_seeded_and_reproducible(self):
+        topo = path(6)
+        members = [FixedNodeAdversary(0), FixedNodeAdversary(1)]
+
+        def run(seed):
+            adv = MixtureAdversary(members, seed=seed)
+            adv.reset(topo, 1)
+            return [adv.inject(s, zero_heights(topo), topo)
+                    for s in range(30)]
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+    def test_weights_bias_selection(self):
+        topo = path(6)
+        adv = MixtureAdversary(
+            [FixedNodeAdversary(0), FixedNodeAdversary(1)],
+            weights=[0.95, 0.05],
+            seed=1,
+        )
+        adv.reset(topo, 1)
+        sites = [adv.inject(s, zero_heights(topo), topo)[0]
+                 for s in range(300)]
+        assert sites.count(0) > 250
+
+    def test_runs_in_engine(self):
+        adv = MixtureAdversary(
+            [FixedNodeAdversary(0), FixedNodeAdversary(3)], seed=2
+        )
+        e = PathEngine(8, OddEvenPolicy(), adv, validate=True)
+        e.run(200)
+        assert e.metrics.injected == 200
+
+
+class TestAlternating:
+    def test_dwell_cycles(self):
+        topo = path(6)
+        adv = AlternatingAdversary(
+            [FixedNodeAdversary(0), FixedNodeAdversary(1)], dwell=2
+        )
+        adv.reset(topo, 1)
+        sites = [adv.inject(s, zero_heights(topo), topo)[0]
+                 for s in range(8)]
+        assert sites == [0, 0, 1, 1, 0, 0, 1, 1]
+
+    def test_invalid_dwell(self):
+        with pytest.raises(ValueError):
+            AlternatingAdversary([FixedNodeAdversary(0)], dwell=0)
+
+
+class TestScheduleLength:
+    @pytest.mark.parametrize("n,ell", [(16, 1), (64, 1), (128, 2), (512, 4)])
+    def test_matches_driver_exactly(self, n, ell):
+        engine = PathEngine(n, OddEvenPolicy(), None)
+        RecursiveLowerBoundAttack(ell=ell).run(engine)
+        assert engine.step_index == attack_schedule_length(n, ell)
+
+    def test_burst_adds_one_step(self):
+        assert (
+            attack_schedule_length(64, 1, burst=True)
+            == attack_schedule_length(64, 1) + 1
+        )
+
+    def test_linear_in_n(self):
+        # total schedule ~ 2 * n0: doubling n doubles the cost
+        a = attack_schedule_length(256, 1)
+        b = attack_schedule_length(512, 1)
+        assert 1.8 <= b / a <= 2.2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            attack_schedule_length(1, 1)
+        with pytest.raises(ValueError):
+            attack_schedule_length(4, 8)
+
+
+class TestReportModule:
+    RECORD = {
+        "experiment_id": "E1",
+        "title": "demo",
+        "paper_claim": "claim text",
+        "headers": ["a", "b"],
+        "rows": [[1, 2.50]],
+        "passed": True,
+        "preset": "full",
+        "notes": ["a note"],
+        "artifacts": {},
+        "params": {},
+    }
+
+    def test_markdown_table_shape(self):
+        out = markdown_table(["x"], [[1], [2]])
+        lines = out.splitlines()
+        assert lines[0] == "| x |"
+        assert lines[1] == "|---|"
+        assert len(lines) == 4
+
+    def test_float_trimming(self):
+        assert "| 2.5 |" in markdown_table(["v"], [[2.50]])
+
+    def test_render_report(self):
+        out = render_markdown_report([self.RECORD], preamble="# T\n")
+        assert out.startswith("# T")
+        assert "## E1 — demo [PASS]" in out
+        assert "- a note" in out
+        assert "1/1 experiments pass" in out
+
+    def test_load_results_dir_orders_numerically(self, tmp_path):
+        import json
+
+        for eid in ("e10", "e2", "e1"):
+            rec = dict(self.RECORD, experiment_id=eid.upper())
+            (tmp_path / f"{eid}.json").write_text(json.dumps(rec))
+        loaded = load_results_dir(tmp_path)
+        assert [r["experiment_id"] for r in loaded] == ["E1", "E2", "E10"]

@@ -1,0 +1,181 @@
+"""Unit tests for the vectorised path engine (the §2 model on paths)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversaries import (
+    FarEndAdversary,
+    FixedNodeAdversary,
+    NullAdversary,
+    ScheduleAdversary,
+)
+from repro.errors import RateViolation, SimulationError
+from repro.network.engine_fast import PathEngine
+from repro.network.events import TraceRecorder
+from repro.network.validation import check_trace
+from repro.policies import GreedyPolicy, OddEvenPolicy
+
+
+class TestConstruction:
+    def test_requires_two_nodes(self):
+        with pytest.raises(SimulationError):
+            PathEngine(1, GreedyPolicy(), None)
+
+    def test_unknown_timing_rejected(self):
+        with pytest.raises(SimulationError):
+            PathEngine(4, GreedyPolicy(), None, decision_timing="magic")
+
+    def test_capacity_checked_against_policy(self):
+        from repro.errors import PolicyError
+
+        with pytest.raises(PolicyError):
+            PathEngine(4, OddEvenPolicy(), None, capacity=2)
+
+    def test_injection_limit_defaults_to_capacity(self):
+        e = PathEngine(4, GreedyPolicy(), None, capacity=3)
+        assert e.injection_limit == 3
+
+    def test_heights_start_empty(self):
+        e = PathEngine(5, GreedyPolicy(), None)
+        assert e.heights.tolist() == [0] * 5
+
+
+class TestStepSemantics:
+    def test_injection_lands_in_buffer(self):
+        e = PathEngine(4, OddEvenPolicy(), FixedNodeAdversary(0))
+        e.step()
+        assert e.heights[0] == 1
+
+    def test_manual_injection_override(self):
+        e = PathEngine(4, OddEvenPolicy(), None)
+        e.step(injections=(1,))
+        assert e.heights[1] == 1
+
+    def test_pre_injection_packet_not_forwarded_same_step(self):
+        # a height-0 node cannot forward the packet injected this step
+        e = PathEngine(3, GreedyPolicy(), None, decision_timing="pre_injection")
+        e.step(injections=(1,))
+        assert e.heights[1] == 1
+
+    def test_post_injection_packet_forwarded_same_step(self):
+        e = PathEngine(3, GreedyPolicy(), None, decision_timing="post_injection")
+        e.step(injections=(1,))
+        # node 1 is the sink's predecessor: the packet is delivered
+        assert e.heights.sum() == 0
+        assert e.metrics.delivered == 1
+
+    def test_sink_height_pinned_to_zero(self):
+        e = PathEngine(2, GreedyPolicy(), FixedNodeAdversary(0))
+        e.run(10)
+        assert e.heights[-1] == 0
+
+    def test_greedy_stream_delivers_at_rate_one(self):
+        n = 6
+        e = PathEngine(n, GreedyPolicy(), FarEndAdversary())
+        e.run(50)
+        # the first packet needs n-1 steps to reach the sink (injection
+        # step + n-2 forwards); every step after that delivers one
+        assert e.metrics.delivered == 50 - (n - 1)
+
+    def test_simultaneous_moves_shift_train(self):
+        e = PathEngine(6, GreedyPolicy(), None)
+        e.heights[:] = np.asarray([1, 1, 1, 0, 0, 0])
+        e.step()
+        assert e.heights.tolist() == [0, 1, 1, 1, 0, 0]
+
+    def test_injection_at_sink_rejected(self):
+        e = PathEngine(4, GreedyPolicy(), None)
+        with pytest.raises(RateViolation):
+            e.step(injections=(3,))
+
+    def test_rate_limit_enforced(self):
+        e = PathEngine(4, GreedyPolicy(), None)
+        with pytest.raises(RateViolation):
+            e.step(injections=(0, 0))
+
+    def test_injection_limit_allows_bursts(self):
+        e = PathEngine(4, GreedyPolicy(), None, injection_limit=3)
+        e.step(injections=(0, 0, 1))
+        assert e.heights[0] == 2 and e.heights[1] == 1
+
+
+class TestCapacity:
+    def test_greedy_capacity_two_moves_two(self):
+        e = PathEngine(4, GreedyPolicy(), None, capacity=2)
+        e.heights[:] = np.asarray([3, 0, 0, 0])
+        e.step()
+        assert e.heights.tolist() == [1, 2, 0, 0]
+
+    def test_capacity_injections(self):
+        e = PathEngine(4, GreedyPolicy(), None, capacity=2)
+        e.step(injections=(0, 0))
+        assert e.heights[0] == 2
+
+
+class TestConservationAndMetrics:
+    def test_conservation_invariant(self):
+        e = PathEngine(8, OddEvenPolicy(), FarEndAdversary(), validate=True)
+        e.run(100)  # validate=True asserts every step
+        assert e.metrics.injected == 100
+
+    def test_delivered_plus_in_flight(self):
+        e = PathEngine(8, GreedyPolicy(), FarEndAdversary())
+        e.run(30)
+        assert e.metrics.injected == e.metrics.delivered + int(e.heights.sum())
+
+    def test_max_height_tracked(self):
+        e = PathEngine(3, OddEvenPolicy(), FixedNodeAdversary(0))
+        e.run(10)
+        assert e.max_height >= 1
+
+
+class TestCheckpointRestore:
+    def test_roundtrip_heights_and_step(self):
+        e = PathEngine(6, OddEvenPolicy(), FarEndAdversary())
+        e.run(10)
+        cp = e.checkpoint()
+        h10 = e.heights.copy()
+        e.run(10)
+        e.restore(cp)
+        assert (e.heights == h10).all()
+        assert e.step_index == 10
+
+    def test_restore_rolls_back_metrics(self):
+        e = PathEngine(6, GreedyPolicy(), None)
+        cp = e.checkpoint()
+        e.step(injections=(0,))
+        e.restore(cp)
+        assert e.metrics.injected == 0
+        assert e.max_height == 0
+
+    def test_deterministic_replay_after_restore(self):
+        e = PathEngine(6, OddEvenPolicy(), FarEndAdversary())
+        e.run(5)
+        cp = e.checkpoint()
+        e.run(7)
+        after_a = e.heights.copy()
+        e.restore(cp)
+        e.run(7)
+        assert (e.heights == after_a).all()
+
+
+class TestTraceRecording:
+    def test_trace_chains_and_audits(self):
+        trace = TraceRecorder()
+        e = PathEngine(
+            6,
+            OddEvenPolicy(),
+            ScheduleAdversary({i: (i % 4,) for i in range(20)}),
+            trace=trace,
+        )
+        e.run(20)
+        checked = check_trace(trace, e.topology, capacity=1)
+        assert checked == 20
+
+    def test_trace_records_injections(self):
+        trace = TraceRecorder()
+        e = PathEngine(4, OddEvenPolicy(), FixedNodeAdversary(2), trace=trace)
+        e.step()
+        assert trace[0].injections == (2,)

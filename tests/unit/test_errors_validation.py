@@ -1,0 +1,126 @@
+"""Unit tests for the error hierarchy and the trace auditor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    AttachmentError,
+    CapacityViolation,
+    CertificationError,
+    ConservationViolation,
+    ExperimentError,
+    LocalityViolation,
+    MatchingError,
+    PolicyError,
+    RateViolation,
+    ReproError,
+    SimulationError,
+    TopologyError,
+)
+from repro.network.events import StepRecord
+from repro.network.topology import path
+from repro.network.validation import check_step_record, check_trace
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [TopologyError, SimulationError, PolicyError, CertificationError,
+         ExperimentError, RateViolation, CapacityViolation,
+         ConservationViolation, LocalityViolation, MatchingError,
+         AttachmentError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_violations_are_simulation_errors(self):
+        for exc in (RateViolation, CapacityViolation, ConservationViolation):
+            assert issubclass(exc, SimulationError)
+
+    def test_certification_sub_errors(self):
+        assert issubclass(MatchingError, CertificationError)
+        assert issubclass(AttachmentError, CertificationError)
+
+    def test_locality_is_policy_error(self):
+        assert issubclass(LocalityViolation, PolicyError)
+
+
+def record(before, injections, sends, after, delivered, step=0):
+    return StepRecord(
+        step=step,
+        heights_before=np.asarray(before, dtype=np.int64),
+        injections=tuple(injections),
+        sends=np.asarray(sends, dtype=np.int64),
+        heights_after=np.asarray(after, dtype=np.int64),
+        delivered=delivered,
+    )
+
+
+class TestStepRecordAudit:
+    TOPO = path(4)
+
+    def test_valid_record_passes(self):
+        check_step_record(
+            record([1, 0, 0, 0], (2,), [1, 0, 0, 0], [0, 1, 1, 0], 0),
+            self.TOPO, 1,
+        )
+
+    def test_rate_violation(self):
+        rec = record([0, 0, 0, 0], (0, 1), [0, 0, 0, 0], [1, 1, 0, 0], 0)
+        with pytest.raises(RateViolation):
+            check_step_record(rec, self.TOPO, 1)
+
+    def test_injection_at_sink_rejected(self):
+        rec = record([0, 0, 0, 0], (3,), [0, 0, 0, 0], [0, 0, 0, 0], 0)
+        with pytest.raises(RateViolation):
+            check_step_record(rec, self.TOPO, 1)
+
+    def test_capacity_violation(self):
+        rec = record([3, 0, 0, 0], (), [2, 0, 0, 0], [1, 2, 0, 0], 0)
+        with pytest.raises(CapacityViolation):
+            check_step_record(rec, self.TOPO, 1)
+
+    def test_sink_sending_rejected(self):
+        rec = record([0, 0, 0, 0], (), [0, 0, 0, 1], [0, 0, 0, 0], 0)
+        with pytest.raises(SimulationError):
+            check_step_record(rec, self.TOPO, 1)
+
+    def test_send_from_empty_buffer(self):
+        rec = record([0, 0, 0, 0], (), [1, 0, 0, 0], [0, 1, 0, 0], 0)
+        with pytest.raises(SimulationError):
+            check_step_record(rec, self.TOPO, 1)
+
+    def test_post_injection_timing_allows_fresh_send(self):
+        rec = record([0, 0, 0, 0], (0,), [1, 0, 0, 0], [0, 1, 0, 0], 0)
+        check_step_record(rec, self.TOPO, 1, "post_injection")
+
+    def test_inconsistent_configuration(self):
+        rec = record([1, 0, 0, 0], (), [1, 0, 0, 0], [0, 0, 0, 0], 0)
+        with pytest.raises(ConservationViolation):
+            check_step_record(rec, self.TOPO, 1)
+
+    def test_delivered_mismatch(self):
+        rec = record([0, 0, 1, 0], (), [0, 0, 1, 0], [0, 0, 0, 0], 0)
+        with pytest.raises(ConservationViolation):
+            check_step_record(rec, self.TOPO, 1)
+
+    def test_delivered_correct(self):
+        rec = record([0, 0, 1, 0], (), [0, 0, 1, 0], [0, 0, 0, 0], 1)
+        check_step_record(rec, self.TOPO, 1)
+
+
+class TestTraceChaining:
+    TOPO = path(3)
+
+    def test_broken_chain_detected(self):
+        r1 = record([0, 0, 0], (0,), [0, 0, 0], [1, 0, 0], 0, step=0)
+        r2 = record([0, 0, 0], (0,), [0, 0, 0], [1, 0, 0], 0, step=1)
+        with pytest.raises(SimulationError):
+            check_trace([r1, r2], self.TOPO, 1)
+
+    def test_chained_trace_counts(self):
+        r1 = record([0, 0, 0], (0,), [0, 0, 0], [1, 0, 0], 0, step=0)
+        r2 = record([1, 0, 0], (), [1, 0, 0], [0, 1, 0], 0, step=1)
+        assert check_trace([r1, r2], self.TOPO, 1) == 2

@@ -1,0 +1,96 @@
+"""Cheap structural tests over all experiment modules (no full runs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import all_experiment_ids, get_experiment
+from repro.experiments.base import Experiment
+from repro.experiments.e01_policy_table import PolicyTableExperiment
+from repro.experiments.e07_tree_upper import _families
+
+
+class TestMetadata:
+    @pytest.mark.parametrize("eid", all_experiment_ids())
+    def test_id_matches_registry_key(self, eid):
+        assert get_experiment(eid).id == eid
+
+    @pytest.mark.parametrize("eid", all_experiment_ids())
+    def test_is_experiment_subclass(self, eid):
+        assert isinstance(get_experiment(eid), Experiment)
+
+    @pytest.mark.parametrize("eid", all_experiment_ids())
+    def test_claim_mentions_substance(self, eid):
+        exp = get_experiment(eid)
+        assert len(exp.claim) > 20
+        assert len(exp.paper_ref) > 2
+
+    def test_ids_are_dense(self):
+        ids = all_experiment_ids()
+        assert [int(e[1:]) for e in ids] == list(range(1, len(ids) + 1))
+
+
+class TestE1Structure:
+    def test_covers_all_six_policies(self):
+        names = [name for name, _, _ in PolicyTableExperiment.POLICIES]
+        assert names == [
+            "odd-even", "downhill-or-flat", "downhill", "greedy", "fie",
+            "centralized-train",
+        ]
+
+    def test_expected_bounds_annotated(self):
+        for _, _, expected in PolicyTableExperiment.POLICIES:
+            assert expected
+
+
+class TestE7Families:
+    def test_quick_families_are_small(self):
+        for name, topo in _families("quick"):
+            assert topo.n <= 128, name
+
+    def test_full_families_are_larger(self):
+        sizes = [topo.n for _, topo in _families("full")]
+        assert max(sizes) >= 512
+
+    def test_families_are_diverse(self):
+        names = [name for name, _ in _families("full")]
+        assert any("spider" in n for n in names)
+        assert any("binary" in n for n in names)
+        assert any("random" in n for n in names)
+        assert any("caterpillar" in n for n in names)
+
+
+class TestCertifiedPathEngine:
+    def test_wrapper_certifies_through_rollbacks(self):
+        from repro.adversaries import RecursiveLowerBoundAttack
+        from repro.core.certificate import (
+            CertifiedPathEngine,
+            OddEvenCertifier,
+        )
+        from repro.network.engine_fast import PathEngine
+        from repro.policies import OddEvenPolicy
+
+        n = 48
+        cert = OddEvenCertifier(n - 1)
+        engine = CertifiedPathEngine(
+            PathEngine(n, OddEvenPolicy(), None), cert
+        )
+        rep = RecursiveLowerBoundAttack(ell=1).run(engine)
+        assert cert.report.certified
+        assert cert.report.max_height >= rep.forced_height - 1
+        # the certifier state matches the kept engine state
+        assert (cert.heights == engine.heights[:-1]).all()
+
+    def test_wrapper_delegates_attributes(self):
+        from repro.core.certificate import (
+            CertifiedPathEngine,
+            OddEvenCertifier,
+        )
+        from repro.network.engine_fast import PathEngine
+        from repro.policies import OddEvenPolicy
+
+        inner = PathEngine(8, OddEvenPolicy(), None)
+        wrapped = CertifiedPathEngine(inner, OddEvenCertifier(7))
+        assert wrapped.n == 8
+        assert wrapped.capacity == 1
+        assert wrapped.topology is inner.topology

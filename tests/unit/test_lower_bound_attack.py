@@ -1,0 +1,144 @@
+"""Unit tests for the Theorem 3.1 recursive attack driver."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.adversaries.lower_bound import (
+    AttackReport,
+    RecursiveLowerBoundAttack,
+)
+from repro.core.bounds import theorem_3_1_lower_bound
+from repro.errors import ExperimentError
+from repro.network.engine_fast import PathEngine, UndirectedPathEngine
+from repro.network.simulator import Simulator
+from repro.network.topology import spider
+from repro.policies import (
+    DownhillOrFlatPolicy,
+    GreedyPolicy,
+    HeightBalancingPolicy,
+    OddEvenPolicy,
+    TreeOddEvenPolicy,
+)
+
+
+class TestConstruction:
+    def test_invalid_ell(self):
+        with pytest.raises(ExperimentError):
+            RecursiveLowerBoundAttack(ell=0)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ExperimentError):
+            RecursiveLowerBoundAttack(burst_delta=-1)
+
+    def test_path_too_short(self):
+        engine = PathEngine(3, OddEvenPolicy(), None)
+        with pytest.raises(ExperimentError):
+            RecursiveLowerBoundAttack(ell=4).run(engine)
+
+    def test_burst_needs_injection_limit(self):
+        engine = PathEngine(64, OddEvenPolicy(), None)
+        with pytest.raises(ExperimentError):
+            RecursiveLowerBoundAttack(ell=1, burst_delta=3).run(engine)
+
+
+class TestAgainstPolicies:
+    @pytest.mark.parametrize(
+        "policy_cls", [OddEvenPolicy, DownhillOrFlatPolicy, GreedyPolicy]
+    )
+    def test_meets_prediction(self, policy_cls):
+        engine = PathEngine(256, policy_cls(), None)
+        rep = RecursiveLowerBoundAttack(ell=1).run(engine)
+        assert rep.forced_height >= rep.predicted
+        assert rep.achieved_ratio >= 1.0
+
+    def test_odd_even_forced_is_logarithmic(self):
+        forced = []
+        for n in (64, 256, 1024):
+            engine = PathEngine(n, OddEvenPolicy(), None)
+            forced.append(
+                RecursiveLowerBoundAttack(ell=1).run(engine).forced_height
+            )
+        # doubling log n adds a constant, not a factor
+        assert forced[2] - forced[1] == forced[1] - forced[0]
+        assert forced[2] <= math.log2(1024) + 3
+
+    def test_stage_densities_monotone(self):
+        engine = PathEngine(512, OddEvenPolicy(), None)
+        rep = RecursiveLowerBoundAttack(ell=1).run(engine)
+        densities = [s.density for s in rep.stages]
+        assert densities == sorted(densities)
+        assert all(
+            s.density >= s.target_density - 1e-9 for s in rep.stages
+        )
+
+    def test_block_halves_each_stage(self):
+        engine = PathEngine(512, OddEvenPolicy(), None)
+        rep = RecursiveLowerBoundAttack(ell=1).run(engine)
+        sizes = [s.block_size for s in rep.stages]
+        assert all(a == 2 * b for a, b in zip(sizes, sizes[1:]))
+
+    def test_larger_ell_weaker_attack(self):
+        forced = {}
+        for ell in (1, 2, 4):
+            engine = PathEngine(1024, OddEvenPolicy(), None)
+            forced[ell] = (
+                RecursiveLowerBoundAttack(ell=ell).run(engine).forced_height
+            )
+        assert forced[1] >= forced[2] >= forced[4]
+
+    def test_capacity_scales_forced_height(self):
+        forced = {}
+        for c in (1, 2):
+            engine = PathEngine(256, GreedyPolicy(), None, capacity=c)
+            forced[c] = (
+                RecursiveLowerBoundAttack(ell=1).run(engine).forced_height
+            )
+        assert forced[2] >= 2 * forced[1] * 0.9
+
+    def test_burst_adds_delta(self):
+        base = RecursiveLowerBoundAttack(ell=1).run(
+            PathEngine(128, OddEvenPolicy(), None)
+        )
+        burst = RecursiveLowerBoundAttack(ell=1, burst_delta=4).run(
+            PathEngine(128, OddEvenPolicy(), None, injection_limit=5)
+        )
+        assert burst.forced_height >= base.forced_height + 4
+        assert burst.predicted == pytest.approx(base.predicted + 4)
+
+
+class TestOtherEngines:
+    def test_runs_on_packet_simulator(self):
+        from repro.network.topology import path
+
+        sim = Simulator(path(64), OddEvenPolicy(), None, validate=False)
+        rep = RecursiveLowerBoundAttack(ell=1).run(sim)
+        assert rep.forced_height >= rep.predicted
+
+    def test_runs_on_tree_spine(self):
+        topo = spider(3, 16)
+        sim = Simulator(topo, TreeOddEvenPolicy(), None, validate=False)
+        rep = RecursiveLowerBoundAttack(ell=2).run(sim)
+        spine_len = topo.height + 1
+        assert rep.predicted == pytest.approx(
+            theorem_3_1_lower_bound(spine_len, 1, 2)
+        )
+        assert rep.forced_height >= rep.predicted
+
+    def test_runs_on_undirected_engine(self):
+        engine = UndirectedPathEngine(128, HeightBalancingPolicy(), None)
+        rep = RecursiveLowerBoundAttack(ell=1).run(engine)
+        assert rep.forced_height >= 1
+
+    def test_report_fields(self):
+        engine = PathEngine(64, OddEvenPolicy(), None)
+        rep = RecursiveLowerBoundAttack(ell=1).run(engine)
+        assert isinstance(rep, AttackReport)
+        assert rep.n == 64
+        assert rep.n0 == 32  # largest power-of-two * ell below n-1 = 63
+        assert rep.stages[0].scenario == "initial"
+        assert all(
+            s.scenario in ("initial", "left", "right") for s in rep.stages
+        )

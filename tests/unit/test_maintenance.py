@@ -1,0 +1,168 @@
+"""Unit tests for Algorithm 3/4 (attachment maintenance).
+
+These exercise process_pair / process_round on hand-built rounds — the
+specific transfer, swap and residue-creation cases of Algorithm 4 —
+independently of a simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.attachment import AttachmentScheme, Slot
+from repro.core.maintenance import process_pair, process_round
+from repro.errors import CertificationError
+
+
+class TestProcessPairBasics:
+    def test_equal_height_one_simple_transfer(self):
+        # pair (d, u) both height 1: u goes to 2 (no slots), d to 0
+        scheme = AttachmentScheme()
+        heights = np.asarray([1, 1])
+        process_pair(scheme, heights, 0, 1)
+        assert heights.tolist() == [0, 2]
+        assert len(scheme) == 0
+
+    def test_equal_height_two_creates_residue(self):
+        # line 9: h_d == h_u == 2 -> d becomes the residue of u[3, 1]
+        scheme = AttachmentScheme()
+        heights = np.asarray([2, 2])
+        process_pair(scheme, heights, 0, 1)
+        assert heights.tolist() == [1, 3]
+        assert scheme.residue_at(Slot(1, 3, 1)) == 0
+
+    def test_taller_down_passes_attachments(self):
+        # d at height 4 (slots (3,1),(4,1),(4,2) filled), u at height 2:
+        # the dying packet d[4] passes level-1 to u[3,1]
+        scheme = AttachmentScheme()
+        scheme.attach(Slot(0, 3, 1), 5)
+        scheme.attach(Slot(0, 4, 1), 6)
+        scheme.attach(Slot(0, 4, 2), 7)
+        heights = np.asarray([4, 2, 0, 0, 0, 1, 1, 2])
+        process_pair(scheme, heights, 0, 1)
+        assert heights.tolist()[:2] == [3, 3]
+        assert scheme.residue_at(Slot(1, 3, 1)) == 6
+        # the level-2 attachment of the dying packet was released
+        assert not scheme.is_residue(7)
+        # the surviving packet d[3] keeps its residue
+        assert scheme.residue_at(Slot(0, 3, 1)) == 5
+
+    def test_down_node_residue_rejected(self):
+        # Lemma 4.10: a residue never goes down
+        scheme = AttachmentScheme()
+        scheme.attach(Slot(3, 3, 1), 0)
+        heights = np.asarray([1, 1, 0, 3])
+        with pytest.raises(CertificationError, match="4.10"):
+            process_pair(scheme, heights, 0, 1)
+
+    def test_equal_height_residue_up_rejected(self):
+        # Lemma 4.9: with h_d == h_u the up node is never a residue
+        scheme = AttachmentScheme()
+        scheme.attach(Slot(3, 4, 2), 1)
+        heights = np.asarray([2, 2, 0, 4])
+        with pytest.raises(CertificationError, match="4.9"):
+            process_pair(scheme, heights, 0, 1)
+
+    def test_down_below_one_rejected(self):
+        scheme = AttachmentScheme()
+        heights = np.asarray([0, 0])
+        with pytest.raises(CertificationError):
+            process_pair(scheme, heights, 0, 1)
+
+
+class TestProcessPairResidueHandling:
+    def test_up_residue_refilled_by_down_lands_exactly(self):
+        # line 15: h_d == h_u + 1 -> d refills u's old guardian slot
+        scheme = AttachmentScheme()
+        scheme.attach(Slot(3, 3, 1), 1)  # u (=1, h=1) is a residue of z=3
+        heights = np.asarray([2, 1, 0, 3])
+        process_pair(scheme, heights, 0, 1)
+        assert heights.tolist()[:2] == [1, 2]
+        # the slot z[3,1] now guards d (new height 1)
+        assert scheme.residue_at(Slot(3, 3, 1)) == 0
+        assert not scheme.is_residue(1)
+
+    def test_up_residue_replaced_by_top_packet_resident(self):
+        # line 18: h_d >= h_u + 2 and z != d: the resident of
+        # d[h_d, h_u] takes over u's old guardian slot
+        scheme = AttachmentScheme()
+        scheme.attach(Slot(4, 3, 1), 1)   # u=1 (h=1) residue of z=4
+        scheme.attach(Slot(0, 3, 1), 5)   # d's top packet slot, resident 5
+        heights = np.asarray([3, 1, 0, 0, 3, 1])
+        process_pair(scheme, heights, 0, 1)
+        assert scheme.residue_at(Slot(4, 3, 1)) == 5
+        assert not scheme.is_residue(1)
+
+    def test_swap_into_dying_slot(self):
+        # lines 4-5: u is attached to a *surviving* slot of d; the swap
+        # moves it to the dying top-packet slot so no hole remains
+        scheme = AttachmentScheme()
+        scheme.attach(Slot(0, 3, 1), 1)   # u at surviving slot d[3,1]
+        scheme.attach(Slot(0, 4, 1), 5)   # top packet slot, resident 5
+        scheme.attach(Slot(0, 4, 2), 6)
+        heights = np.asarray([4, 1, 0, 0, 0, 1, 2])
+        process_pair(scheme, heights, 0, 1)
+        # after the swap, the surviving slot d[3,1] holds the former
+        # top-slot resident, and u was released with the dying packet
+        assert scheme.residue_at(Slot(0, 3, 1)) == 5
+        assert not scheme.is_residue(1)
+        assert heights.tolist()[:2] == [3, 2]
+
+
+class TestProcessRound:
+    def test_round_reproduces_after_configuration(self):
+        scheme = AttachmentScheme()
+        before = np.asarray([2, 1, 0])
+        after = np.asarray([1, 2, 0])
+        process_round(scheme, before, after)
+        # scheme stays consistent for the new configuration
+        scheme.validate(after)
+
+    def test_impossible_round_rejected(self):
+        # a 2up with its only non-steady companion behind it would have
+        # to pair with itself — not a legal Odd-Even round
+        scheme = AttachmentScheme()
+        before = np.asarray([0, 2, 0])
+        wrong = np.asarray([2, 1, 0])
+        with pytest.raises(Exception):
+            process_round(scheme, before, wrong)
+
+    def test_unmatched_down_releases_top_slots(self):
+        scheme = AttachmentScheme()
+        scheme.attach(Slot(1, 3, 1), 0)
+        before = np.asarray([1, 3])
+        after = np.asarray([1, 2])  # node 1 sent into the sink
+        process_round(scheme, before, after)
+        assert len(scheme) == 0  # the dying packet released its residue
+
+    def test_leading_zero_processed_without_slots(self):
+        scheme = AttachmentScheme()
+        before = np.asarray([0, 0])
+        after = np.asarray([1, 0])
+        cls, matching = process_round(scheme, before, after)
+        assert matching.unmatched == 0
+        assert len(scheme) == 0
+
+    def test_multi_pair_round(self):
+        scheme = AttachmentScheme()
+        before = np.asarray([2, 1, 0, 2, 1, 0])
+        after = np.asarray([1, 2, 0, 1, 2, 0])
+        process_round(scheme, before, after)
+        scheme.validate(after)
+
+    def test_sequence_of_rounds_keeps_scheme_full(self):
+        """Drive a real Odd-Even run and process every round."""
+        from repro.adversaries import UniformRandomAdversary
+        from repro.network.engine_fast import PathEngine
+        from repro.policies import OddEvenPolicy
+
+        engine = PathEngine(12, OddEvenPolicy(), UniformRandomAdversary(seed=3))
+        scheme = AttachmentScheme()
+        prev = engine.heights[:-1].copy()
+        for _ in range(600):
+            engine.step()
+            cur = engine.heights[:-1].copy()
+            process_round(scheme, prev, cur)
+            prev = cur
+        scheme.validate(prev)

@@ -1,0 +1,146 @@
+"""Unit tests for metric collection and trace recording."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.events import StepRecord, TraceRecorder
+from repro.network.metrics import (
+    DelayRecorder,
+    MaxHeightTracker,
+    MetricsBundle,
+    SeriesRecorder,
+)
+
+
+class TestMaxHeightTracker:
+    def test_tracks_running_max(self):
+        t = MaxHeightTracker(4)
+        t.observe(1, np.asarray([0, 2, 1, 0]))
+        t.observe(2, np.asarray([0, 1, 1, 0]))
+        assert t.max_height == 2
+        assert t.argmax_node == 1
+        assert t.argmax_step == 1
+
+    def test_per_node_max_elementwise(self):
+        t = MaxHeightTracker(3)
+        t.observe(1, np.asarray([3, 0, 1]))
+        t.observe(2, np.asarray([1, 2, 0]))
+        assert t.per_node_max.tolist() == [3, 2, 1]
+
+    def test_snapshot_restore_roundtrip(self):
+        t = MaxHeightTracker(2)
+        t.observe(1, np.asarray([5, 0]))
+        snap = t.snapshot()
+        t.observe(2, np.asarray([9, 9]))
+        t.restore(snap)
+        assert t.max_height == 5
+        assert t.per_node_max.tolist() == [5, 0]
+
+    def test_restore_copy_isolated(self):
+        t = MaxHeightTracker(2)
+        snap = t.snapshot()
+        t.observe(1, np.asarray([4, 4]))
+        t.restore(snap)
+        assert t.max_height == 0
+
+
+class TestSeriesRecorder:
+    def test_disabled_by_default(self):
+        s = SeriesRecorder()
+        s.observe(1, np.asarray([5]))
+        assert not s.enabled and s.values == []
+
+    def test_sampling_stride(self):
+        s = SeriesRecorder(every=2)
+        for step in range(1, 7):
+            s.observe(step, np.asarray([step]))
+        assert s.steps == [2, 4, 6]
+        assert s.values == [2, 4, 6]
+
+    def test_snapshot_restore(self):
+        s = SeriesRecorder(every=1)
+        s.observe(1, np.asarray([1]))
+        snap = s.snapshot()
+        s.observe(2, np.asarray([2]))
+        s.restore(snap)
+        assert s.values == [1]
+
+
+class TestDelayRecorder:
+    def test_empty_summary_is_nan(self):
+        s = DelayRecorder().summary()
+        assert s["count"] == 0
+        assert s["mean"] != s["mean"]  # NaN
+
+    def test_summary_statistics(self):
+        d = DelayRecorder()
+        for v in (1, 2, 3, 4, 100):
+            d.record(v)
+        s = d.summary()
+        assert s["count"] == 5
+        assert s["mean"] == pytest.approx(22.0)
+        assert s["max"] == 100
+        assert s["p50"] == 3
+
+    def test_snapshot_restore(self):
+        d = DelayRecorder()
+        d.record(7)
+        snap = d.snapshot()
+        d.record(8)
+        d.restore(snap)
+        assert d.count == 1
+
+
+class TestMetricsBundle:
+    def test_for_n_constructor(self):
+        m = MetricsBundle.for_n(5, series_every=3)
+        assert m.tracker.n == 5
+        assert m.series.every == 3
+
+    def test_roundtrip_with_counters(self):
+        m = MetricsBundle.for_n(2)
+        m.injected = 10
+        m.delivered = 4
+        snap = m.snapshot()
+        m.injected = 99
+        m.restore(snap)
+        assert (m.injected, m.delivered) == (10, 4)
+
+    def test_observe_updates_max(self):
+        m = MetricsBundle.for_n(3)
+        m.observe(1, np.asarray([0, 7, 0]))
+        assert m.max_height == 7
+
+
+class TestTraceRecorder:
+    def _record(self, step: int) -> StepRecord:
+        h = np.zeros(3, dtype=np.int64)
+        return StepRecord(
+            step=step,
+            heights_before=h,
+            injections=(),
+            sends=h,
+            heights_after=h,
+            delivered=0,
+        )
+
+    def test_append_and_index(self):
+        t = TraceRecorder()
+        t.append(self._record(0))
+        t.append(self._record(1))
+        assert len(t) == 2
+        assert t[1].step == 1
+
+    def test_keep_last_window(self):
+        t = TraceRecorder(keep_last=2)
+        for i in range(5):
+            t.append(self._record(i))
+        assert [r.step for r in t] == [3, 4]
+
+    def test_clear(self):
+        t = TraceRecorder()
+        t.append(self._record(0))
+        t.clear()
+        assert len(t) == 0

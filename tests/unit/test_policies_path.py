@@ -1,0 +1,191 @@
+"""Unit tests for the path forwarding policies (Algorithm 1 + baselines).
+
+Each policy's rule is verified against hand-computed decisions on
+explicit height profiles, plus the behavioural properties the paper
+relies on (Odd-Even's §4 intuition, greedy work conservation, Downhill
+freezing on flats, FIE's half-throughput failure).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PolicyError
+from repro.network.engine_fast import PathEngine
+from repro.network.topology import path
+from repro.policies import (
+    DownhillOrFlatPolicy,
+    DownhillPolicy,
+    ForwardIfEmptyPolicy,
+    GreedyPolicy,
+    ModularPolicy,
+    OddEvenPolicy,
+    locality_respected,
+)
+from repro.adversaries import FarEndAdversary, PreSinkAdversary
+
+
+def mask_for(policy, heights):
+    topo = path(len(heights))
+    return policy.send_mask(np.asarray(heights, dtype=np.int64), topo)
+
+
+class TestOddEvenRule:
+    """The two-line algorithm, decision by decision."""
+
+    def test_odd_forwards_on_equal(self):
+        assert mask_for(OddEvenPolicy(), [1, 1, 0]).tolist()[0] is True
+
+    def test_odd_forwards_on_lower(self):
+        assert mask_for(OddEvenPolicy(), [3, 1, 0])[0]
+
+    def test_odd_blocked_by_higher(self):
+        assert not mask_for(OddEvenPolicy(), [1, 2, 0])[0]
+
+    def test_even_blocked_on_equal(self):
+        assert not mask_for(OddEvenPolicy(), [2, 2, 0])[0]
+
+    def test_even_forwards_on_strictly_lower(self):
+        assert mask_for(OddEvenPolicy(), [2, 1, 0])[0]
+
+    def test_empty_never_sends(self):
+        assert not mask_for(OddEvenPolicy(), [0, 0, 0]).any()
+
+    def test_sink_never_sends(self):
+        assert not mask_for(OddEvenPolicy(), [1, 1, 0])[-1]
+
+    def test_pre_sink_odd_always_sends(self):
+        # the sink's height is 0, so an odd pre-sink node always sends
+        assert mask_for(OddEvenPolicy(), [0, 3, 0])[1]
+
+    def test_capacity_two_rejected(self):
+        with pytest.raises(PolicyError):
+            OddEvenPolicy().check_capacity(2)
+
+    def test_left_injection_flows_at_full_throughput(self):
+        """§4: odd heights conduct — a far-end stream keeps moving."""
+        e = PathEngine(10, OddEvenPolicy(), FarEndAdversary())
+        e.run(200)
+        assert e.metrics.delivered == 200 - 9
+        assert e.max_height <= 2
+
+    def test_right_injection_spreads_left_not_up(self):
+        """§4: injecting at the right freezes even heights; the pile
+        spreads leftwards instead of upwards."""
+        e = PathEngine(32, OddEvenPolicy(), PreSinkAdversary())
+        e.run(200)
+        assert e.max_height <= 3  # far below the 200 injections
+
+
+class TestGreedy:
+    def test_always_forwards_nonempty(self):
+        assert mask_for(GreedyPolicy(), [1, 5, 0]).tolist() == [True, True, False]
+
+    def test_capacity_counts(self):
+        topo = path(3)
+        counts = GreedyPolicy().send_counts(
+            np.asarray([5, 1, 0]), topo, capacity=3
+        )
+        assert counts.tolist() == [3, 1, 0]
+
+    def test_locality_zero(self):
+        assert GreedyPolicy().locality == 0
+
+
+class TestDownhillFamily:
+    def test_downhill_strict_only(self):
+        assert not mask_for(DownhillPolicy(), [2, 2, 0])[0]
+        assert mask_for(DownhillPolicy(), [2, 1, 0])[0]
+
+    def test_downhill_freezes_flat_profile(self):
+        e = PathEngine(6, DownhillPolicy(), None)
+        e.heights[:-1] = 1
+        before = e.heights.copy()
+        e.step()
+        # only the pre-sink node moves (the sink is below it)
+        assert e.heights[:-2].tolist() == before[:-2].tolist()
+
+    def test_downhill_or_flat_conducts_flat_profile(self):
+        e = PathEngine(6, DownhillOrFlatPolicy(), None)
+        e.heights[:-1] = 1
+        e.step()
+        assert e.metrics.delivered == 1
+        assert e.heights[0] == 0  # the whole train moved
+
+    def test_dof_equals_odd_even_on_odd_heights(self):
+        h = [1, 1, 3, 1, 0]
+        assert (
+            mask_for(DownhillOrFlatPolicy(), h).tolist()
+            == mask_for(OddEvenPolicy(), h).tolist()
+        )
+
+    def test_downhill_equals_odd_even_on_even_heights(self):
+        h = [2, 2, 4, 2, 0]
+        assert (
+            mask_for(DownhillPolicy(), h).tolist()
+            == mask_for(OddEvenPolicy(), h).tolist()
+        )
+
+
+class TestFIE:
+    def test_forwards_only_into_empty(self):
+        assert mask_for(ForwardIfEmptyPolicy(), [1, 0, 0]).tolist()[0]
+        assert not mask_for(ForwardIfEmptyPolicy(), [1, 1, 0])[0]
+
+    def test_half_throughput_failure(self):
+        """[21]: FIE sustains only rate 1/2, so a far-end stream grows
+        the injected buffer at ~t/2 — the unbounded baseline."""
+        e = PathEngine(16, ForwardIfEmptyPolicy(), FarEndAdversary())
+        e.run(400)
+        assert e.heights[0] >= 400 / 2 - 16
+
+
+class TestModularFamily:
+    def test_m1_strict_is_downhill(self):
+        h = [2, 1, 3, 3, 0]
+        assert (
+            mask_for(ModularPolicy(1, ()), h).tolist()
+            == mask_for(DownhillPolicy(), h).tolist()
+        )
+
+    def test_m1_permissive_is_downhill_or_flat(self):
+        h = [2, 2, 1, 1, 0]
+        assert (
+            mask_for(ModularPolicy(1, (0,)), h).tolist()
+            == mask_for(DownhillOrFlatPolicy(), h).tolist()
+        )
+
+    def test_m2_odd_is_odd_even(self):
+        for h in ([1, 1, 2, 2, 0], [3, 2, 1, 0, 0], [2, 2, 2, 1, 0]):
+            assert (
+                mask_for(ModularPolicy(2, (1,)), h).tolist()
+                == mask_for(OddEvenPolicy(), h).tolist()
+            )
+
+    def test_residues_normalised(self):
+        p = ModularPolicy(3, (4, 1, 7))
+        assert p.permissive_residues == (1,)
+
+    def test_zero_modulus_rejected(self):
+        with pytest.raises(PolicyError):
+            ModularPolicy(0)
+
+    def test_name_encodes_parameters(self):
+        assert "m=4" in ModularPolicy(4, (1, 3)).name
+
+
+class TestLocalityDeclarations:
+    @pytest.mark.parametrize(
+        "policy",
+        [OddEvenPolicy(), DownhillPolicy(), DownhillOrFlatPolicy(),
+         ForwardIfEmptyPolicy(), GreedyPolicy(), ModularPolicy(3, (1,))],
+        ids=lambda p: p.name,
+    )
+    def test_declared_locality_is_respected(self, policy, rng):
+        topo = path(12)
+        for _ in range(5):
+            heights = rng.integers(0, 6, size=12)
+            heights[-1] = 0
+            for node in (0, 4, 10):
+                assert locality_respected(policy, topo, heights, node, rng)

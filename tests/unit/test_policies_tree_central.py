@@ -1,0 +1,188 @@
+"""Unit tests for the Tree policy (Algorithm 5), sibling arbitration,
+the centralized train policy, and the policy registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PolicyError
+from repro.network.simulator import Simulator
+from repro.network.topology import balanced_tree, path, spider
+from repro.policies import (
+    CentralizedTrainPolicy,
+    OddEvenPolicy,
+    TreeOddEvenPolicy,
+    available_policies,
+    make_policy,
+)
+from repro.policies.tree import select_priority_children
+
+
+class TestPrioritySelection:
+    def test_tallest_child_wins(self, small_spider):
+        hub = 1
+        heads = small_spider.children[hub]
+        heights = np.zeros(small_spider.n, dtype=np.int64)
+        heights[heads[1]] = 3
+        heights[heads[0]] = 1
+        winner = select_priority_children(heights, small_spider)
+        assert winner[hub] == heads[1]
+
+    def test_tie_min_id(self, small_spider):
+        hub = 1
+        heads = small_spider.children[hub]
+        heights = np.zeros(small_spider.n, dtype=np.int64)
+        for h in heads:
+            heights[h] = 2
+        winner = select_priority_children(heights, small_spider, "min_id")
+        assert winner[hub] == min(heads)
+
+    def test_tie_max_id(self, small_spider):
+        hub = 1
+        heads = small_spider.children[hub]
+        heights = np.zeros(small_spider.n, dtype=np.int64)
+        for h in heads:
+            heights[h] = 2
+        winner = select_priority_children(heights, small_spider, "max_id")
+        assert winner[hub] == max(heads)
+
+    def test_round_robin_rotates(self, small_spider):
+        hub = 1
+        heads = small_spider.children[hub]
+        heights = np.zeros(small_spider.n, dtype=np.int64)
+        for h in heads:
+            heights[h] = 2
+        seen = {
+            int(
+                select_priority_children(
+                    heights, small_spider, "round_robin", rotation=r
+                )[hub]
+            )
+            for r in range(len(heads))
+        }
+        assert seen == set(heads)
+
+    def test_empty_children_no_winner(self, small_spider):
+        heights = np.zeros(small_spider.n, dtype=np.int64)
+        winner = select_priority_children(heights, small_spider)
+        assert winner[1] == -1
+
+
+class TestTreePolicy:
+    def test_rejects_unknown_tie_rule(self):
+        with pytest.raises(PolicyError):
+            TreeOddEvenPolicy(tie_rule="coin-flip")
+
+    def test_parity_rule_applied_to_winner(self, small_spider):
+        heights = np.zeros(small_spider.n, dtype=np.int64)
+        hub = 1
+        heads = small_spider.children[hub]
+        heights[heads[0]] = 2
+        heights[hub] = 2
+        # even height equal to parent: blocked
+        mask = TreeOddEvenPolicy().send_mask(heights, small_spider)
+        assert not mask[heads[0]]
+        heights[heads[0]] = 3
+        mask = TreeOddEvenPolicy().send_mask(heights, small_spider)
+        assert mask[heads[0]]
+
+    def test_losers_blocked_even_if_rule_passes(self, small_spider):
+        heights = np.zeros(small_spider.n, dtype=np.int64)
+        hub = 1
+        heads = small_spider.children[hub]
+        heights[heads[0]] = 1
+        heights[heads[1]] = 3
+        mask = TreeOddEvenPolicy().send_mask(heights, small_spider)
+        assert mask[heads[1]] and not mask[heads[0]]
+
+    def test_on_path_equals_odd_even(self):
+        topo = path(8)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            h = rng.integers(0, 5, size=8)
+            h[-1] = 0
+            a = TreeOddEvenPolicy().send_mask(h, topo)
+            b = OddEvenPolicy().send_mask(h, topo)
+            assert a.tolist() == b.tolist()
+
+    def test_at_most_one_packet_per_intersection(self, small_binary):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            h = rng.integers(0, 4, size=small_binary.n)
+            h[small_binary.sink] = 0
+            mask = TreeOddEvenPolicy().send_mask(h, small_binary)
+            for v in range(small_binary.n):
+                senders = [c for c in small_binary.children[v] if mask[c]]
+                assert len(senders) <= 1
+
+
+class TestCentralizedTrain:
+    def test_activates_injection_path(self):
+        topo = path(5)
+        pol = CentralizedTrainPolicy()
+        pol.reset(topo)
+        h = np.asarray([2, 1, 0, 1, 0])
+        pol.observe_injections((1,))
+        mask = pol.send_mask(h, topo)
+        # the path from node 1 to the sink: nodes 1 and 3 hold packets
+        assert mask.tolist() == [False, True, False, True, False]
+
+    def test_no_injection_pulses_deepest(self):
+        topo = path(5)
+        pol = CentralizedTrainPolicy()
+        pol.reset(topo)
+        pol.observe_injections(())
+        h = np.asarray([0, 2, 0, 1, 0])
+        mask = pol.send_mask(h, topo)
+        assert mask.tolist() == [False, True, False, True, False]
+
+    def test_all_empty_sends_nothing(self):
+        topo = path(4)
+        pol = CentralizedTrainPolicy()
+        pol.reset(topo)
+        pol.observe_injections(())
+        assert not pol.send_mask(np.zeros(4, dtype=np.int64), topo).any()
+
+    def test_burst_activates_multiple_paths(self):
+        topo = spider(2, 2)
+        pol = CentralizedTrainPolicy()
+        pol.reset(topo)
+        h = np.zeros(topo.n, dtype=np.int64)
+        hub = 1
+        a_head, b_head = topo.children[hub]
+        h[a_head] = 1
+        h[b_head] = 1
+        pol.observe_injections((a_head, b_head))
+        mask = pol.send_mask(h, topo)
+        assert mask[a_head] and mask[b_head]
+
+    def test_is_centralized(self):
+        assert CentralizedTrainPolicy().locality is None
+
+    def test_sigma_plus_two_on_tree(self, small_binary):
+        from repro.adversaries import LeafSweepAdversary, TokenBucketAdversary
+
+        sim = Simulator(
+            small_binary,
+            CentralizedTrainPolicy(),
+            TokenBucketAdversary(
+                LeafSweepAdversary(), rho=1, sigma=2, greedy=True
+            ),
+            injection_limit=3,
+        )
+        sim.run(200)
+        assert sim.max_height <= 4  # sigma + 2
+
+
+class TestRegistry:
+    def test_all_names_construct(self):
+        for name in available_policies():
+            assert make_policy(name).name
+
+    def test_unknown_name(self):
+        with pytest.raises(PolicyError):
+            make_policy("telepathy")
+
+    def test_fresh_instances(self):
+        assert make_policy("tree-odd-even") is not make_policy("tree-odd-even")

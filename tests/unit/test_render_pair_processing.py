@@ -1,0 +1,76 @@
+"""Unit tests for the Figure 2 renderer (pair-processing views)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.attachment import AttachmentScheme, Slot
+from repro.core.classify import classify_round
+from repro.core.maintenance import process_round
+from repro.core.matching import build_matching
+from repro.viz.attachment_render import render_pair_processing
+
+
+class TestRenderPairProcessing:
+    def _round(self):
+        # an Odd-Even-consistent equal-height (h=3) down-up pair: the
+        # parity/direction rules only admit odd equal-height down-up
+        # pairs, whose created residue is even and guarded from the
+        # front — exactly what line 9 of Algorithm 4 produces.
+        before = np.asarray([3, 3, 1, 1])
+        after = np.asarray([2, 4, 1, 1])
+        scheme = AttachmentScheme()
+        scheme.attach(Slot(0, 3, 1), 2)
+        scheme.attach(Slot(1, 3, 1), 3)
+        pre = scheme.copy()
+        cls, matching = process_round(scheme, before, after)
+        return pre, before, scheme, after, matching
+
+    def test_contains_before_and_after_sections(self):
+        pre, before, post, after, matching = self._round()
+        out = render_pair_processing(pre, before, post, after, matching)
+        assert "BEFORE:" in out and "AFTER:" in out
+
+    def test_lists_matching_pairs(self):
+        pre, before, post, after, matching = self._round()
+        out = render_pair_processing(pre, before, post, after, matching)
+        assert "(0,1)" in out
+
+    def test_shows_created_residue(self):
+        # equal heights: node 0 becomes the residue of node 1's new top
+        # slot (line 9), and the passed residue fills the other slot
+        pre, before, post, after, matching = self._round()
+        out = render_pair_processing(pre, before, post, after, matching)
+        assert "guarded by n1[4,2]" in out      # node 0, newly created
+        assert "guarded by n1[4,1]" in out      # node 2, passed along
+
+    def test_inconsistent_parity_direction_rejected(self):
+        # the same shape at even height is NOT an Odd-Even round: the
+        # created residue would be odd but guarded from the front,
+        # violating Rule 4 — the machinery refuses it
+        import pytest
+
+        from repro.errors import AttachmentError
+
+        before = np.asarray([2, 2, 0, 0])
+        after = np.asarray([1, 3, 0, 0])
+        with pytest.raises(AttachmentError, match="Rule 4"):
+            process_round(AttachmentScheme(), before, after)
+
+    def test_unmatched_annotated(self):
+        before = np.asarray([0, 1])
+        after = np.asarray([0, 0])
+        scheme = AttachmentScheme()
+        pre = scheme.copy()
+        cls, matching = process_round(scheme, before, after)
+        out = render_pair_processing(pre, before, scheme, after, matching)
+        assert "unmatched: 1" in out
+
+    def test_no_pairs_round(self):
+        before = np.asarray([0, 0])
+        after = np.asarray([1, 0])
+        scheme = AttachmentScheme()
+        pre = scheme.copy()
+        cls, matching = process_round(scheme, before, after)
+        out = render_pair_processing(pre, before, scheme, after, matching)
+        assert "(no pairs)" in out

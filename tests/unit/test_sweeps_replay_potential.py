@@ -1,0 +1,202 @@
+"""Unit tests for the sweep grid, replay adversaries and the
+exponential-potential diagnostics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.adversaries import (
+    FarEndAdversary,
+    MaxHeightChaserAdversary,
+    RecordingAdversary,
+    ReplayAdversary,
+    SeesawAdversary,
+)
+from repro.analysis import (
+    GrowthClass,
+    SweepGrid,
+    SweepResult,
+    potential,
+    trace_potential,
+)
+from repro.network.engine_fast import PathEngine
+from repro.policies import GreedyPolicy, OddEvenPolicy
+
+
+class TestSweepGrid:
+    def _grid(self, **kw):
+        return SweepGrid(
+            policies=[OddEvenPolicy, GreedyPolicy],
+            adversaries=[FarEndAdversary, SeesawAdversary],
+            ns=[16, 32, 64],
+            steps_factor=kw.pop("steps_factor", 8),
+            **kw,
+        )
+
+    def test_cell_count(self):
+        assert self._grid().cell_count() == 12
+
+    def test_run_produces_all_records(self):
+        res = self._grid().run()
+        assert len(res.records) == 12
+
+    def test_progress_callback(self):
+        seen = []
+        self._grid().run(progress=seen.append)
+        assert len(seen) == 12
+
+    def test_worst_reduction(self):
+        res = self._grid().run()
+        worst = res.worst_by_policy_and_n()
+        assert worst[("greedy", 64)] >= worst[("odd-even", 64)]
+
+    def test_growth_classification(self):
+        res = self._grid().run()
+        growth = res.growth_by_policy()
+        assert growth["greedy"][0] in (GrowthClass.LINEAR, GrowthClass.POWER)
+        assert growth["odd-even"][1] < growth["greedy"][1]
+
+    def test_csv_export(self):
+        res = self._grid().run()
+        csv = res.to_csv()
+        assert csv.splitlines()[0] == "policy,adversary,n,steps,max_height"
+        assert len(csv.splitlines()) == 13
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            SweepGrid([], [FarEndAdversary], [8])
+
+    def test_duplicate_ns_deduplicated(self):
+        g = SweepGrid([OddEvenPolicy], [FarEndAdversary], [8, 8, 16])
+        assert g.ns == [8, 16]
+
+
+class TestReplay:
+    def test_tape_captures_adaptive_behaviour(self):
+        rec = RecordingAdversary(MaxHeightChaserAdversary())
+        engine = PathEngine(16, OddEvenPolicy(), rec)
+        engine.run(40)
+        assert len(rec.tape) == 40
+        assert all(isinstance(b, tuple) for b in rec.tape)
+
+    def test_replay_reproduces_run_exactly(self):
+        rec = RecordingAdversary(MaxHeightChaserAdversary())
+        a = PathEngine(16, OddEvenPolicy(), rec)
+        a.run(60)
+        b = PathEngine(16, OddEvenPolicy(), rec.to_replay())
+        b.run(60)
+        assert (a.heights == b.heights).all()
+        assert a.max_height == b.max_height
+
+    def test_cross_policy_replay(self):
+        """A tape recorded against one policy replays against another
+        — the adaptive choices are frozen."""
+        rec = RecordingAdversary(SeesawAdversary())
+        PathEngine(32, GreedyPolicy(), rec).run(100)
+        replay = rec.to_replay()
+        engine = PathEngine(32, OddEvenPolicy(), replay)
+        engine.run(100)
+        assert engine.metrics.injected == sum(len(b) for b in rec.tape)
+
+    def test_replay_goes_silent_after_tape(self):
+        replay = ReplayAdversary([(0,), (1,)])
+        engine = PathEngine(8, GreedyPolicy(), replay)
+        engine.run(10)
+        assert engine.metrics.injected == 2
+
+    def test_replay_resets_cursor(self):
+        replay = ReplayAdversary([(0,)])
+        e1 = PathEngine(8, GreedyPolicy(), replay)
+        e1.run(3)
+        e2 = PathEngine(8, GreedyPolicy(), replay)  # reset re-arms
+        e2.run(3)
+        assert e2.metrics.injected == 1
+
+    def test_len(self):
+        assert len(ReplayAdversary([(0,), (), (1,)])) == 3
+
+
+class TestPotential:
+    def test_empty_config_zero(self):
+        assert potential(np.zeros(5, dtype=np.int64)) == 0.0
+
+    def test_single_tall_node(self):
+        assert potential(np.asarray([4])) == 15.0
+
+    def test_additivity(self):
+        assert potential(np.asarray([2, 3])) == 3 + 7
+
+    def test_base_validated(self):
+        with pytest.raises(ValueError):
+            potential(np.asarray([1]), base=1.0)
+
+    def test_implied_height_bound_dominates_max(self):
+        tr = trace_potential(
+            32, OddEvenPolicy(), SeesawAdversary(), 300, sample_every=5
+        )
+        assert tr.implied_height_bound() >= tr.max_height - 0.01
+
+    def test_odd_even_potential_stays_linear_in_n(self):
+        """The cost intuition: Odd-Even's potential is O(n) even under
+        its worst suite member, while greedy's explodes."""
+        n = 64
+        oe = trace_potential(n, OddEvenPolicy(), SeesawAdversary(), 8 * n)
+        gr = trace_potential(n, GreedyPolicy(), SeesawAdversary(), 8 * n)
+        assert oe.peak_per_node <= 8
+        assert gr.peak > 2**20
+
+    def test_sample_every_validated(self):
+        with pytest.raises(ValueError):
+            trace_potential(8, OddEvenPolicy(), FarEndAdversary(), 10,
+                            sample_every=0)
+
+    def test_trace_lengths(self):
+        tr = trace_potential(
+            16, OddEvenPolicy(), FarEndAdversary(), 30, sample_every=10
+        )
+        assert len(tr.steps) == len(tr.values) == 3
+
+
+class TestFrozenTapeComparison:
+    def test_reference_first_and_identical_traffic(self):
+        from repro.analysis import compare_under_frozen_tape
+
+        rows = compare_under_frozen_tape(
+            48,
+            GreedyPolicy(),
+            SeesawAdversary(),
+            [OddEvenPolicy()],
+            steps=200,
+        )
+        assert [r.policy for r in rows] == ["greedy", "odd-even"]
+        # identical injected traffic: with drain, both deliver all of it
+        assert rows[0].delivered == rows[1].delivered
+
+    def test_buffer_ordering_preserved_under_same_tape(self):
+        from repro.analysis import compare_under_frozen_tape
+
+        rows = compare_under_frozen_tape(
+            64,
+            GreedyPolicy(),
+            SeesawAdversary(),
+            [OddEvenPolicy()],
+            steps=300,
+        )
+        greedy, oddeven = rows
+        assert greedy.max_height > 5 * oddeven.max_height
+
+    def test_exclude_reference(self):
+        from repro.analysis import compare_under_frozen_tape
+
+        rows = compare_under_frozen_tape(
+            32,
+            GreedyPolicy(),
+            FarEndAdversary(),
+            [OddEvenPolicy()],
+            steps=100,
+            include_reference=False,
+        )
+        assert [r.policy for r in rows] == ["odd-even"]

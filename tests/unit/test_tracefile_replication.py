@@ -1,0 +1,123 @@
+"""Unit tests for JSONL trace persistence and replication statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversaries import (
+    ReplayAdversary,
+    SeesawAdversary,
+    UniformRandomAdversary,
+)
+from repro.analysis import replicate, replicate_max_height
+from repro.io import load_trace, save_trace, trace_to_replay_tape
+from repro.network.engine_fast import PathEngine
+from repro.network.events import TraceRecorder
+from repro.network.simulator import Simulator
+from repro.network.topology import spider
+from repro.network.validation import check_trace
+from repro.policies import GreedyPolicy, OddEvenPolicy, TreeOddEvenPolicy
+
+
+class TestTraceFiles:
+    def _record_run(self, tmp_path):
+        trace = TraceRecorder()
+        engine = PathEngine(10, OddEvenPolicy(), SeesawAdversary(),
+                            trace=trace)
+        engine.run(50)
+        path = save_trace(trace, engine.topology, tmp_path / "run.jsonl")
+        return engine, path
+
+    def test_roundtrip_preserves_records(self, tmp_path):
+        engine, path = self._record_run(tmp_path)
+        topo, records = load_trace(path)
+        assert topo.succ.tolist() == engine.topology.succ.tolist()
+        assert len(records) == 50
+        assert records[0].step == 0
+        assert (records[-1].heights_after == engine.heights).all()
+
+    def test_reloaded_trace_passes_audit(self, tmp_path):
+        _, path = self._record_run(tmp_path)
+        topo, records = load_trace(path)
+        assert check_trace(records, topo, capacity=1) == 50
+
+    def test_replay_tape_reproduces_run(self, tmp_path):
+        engine, path = self._record_run(tmp_path)
+        _, records = load_trace(path)
+        tape = trace_to_replay_tape(records)
+        replayed = PathEngine(10, OddEvenPolicy(), ReplayAdversary(tape))
+        replayed.run(50)
+        assert (replayed.heights == engine.heights).all()
+
+    def test_tree_trace_roundtrip(self, tmp_path):
+        topo = spider(3, 3)
+        trace = TraceRecorder()
+        sim = Simulator(topo, TreeOddEvenPolicy(),
+                        UniformRandomAdversary(seed=3), trace=trace)
+        sim.run(40)
+        path = save_trace(trace, topo, tmp_path / "tree.jsonl")
+        loaded_topo, records = load_trace(path)
+        assert loaded_topo.n == topo.n
+        assert check_trace(records, loaded_topo, capacity=1) == 40
+
+    def test_bad_header_rejected(self, tmp_path):
+        f = tmp_path / "junk.jsonl"
+        f.write_text("not json\n")
+        with pytest.raises(ValueError):
+            load_trace(f)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        f = tmp_path / "other.jsonl"
+        f.write_text('{"format": "something-else"}\n')
+        with pytest.raises(ValueError):
+            load_trace(f)
+
+
+class TestReplication:
+    def test_requires_two_seeds(self):
+        with pytest.raises(ValueError):
+            replicate(lambda s: 1.0, [1])
+
+    def test_confidence_range(self):
+        with pytest.raises(ValueError):
+            replicate(lambda s: float(s), [1, 2], confidence=1.5)
+
+    def test_deterministic_metric_zero_width(self):
+        r = replicate(lambda s: 5.0, range(5))
+        assert r.mean == 5.0 and r.ci_low == r.ci_high == 5.0
+        assert r.std == 0.0
+
+    def test_interval_contains_mean(self):
+        r = replicate(lambda s: float(s), range(10))
+        assert r.ci_low <= r.mean <= r.ci_high
+        assert r.n == 10
+
+    def test_wider_confidence_wider_interval(self):
+        vals = lambda s: float(s % 4)  # noqa: E731
+        narrow = replicate(vals, range(12), confidence=0.8)
+        wide = replicate(vals, range(12), confidence=0.99)
+        assert (wide.ci_high - wide.ci_low) > (narrow.ci_high - narrow.ci_low)
+
+    def test_max_height_replication(self):
+        r = replicate_max_height(
+            24,
+            OddEvenPolicy,
+            lambda seed: UniformRandomAdversary(seed=seed),
+            steps=300,
+            seeds=range(6),
+        )
+        assert 1 <= r.mean <= 8  # odd-even stays tiny on random traffic
+        assert r.n == 6
+
+    def test_policies_separate_under_same_seeds(self):
+        seeds = range(5)
+        oe = replicate_max_height(
+            32, OddEvenPolicy,
+            lambda s: SeesawAdversary(), steps=512, seeds=seeds,
+        )
+        gr = replicate_max_height(
+            32, GreedyPolicy,
+            lambda s: SeesawAdversary(), steps=512, seeds=seeds,
+        )
+        assert gr.ci_low > oe.ci_high  # non-overlapping intervals

@@ -1,0 +1,292 @@
+"""Unit tests for the §5 tree machinery: line decomposition,
+Algorithm 6 matchings, crossover pairs and the tree certifier."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversaries import (
+    LeafSweepAdversary,
+    HeavyBranchAdversary,
+    UniformRandomAdversary,
+)
+from repro.core.tree_certificate import (
+    TreeCertifier,
+    certify_tree_run,
+    validate_tree_rules,
+)
+from repro.core.tree_matching import (
+    build_tree_matching,
+    classify_tree_round,
+    decompose_lines,
+    tree_path_between,
+)
+from repro.core.attachment import AttachmentScheme, Slot
+from repro.errors import AttachmentError, MatchingError
+from repro.network.events import TraceRecorder
+from repro.network.simulator import Simulator
+from repro.network.topology import balanced_tree, path, spider
+from repro.policies import TreeOddEvenPolicy
+
+
+class TestLineDecomposition:
+    def test_path_is_single_line(self):
+        topo = path(6)
+        h = np.zeros(6, dtype=np.int64)
+        d = decompose_lines(topo, h)
+        assert len(d.lines) == 1
+        assert d.drain == 0
+        assert list(d.lines[0]) == [0, 1, 2, 3, 4]
+
+    def test_spider_one_line_per_arm(self, small_spider):
+        h = np.zeros(small_spider.n, dtype=np.int64)
+        d = decompose_lines(small_spider, h)
+        assert len(d.lines) == 3  # one per leaf
+        assert d.drain >= 0
+
+    def test_lines_partition_non_sink_nodes(self, small_binary):
+        h = np.zeros(small_binary.n, dtype=np.int64)
+        d = decompose_lines(small_binary, h)
+        covered = sorted(v for line in d.lines for v in line)
+        expected = sorted(
+            v for v in range(small_binary.n) if v != small_binary.sink
+        )
+        assert covered == expected
+
+    def test_sender_gets_priority(self, small_spider):
+        hub = 1
+        heads = small_spider.children[hub]
+        h = np.zeros(small_spider.n, dtype=np.int64)
+        sends = np.zeros(small_spider.n, dtype=np.int64)
+        sends[heads[2]] = 1
+        d = decompose_lines(small_spider, h, sends=sends)
+        assert d.priority_child[hub] == heads[2]
+
+    def test_injection_branch_breaks_tie(self, small_spider):
+        hub = 1
+        heads = small_spider.children[hub]
+        h = np.zeros(small_spider.n, dtype=np.int64)
+        # injection deep in arm of heads[1]
+        arm_node = small_spider.children[heads[1]][0]
+        d = decompose_lines(small_spider, h, injection=arm_node)
+        assert d.priority_child[hub] == heads[1]
+
+    def test_two_senders_rejected(self, small_spider):
+        hub = 1
+        heads = small_spider.children[hub]
+        h = np.zeros(small_spider.n, dtype=np.int64)
+        sends = np.zeros(small_spider.n, dtype=np.int64)
+        sends[heads[0]] = sends[heads[1]] = 1
+        with pytest.raises(MatchingError):
+            decompose_lines(small_spider, h, sends=sends)
+
+    def test_drain_reaches_sink(self, small_binary):
+        h = np.zeros(small_binary.n, dtype=np.int64)
+        d = decompose_lines(small_binary, h)
+        end = d.lines[d.drain][-1]
+        assert small_binary.succ[end] == small_binary.sink
+
+
+class TestTreePathBetween:
+    def test_ancestor_chain_no_tip(self, small_spider):
+        # node in an arm and the hub: straight path, tip is an endpoint
+        arm_outer = 3
+        between, tip = tree_path_between(small_spider, arm_outer, 1)
+        assert tip is None
+        assert between == [2]
+
+    def test_crossover_has_tip(self, small_spider):
+        hub = 1
+        a, b = small_spider.children[hub][:2]
+        between, tip = tree_path_between(small_spider, a, b)
+        assert tip == hub
+        assert between == []
+
+    def test_between_excludes_tip(self, small_binary):
+        # two leaves in different subtrees of the root's children
+        leaves = [v for v in small_binary.leaves]
+        a, b = leaves[0], leaves[-1]
+        between, tip = tree_path_between(small_binary, a, b)
+        assert tip == small_binary.sink
+        assert tip not in between
+
+
+class TestClassifyTreeRound:
+    def test_sink_always_steady(self, small_spider):
+        before = np.zeros(small_spider.n, dtype=np.int64)
+        after = before.copy()
+        kinds = classify_tree_round(before, after, small_spider)
+        assert kinds[small_spider.sink].name == "STEADY"
+
+    def test_illegal_jump_rejected(self, small_spider):
+        before = np.zeros(small_spider.n, dtype=np.int64)
+        after = before.copy()
+        after[2] = 3
+        with pytest.raises(MatchingError):
+            classify_tree_round(before, after, small_spider)
+
+
+class TestTreeMatchingOnTraces:
+    @pytest.mark.parametrize(
+        "adv",
+        [LeafSweepAdversary(), UniformRandomAdversary(seed=6),
+         HeavyBranchAdversary()],
+        ids=lambda a: a.name,
+    )
+    def test_every_round_matches_and_verifies(self, small_spider, adv):
+        from repro.core.tree_matching import verify_tree_matching
+
+        trace = TraceRecorder()
+        sim = Simulator(small_spider, TreeOddEvenPolicy(), adv, trace=trace)
+        for _ in range(300):
+            sim.step()
+            rec = trace[-1]
+            inj = rec.injections[0] if rec.injections else None
+            d = decompose_lines(
+                small_spider, rec.heights_before, rec.sends, inj
+            )
+            m = build_tree_matching(
+                small_spider, rec.heights_before, rec.heights_after, d, inj
+            )
+            kinds = classify_tree_round(
+                rec.heights_before, rec.heights_after, small_spider
+            )
+            verify_tree_matching(m, small_spider, rec.heights_before, kinds)
+
+    def test_crossovers_occur_on_spiders(self, small_spider):
+        trace = TraceRecorder()
+        sim = Simulator(
+            small_spider, TreeOddEvenPolicy(),
+            UniformRandomAdversary(seed=6),
+            trace=trace,
+        )
+        crossings = 0
+        for _ in range(200):
+            sim.step()
+            rec = trace[-1]
+            inj = rec.injections[0] if rec.injections else None
+            d = decompose_lines(
+                small_spider, rec.heights_before, rec.sends, inj
+            )
+            m = build_tree_matching(
+                small_spider, rec.heights_before, rec.heights_after, d, inj
+            )
+            crossings += sum(1 for p in m.pairs if p.crossover)
+        assert crossings > 0
+
+
+class TestValidateTreeRules:
+    def test_rule6_guardian_behind_rejected(self, small_spider):
+        scheme = AttachmentScheme(even_only=True)
+        # guardian deep in an arm, residue at the hub: guardian behind
+        scheme.attach(Slot(3, 4, 2), 1)
+        heights = np.zeros(small_spider.n, dtype=np.int64)
+        heights[3] = 4
+        heights[1] = 2
+        with pytest.raises(AttachmentError, match="Rule 6"):
+            validate_tree_rules(scheme, heights, small_spider)
+
+    def test_even_fullness_checked(self, small_spider):
+        scheme = AttachmentScheme(even_only=True)
+        heights = np.zeros(small_spider.n, dtype=np.int64)
+        heights[2] = 4  # needs slot (4, 2) filled
+        with pytest.raises(AttachmentError, match="fullness"):
+            validate_tree_rules(scheme, heights, small_spider)
+
+    def test_valid_scheme_passes(self, small_spider):
+        scheme = AttachmentScheme(even_only=True)
+        # Rule 6 wants the guardian NOT behind the residue: put the
+        # tall guardian at the hub (in front) and the height-2 residue
+        # out in an arm, with the node between them at least as tall.
+        scheme.attach(Slot(1, 4, 2), 3)
+        heights = np.zeros(small_spider.n, dtype=np.int64)
+        heights[1] = 4
+        heights[3] = 2
+        heights[2] = 2  # between residue 3 and guardian 1
+        validate_tree_rules(scheme, heights, small_spider)
+
+    def test_crossover_guardian_in_sibling_branch_passes(self, small_spider):
+        # guardian and residue in different arms (a crossover pair):
+        # the guardian-side branch must be strictly above the level
+        scheme = AttachmentScheme(even_only=True)
+        scheme.attach(Slot(5, 4, 2), 2)
+        heights = np.zeros(small_spider.n, dtype=np.int64)
+        heights[5] = 4
+        heights[2] = 2
+        validate_tree_rules(scheme, heights, small_spider)
+
+
+class TestTreeCertifier:
+    def test_trace_must_chain(self, small_spider):
+        from repro.network.events import StepRecord
+        from repro.errors import CertificationError
+
+        cert = TreeCertifier(small_spider)
+        bad = StepRecord(
+            step=0,
+            heights_before=np.ones(small_spider.n, dtype=np.int64),
+            injections=(),
+            sends=np.zeros(small_spider.n, dtype=np.int64),
+            heights_after=np.ones(small_spider.n, dtype=np.int64),
+            delivered=0,
+        )
+        with pytest.raises(CertificationError):
+            cert.observe(bad)
+
+    @pytest.mark.parametrize("tie_rule", ["min_id", "max_id", "round_robin"])
+    def test_certifies_under_tie_rules(self, tie_rule):
+        topo = spider(3, 4)
+        rep = certify_tree_run(
+            topo, UniformRandomAdversary(seed=2), 400, tie_rule=tie_rule
+        )
+        assert rep.certified and rep.rounds == 400
+
+    def test_certifies_binary_tree(self, small_binary):
+        rep = certify_tree_run(small_binary, LeafSweepAdversary(), 500)
+        assert rep.certified
+        assert rep.crossover_pairs > 0
+
+    def test_bound_matches_formula(self, small_binary):
+        from repro.core.bounds import tree_upper_bound
+
+        rep = certify_tree_run(small_binary, LeafSweepAdversary(), 50)
+        assert rep.bound == tree_upper_bound(small_binary.n)
+
+
+class TestDecomposeTieRules:
+    def test_max_id_changes_priority(self, small_spider):
+        hub = 1
+        heads = small_spider.children[hub]
+        h = np.zeros(small_spider.n, dtype=np.int64)
+        for head in heads:
+            h[head] = 2
+        d_min = decompose_lines(small_spider, h, tie_rule="min_id")
+        d_max = decompose_lines(small_spider, h, tie_rule="max_id")
+        assert d_min.priority_child[hub] == min(heads)
+        assert d_max.priority_child[hub] == max(heads)
+
+    def test_sender_overrides_tie_rule(self, small_spider):
+        hub = 1
+        heads = small_spider.children[hub]
+        h = np.zeros(small_spider.n, dtype=np.int64)
+        sends = np.zeros(small_spider.n, dtype=np.int64)
+        sends[heads[-1]] = 1
+        d = decompose_lines(small_spider, h, sends=sends, tie_rule="min_id")
+        assert d.priority_child[hub] == heads[-1]
+
+    def test_injection_beats_policy_winner(self, small_spider):
+        hub = 1
+        heads = small_spider.children[hub]
+        h = np.zeros(small_spider.n, dtype=np.int64)
+        h[heads[0]] = 3  # policy winner would be heads[0]
+        arm1_outer = small_spider.children[heads[1]][0]
+        d = decompose_lines(small_spider, h, injection=arm1_outer)
+        assert d.priority_child[hub] == heads[1]
+
+    def test_every_line_is_a_directed_chain(self, small_binary):
+        h = np.zeros(small_binary.n, dtype=np.int64)
+        d = decompose_lines(small_binary, h)
+        for line in d.lines:
+            for a, b in zip(line, line[1:]):
+                assert small_binary.succ[a] == b

@@ -1,0 +1,75 @@
+"""Direct unit tests for the parity-dependent 2up processing order —
+the subtlety the paper's prose glosses over (docs/proof_machinery.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.attachment import AttachmentScheme, Slot
+from repro.core.classify import classify_round
+from repro.core.maintenance import _processing_order, process_round
+from repro.core.matching import build_matching
+from repro.errors import CertificationError
+
+
+class TestProcessingOrderSelection:
+    def _order_for(self, before, after):
+        before = np.asarray(before, dtype=np.int64)
+        after = np.asarray(after, dtype=np.int64)
+        cls = classify_round(before, after)
+        matching = build_matching(cls)
+        return _processing_order(matching, cls, before), cls
+
+    def test_even_2up_processes_right_pair_first(self):
+        # profile [3, 2, 2, 2, 1]: injection at position 1 (even h)
+        before = [3, 2, 2, 2, 1]
+        after = [2, 4, 2, 1, 1]
+        order, cls = self._order_for(before, after)
+        first = order[0]
+        # the right pair's down node (position 3) must come first
+        assert first.down == 3 and first.up == 1
+
+    def test_odd_2up_processes_left_pair_first(self):
+        # odd-height 2up: t at height 1 receiving + injected
+        before = [1, 1, 2, 1]
+        after = [0, 3, 2, 0]
+        order, cls = self._order_for(before, after)
+        first = order[0]
+        assert first.down == 0 and first.up == 1  # left pair first
+
+    def test_no_2up_keeps_natural_order(self):
+        before = [2, 1, 2, 1]
+        after = [1, 2, 1, 2]
+        order, _ = self._order_for(before, after)
+        assert [(p.down, p.up) for p in order] == [(0, 1), (2, 3)]
+
+
+class TestWrongOrderWouldBreak:
+    def test_even_triple_left_first_is_infeasible(self):
+        """Processing the left pair first on the even counterexample
+        leaves the right pair with h_u > h_d and an unfillable slot —
+        exactly why the parity rule exists."""
+        from repro.core.maintenance import process_pair
+
+        heights = np.asarray([3, 2, 2, 2, 1], dtype=np.int64)
+        scheme = AttachmentScheme()
+        scheme.attach(Slot(0, 3, 1), 4)  # fullness for the height-3 node
+        # left pair (0, 1) first: t rises to 3
+        process_pair(scheme, heights, 0, 1)
+        assert heights.tolist() == [2, 3, 2, 2, 1]
+        # right pair (3, 1): t at 3 > h_d = 2 -> infeasible
+        with pytest.raises(CertificationError):
+            process_pair(scheme, heights, 3, 1)
+
+    def test_full_round_with_even_triple_processes_cleanly(self):
+        """process_round applies the parity rule automatically."""
+        scheme = AttachmentScheme()
+        scheme.attach(Slot(0, 3, 1), 4)
+        before = np.asarray([3, 2, 2, 2, 1])
+        after = np.asarray([2, 4, 2, 1, 1])
+        process_round(scheme, before, after)
+        # the 2up node ended at height 4 with all slots full
+        scheme.validate(np.asarray(after))
+        assert scheme.residue_at(Slot(1, 4, 2)) is not None

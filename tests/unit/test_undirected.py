@@ -1,0 +1,109 @@
+"""Unit tests for the undirected-path engine and bidirectional policies
+(the Theorem 3.3 apparatus)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversaries import FarEndAdversary, PreSinkAdversary
+from repro.errors import SimulationError
+from repro.network.engine_fast import UndirectedPathEngine
+from repro.policies import (
+    DirectedAsUndirected,
+    HeightBalancingPolicy,
+    OddEvenPolicy,
+)
+
+
+class TestEngineSanitisation:
+    def test_capacity_above_one_rejected(self):
+        with pytest.raises(SimulationError):
+            UndirectedPathEngine(8, HeightBalancingPolicy(), None, capacity=2)
+
+    def test_conservation(self):
+        e = UndirectedPathEngine(8, HeightBalancingPolicy(), FarEndAdversary())
+        e.run(100)
+        assert e.metrics.injected == e.metrics.delivered + int(e.heights.sum())
+
+    def test_far_end_never_sends_left(self):
+        e = UndirectedPathEngine(6, HeightBalancingPolicy(), None)
+        e.heights[0] = 5
+        e.step()
+        # position -1 does not exist; height must not leak
+        assert e.heights.sum() == 5
+
+    def test_single_packet_not_duplicated(self):
+        class BothWays(HeightBalancingPolicy):
+            def send_directions(self, heights):
+                right = heights > 0
+                left = heights > 0
+                return right, left
+
+        e = UndirectedPathEngine(6, BothWays(), None)
+        e.heights[2] = 1
+        e.step()
+        assert e.heights.sum() == 1  # rightwards won, no cloning
+
+    def test_checkpoint_restore(self):
+        e = UndirectedPathEngine(8, HeightBalancingPolicy(), FarEndAdversary())
+        e.run(10)
+        cp = e.checkpoint()
+        h = e.heights.copy()
+        e.run(10)
+        e.restore(cp)
+        assert (e.heights == h).all()
+
+
+class TestDirectedControl:
+    def test_matches_directed_engine(self):
+        """DirectedAsUndirected(OddEven) must reproduce the directed
+        engine's trajectory exactly."""
+        from repro.network.engine_fast import PathEngine
+
+        d = PathEngine(16, OddEvenPolicy(), FarEndAdversary())
+        u = UndirectedPathEngine(
+            16, DirectedAsUndirected(OddEvenPolicy()), FarEndAdversary()
+        )
+        for _ in range(60):
+            d.step()
+            u.step()
+            assert (d.heights == u.heights).all()
+
+    def test_name_wraps_inner(self):
+        assert "odd-even" in DirectedAsUndirected(OddEvenPolicy()).name
+
+
+class TestHeightBalancing:
+    def test_slack_validated(self):
+        with pytest.raises(ValueError):
+            HeightBalancingPolicy(slack=1)
+
+    def test_sheds_left_on_steep_gradient(self):
+        p = HeightBalancingPolicy(slack=3)
+        h = np.asarray([0, 5, 0, 0])
+        right, left = p.send_directions(h)
+        assert left[1]  # 0 + 3 <= 5
+
+    def test_no_left_send_on_shallow_gradient(self):
+        p = HeightBalancingPolicy(slack=3)
+        h = np.asarray([3, 5, 0, 0])
+        right, left = p.send_directions(h)
+        assert not left[1]
+
+    def test_drains_eventually(self):
+        e = UndirectedPathEngine(12, HeightBalancingPolicy(), None)
+        e.heights[:-1] = 3
+        for _ in range(400):
+            e.step()
+        assert e.heights.sum() == 0
+
+    def test_no_ping_pong_livelock(self):
+        """Total potential decreases: a left send lands at least slack-1
+        below, so the pair cannot bounce the packet straight back."""
+        e = UndirectedPathEngine(8, HeightBalancingPolicy(slack=3), None)
+        e.heights[3] = 6
+        delivered_before = e.metrics.delivered
+        e.run(200)
+        assert e.heights.sum() == 0
+        assert e.metrics.delivered == delivered_before + 6

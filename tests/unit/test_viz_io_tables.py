@@ -1,0 +1,161 @@
+"""Unit tests for ASCII visualisation, tables and result I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_kv, format_table, rows_to_csv
+from repro.core.attachment import AttachmentScheme, Slot
+from repro.io.results import ExperimentResult, load_result, save_result
+from repro.network.topology import spider
+from repro.viz.ascii import height_profile, series_plot, sparkline
+from repro.viz.attachment_render import (
+    render_configuration,
+    render_node_attachments,
+)
+from repro.viz.tree_render import render_tree
+
+
+class TestTables:
+    def test_alignment_and_separator(self):
+        out = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_numeric_right_aligned(self):
+        out = format_table(["v"], [[1], [100]])
+        rows = out.splitlines()[2:]
+        assert rows[0].endswith("1") and rows[1].endswith("100")
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[3.14159]])
+        assert "3.14" in out
+
+    def test_nan_rendered(self):
+        out = format_table(["x"], [[float("nan")]])
+        assert "nan" in out
+
+    def test_title_line(self):
+        out = format_table(["x"], [[1]], title="T:")
+        assert out.splitlines()[0] == "T:"
+
+    def test_csv_round(self):
+        csv = rows_to_csv(["a", "b"], [[1, "x"], [2, "y"]])
+        assert csv.splitlines()[0] == "a,b"
+        assert len(csv.splitlines()) == 3
+
+    def test_kv_block(self):
+        out = format_kv({"alpha": 1, "b": 2.5})
+        assert "alpha : 1" in out
+
+
+class TestAsciiCharts:
+    def test_profile_has_one_column_per_node(self):
+        out = height_profile([0, 3, 1, 0])
+        bar_row = [l for l in out.splitlines() if "|" in l][0]
+        inner = bar_row.split("|")[1]
+        assert len(inner) == 4
+
+    def test_profile_rescales_tall_configs(self):
+        out = height_profile([100, 0], max_rows=5)
+        assert "1 row =" in out
+
+    def test_profile_empty(self):
+        assert "empty" in height_profile([])
+
+    def test_sparkline_length(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_sparkline_flat(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_sparkline_monotone(self):
+        s = sparkline(range(9))
+        assert s[0] == " " and s[-1] == "█"
+
+    def test_series_plot_contains_markers_and_legend(self):
+        out = series_plot(
+            {"a": ([1, 2, 4], [1, 2, 3]), "b": ([1, 2, 4], [3, 2, 1])},
+            log2_x=True,
+        )
+        assert "*" in out and "+" in out
+        assert "* = a" in out and "+ = b" in out
+        assert "log2(x)" in out
+
+    def test_series_plot_no_data(self):
+        assert series_plot({}) == "(no data)"
+
+
+class TestAttachmentRender:
+    def test_node_render_lists_slots(self):
+        s = AttachmentScheme()
+        s.attach(Slot(0, 3, 1), 2)
+        heights = np.asarray([3, 0, 1])
+        out = render_node_attachments(s, heights, 0)
+        assert "packet 3" in out and "n2" in out
+
+    def test_node_render_short_node(self):
+        out = render_node_attachments(AttachmentScheme(), np.asarray([2]), 0)
+        assert "no packets" in out
+
+    def test_even_only_marks_untracked(self):
+        s = AttachmentScheme(even_only=True)
+        heights = np.asarray([4])
+        out = render_node_attachments(s, heights, 0)
+        assert "·" in out
+
+    def test_configuration_render(self):
+        s = AttachmentScheme()
+        s.attach(Slot(2, 3, 1), 3)
+        out = render_configuration(s, np.asarray([0, 0, 3, 1]))
+        assert "n3" in out and "guarded by" in out
+
+    def test_tree_render_shows_sink(self):
+        out = render_tree(spider(2, 2))
+        assert "(sink)" in out
+        assert out.count("n") >= 6
+
+
+class TestResultsIO:
+    def _result(self) -> ExperimentResult:
+        return ExperimentResult(
+            experiment_id="E99",
+            title="test",
+            paper_claim="claim",
+            headers=["a", "b"],
+            rows=[[1, "x"]],
+            passed=True,
+            notes=["n1"],
+            artifacts={"chart": "..."},
+            params={"n": 4},
+        )
+
+    def test_text_report_contains_status(self):
+        txt = self._result().to_text()
+        assert "[PASS]" in txt and "claim" in txt
+
+    def test_text_without_artifacts(self):
+        txt = self._result().to_text(include_artifacts=False)
+        assert "chart" not in txt
+
+    def test_json_roundtrip(self, tmp_path):
+        res = self._result()
+        path = save_result(res, tmp_path)
+        loaded = load_result(path)
+        assert loaded.experiment_id == "E99"
+        assert loaded.rows == [[1, "x"]]
+        assert loaded.passed is True
+
+    def test_save_writes_txt_too(self, tmp_path):
+        save_result(self._result(), tmp_path)
+        assert (tmp_path / "e99.txt").exists()
+
+    def test_csv_export(self):
+        assert self._result().to_csv().startswith("a,b")

@@ -1,0 +1,73 @@
+"""Additional visualisation coverage: chart geometry and edge cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.viz.ascii import height_profile, series_plot, sparkline
+
+
+class TestHeightProfileGeometry:
+    def test_row_count_matches_peak(self):
+        out = height_profile([3, 1, 0])
+        bar_rows = [l for l in out.splitlines() if l.strip().startswith(("1", "2", "3")) and "|" in l]
+        assert len(bar_rows) == 3
+
+    def test_column_marks_threshold(self):
+        out = height_profile([2, 0])
+        rows = [l for l in out.splitlines() if "|" in l]
+        # the top row (threshold 2) marks only column 0
+        assert rows[0].split("|")[1] == "█ "
+
+    def test_label_first_line(self):
+        out = height_profile([1], label="profile:")
+        assert out.splitlines()[0] == "profile:"
+
+    def test_all_zero_profile(self):
+        out = height_profile([0, 0, 0])
+        assert "|" in out  # renders a frame without crashing
+
+    def test_scale_annotation_only_when_rescaled(self):
+        assert "1 row" not in height_profile([5, 1], max_rows=10)
+        assert "1 row" in height_profile([50, 1], max_rows=10)
+
+
+class TestSeriesPlotGeometry:
+    def test_dimensions(self):
+        out = series_plot({"a": ([1, 10], [0, 5])}, width=30, height=6)
+        rows = [l for l in out.splitlines() if l.endswith(("|",)) or "|" in l]
+        grid_rows = [l for l in out.splitlines() if "|" in l and "=" not in l]
+        assert len(grid_rows) == 6
+
+    def test_axis_labels(self):
+        out = series_plot(
+            {"a": ([1, 2], [1, 2])}, x_label="n", y_label="height"
+        )
+        assert "x: n" in out and "y: height" in out
+
+    def test_title_included(self):
+        out = series_plot({"a": ([1, 2], [1, 2])}, title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_degenerate_single_point(self):
+        out = series_plot({"a": ([5], [5])})
+        assert "*" in out
+
+    def test_marker_cycle_beyond_eight(self):
+        series = {f"s{i}": ([1, 2], [i, i]) for i in range(10)}
+        out = series_plot(series)
+        assert "* = s0" in out and "* = s8" in out  # cycles
+
+
+class TestSparklineEdges:
+    def test_single_value(self):
+        assert len(sparkline([42])) == 1
+
+    def test_negative_values_handled(self):
+        s = sparkline([-3, 0, 3])
+        assert len(s) == 3
+        assert s[0] == " " and s[-1] == "█"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
