@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments experiments-full docs clean
+.PHONY: install test bench soak experiments experiments-full docs clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -15,6 +15,10 @@ test-fast:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# long fault-injection burn-ins (excluded from the default pytest run)
+soak:
+	$(PYTHON) -m pytest tests/integration/test_soak.py -m soak -q
 
 experiments:
 	$(PYTHON) -m repro run all --preset quick

@@ -1,0 +1,26 @@
+"""Benchmark harness for E19 — fault injection + finite buffers.
+
+See DESIGN.md §4 (E19) and docs/robustness.md for the degradation
+model.  The benchmark time is the cost of the full quick-preset
+regeneration: three fault overlays x a capacity sweep on path and tree
+topologies, plus the crash/resume fidelity check.
+"""
+
+from __future__ import annotations
+
+
+def test_bench_e19_regenerates(run_experiment):
+    res = run_experiment("E19")
+    # zero loss whenever capacity meets the bound under the none /
+    # recoverable overlays; the ledger balances in every single run
+    assert all(r[-1] == "yes" for r in res.rows), "unbalanced ledger"
+    for row in res.rows:
+        _topo, plan, cap, bound, *_rest = row
+        dropped = row[7]
+        if plan in ("none", "recoverable") and (
+            cap == "inf" or int(cap) >= int(bound)
+        ):
+            assert dropped == 0, row
+    # the tightest capacity under the attack does lose packets
+    lossy_rows = [r for r in res.rows if r[1] == "lossy"]
+    assert any(r[7] > 0 for r in lossy_rows)

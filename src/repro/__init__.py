@@ -79,7 +79,9 @@ from .core import (
 )
 from .errors import (
     AttachmentError,
+    BufferOverflow,
     CertificationError,
+    FaultError,
     MatchingError,
     PolicyError,
     ReproError,
@@ -89,7 +91,14 @@ from .errors import (
 from .network import (
     DagEngine,
     DagTopology,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    LossLedger,
+    Overflow,
     PathEngine,
+    RandomFaults,
     RunResult,
     Simulator,
     Topology,
@@ -104,6 +113,7 @@ from .network import (
     tree_with_shortcuts,
     path,
     random_tree,
+    run_with_recovery,
     spider,
 )
 from .policies import (
@@ -148,6 +158,15 @@ __all__ = [
     "layered_dag",
     "diamond_grid",
     "tree_with_shortcuts",
+    # robustness / fault injection
+    "Overflow",
+    "LossLedger",
+    "FaultKind",
+    "FaultEvent",
+    "RandomFaults",
+    "FaultPlan",
+    "FaultInjector",
+    "run_with_recovery",
     # policies
     "ForwardingPolicy",
     "OddEvenPolicy",
@@ -220,4 +239,6 @@ __all__ = [
     "CertificationError",
     "MatchingError",
     "AttachmentError",
+    "BufferOverflow",
+    "FaultError",
 ]

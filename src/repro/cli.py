@@ -5,9 +5,14 @@ Sub-commands:
 * ``list`` — experiments and policies;
 * ``describe EXP`` — an experiment's claim and paper reference;
 * ``run EXP [EXP...] | all`` — run experiments, print reports, and
-  optionally save JSON/TXT artefacts;
+  optionally save JSON/TXT artefacts; ``--faults plan.json`` threads a
+  :class:`~repro.network.faults.FaultPlan` into experiments that
+  simulate;
 * ``simulate`` — one ad-hoc (policy, adversary, n) run with a profile
-  drawing — handy for exploration.
+  drawing — handy for exploration.  Supports the robustness extensions
+  (``--faults``, ``--buffer-capacity``, ``--overflow``); runs with a
+  fault plan go through the crash/resume harness so induced process
+  kills (``halt`` events) are survived and reported.
 """
 
 from __future__ import annotations
@@ -47,6 +52,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="directory for JSON/TXT artefacts")
     r.add_argument("--no-artifacts", action="store_true",
                    help="omit ASCII charts from stdout")
+    r.add_argument("--faults", default=None, metavar="PLAN.json",
+                   help="fault plan JSON threaded into simulating "
+                        "experiments (see docs/robustness.md)")
 
     c = sub.add_parser(
         "certify",
@@ -74,6 +82,17 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("-n", type=int, default=128)
     s.add_argument("--steps", type=int, default=None)
     s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--faults", default=None, metavar="PLAN.json",
+                   help="fault plan JSON (link outages, crashes, jitter, "
+                        "halts)")
+    s.add_argument("--buffer-capacity", type=int, default=None,
+                   help="finite per-node buffer (default: unbounded)")
+    s.add_argument("--overflow", default="drop-tail",
+                   choices=("drop-tail", "drop-oldest", "push-back"),
+                   help="overflow discipline for finite buffers")
+    s.add_argument("--snapshot-every", type=int, default=50,
+                   help="snapshot stride for crash/resume when a fault "
+                        "plan is given")
     return p
 
 
@@ -113,14 +132,28 @@ def _cmd_describe(experiment: str) -> int:
     return 0
 
 
+def _load_fault_plan(path: str | None):
+    """Load ``--faults`` (a FaultPlan JSON file); ``None`` passes through."""
+    if path is None:
+        return None
+    from .errors import FaultError
+    from .network.faults import FaultPlan
+
+    try:
+        return FaultPlan.from_file(path)
+    except OSError as err:
+        raise FaultError(f"cannot read fault plan {path!r}: {err}") from err
+
+
 def _cmd_run(ids: Sequence[str], preset: str, out: str | None,
-             no_artifacts: bool) -> int:
+             no_artifacts: bool, faults: str | None = None) -> int:
     if len(ids) == 1 and ids[0].lower() == "all":
         ids = all_experiment_ids()
+    plan = _load_fault_plan(faults)
     failures = 0
     for eid in ids:
         exp = get_experiment(eid)
-        result = exp.run(preset)
+        result = exp.run(preset, faults=plan)
         print(result.to_text(include_artifacts=not no_artifacts))
         print()
         if out:
@@ -134,24 +167,51 @@ def _cmd_run(ids: Sequence[str], preset: str, out: str | None,
 
 
 def _cmd_simulate(policy: str, adversary: str, n: int,
-                  steps: int | None, seed: int) -> int:
+                  steps: int | None, seed: int,
+                  faults: str | None = None,
+                  buffer_capacity: int | None = None,
+                  overflow: str = "drop-tail",
+                  snapshot_every: int = 50) -> int:
     from .analysis.occupancy import default_step_budget
     from .core.bounds import odd_even_upper_bound
     from .network.engine_fast import PathEngine
+    from .network.faults import run_with_recovery
     from .viz.ascii import height_profile, sparkline
 
+    plan = _load_fault_plan(faults)
     steps = default_step_budget(n) if steps is None else steps
     engine = PathEngine(
         n, make_policy(policy), _make_adversary(adversary, seed),
         series_every=max(1, steps // 64),
+        buffer_capacity=buffer_capacity,
+        overflow=overflow,
+        faults=plan,
     )
-    engine.run(steps)
+    if plan is not None:
+        recoveries = run_with_recovery(
+            engine, steps, snapshot_every=snapshot_every
+        )
+    else:
+        recoveries = 0
+        engine.run(steps)
     t = engine.metrics.tracker
     print(f"policy={policy} adversary={adversary} n={n} steps={steps}")
     print(f"max height: {t.max_height} (node {t.argmax_node} at step "
           f"{t.argmax_step}); log2(n)+3 = {odd_even_upper_bound(n):.1f}")
     print(f"injected {engine.metrics.injected}, delivered "
           f"{engine.metrics.delivered}, in flight {int(engine.heights.sum())}")
+    ledger = engine.metrics.ledger
+    if plan is not None or buffer_capacity is not None:
+        by_cause = ledger.by_cause()
+        causes = (
+            ", ".join(f"{c}={k}" for c, k in sorted(by_cause.items()))
+            if by_cause else "none"
+        )
+        print(f"dropped {ledger.total} (by cause: {causes}); "
+              f"ledger balanced: "
+              f"{ledger.balanced(engine.metrics.injected, engine.metrics.delivered, int(engine.heights.sum()))}")
+        if plan is not None:
+            print(f"induced process kills survived: {recoveries}")
     print()
     print(height_profile(engine.heights, label="final height profile:"))
     if engine.metrics.series.values:
@@ -175,8 +235,11 @@ def _parse_topology(spec: str):
             return topo_mod.balanced_tree(2, int(arg)), None
         if kind == "random":
             return topo_mod.random_tree(int(arg), seed=0), None
-    except ValueError:
-        pass
+    except ValueError as err:
+        raise ExperimentError(
+            f"bad topology spec {spec!r}; use path:N, spider:AxL, "
+            "binary:D or random:N"
+        ) from err
     raise ExperimentError(
         f"bad topology spec {spec!r}; use path:N, spider:AxL, binary:D "
         "or random:N"
@@ -242,7 +305,7 @@ def _cmd_certify(topology: str, adversary: str, steps: int | None,
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    from .errors import PolicyError
+    from .errors import FaultError, PolicyError
 
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -250,16 +313,22 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "describe":
         return _cmd_describe(args.experiment)
     if args.command == "run":
-        return _cmd_run(args.experiments, args.preset, args.out,
-                        args.no_artifacts)
+        try:
+            return _cmd_run(args.experiments, args.preset, args.out,
+                            args.no_artifacts, args.faults)
+        except FaultError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if args.command == "certify":
         return _cmd_certify(args.topology, args.adversary, args.steps,
                             args.seed, args.show_figure)
     if args.command == "simulate":
         try:
             return _cmd_simulate(args.policy, args.adversary, args.n,
-                                 args.steps, args.seed)
-        except PolicyError as exc:
+                                 args.steps, args.seed, args.faults,
+                                 args.buffer_capacity, args.overflow,
+                                 args.snapshot_every)
+        except (FaultError, PolicyError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
     raise AssertionError("unreachable")  # pragma: no cover

@@ -15,6 +15,8 @@ __all__ = [
     "CapacityViolation",
     "ConservationViolation",
     "RateViolation",
+    "BufferOverflow",
+    "FaultError",
     "PolicyError",
     "LocalityViolation",
     "CertificationError",
@@ -46,6 +48,27 @@ class ConservationViolation(SimulationError):
 
 class RateViolation(SimulationError):
     """An adversary attempted to inject more than ``c`` packets in a step."""
+
+
+class BufferOverflow(SimulationError):
+    """A finite buffer received a packet it could not hold.
+
+    Only raised when overflow handling cannot resolve the situation
+    locally: a ``push-back`` buffer was pushed into without the engine
+    checking :attr:`~repro.network.buffers.Buffer.free` first.  The
+    drop disciplines (``drop-tail``, ``drop-oldest``) never raise —
+    they record the loss in the conservation ledger instead.
+    """
+
+
+class FaultError(SimulationError):
+    """An injected fault terminated the run (a simulated process kill).
+
+    Raised by :class:`repro.network.faults.FaultInjector` when a
+    ``halt`` fault fires.  Callers that want crash-resilient runs catch
+    it and resume from the last snapshot (see
+    :func:`repro.network.faults.run_with_recovery`).
+    """
 
 
 class PolicyError(ReproError):

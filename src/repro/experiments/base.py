@@ -32,6 +32,7 @@ from ..adversaries import (
 )
 from ..errors import ExperimentError
 from ..io.results import ExperimentResult
+from ..network.faults import FaultPlan
 
 __all__ = ["Experiment", "standard_suite", "PRESETS"]
 
@@ -67,12 +68,27 @@ class Experiment(ABC):
     paper_ref: str = ""
     claim: str = ""
 
-    def run(self, preset: str = "quick") -> ExperimentResult:
-        """Execute at the given preset and return the result record."""
+    #: optional fault plan threaded in by the CLI (``repro run --faults``).
+    #: Experiments that simulate (rather than only compute) may consult it;
+    #: ``None`` means the faithful fault-free model.
+    faults: FaultPlan | None = None
+
+    def run(
+        self, preset: str = "quick", *, faults: FaultPlan | None = None
+    ) -> ExperimentResult:
+        """Execute at the given preset and return the result record.
+
+        ``faults`` (optional) is a :class:`~repro.network.faults.FaultPlan`
+        made available to the experiment as ``self.faults`` — experiments
+        that drive engines may thread it through; pure-analysis
+        experiments ignore it.
+        """
         if preset not in PRESETS:
             raise ExperimentError(
                 f"unknown preset {preset!r}; choose from {PRESETS}"
             )
+        if faults is not None:
+            self.faults = faults
         return self._run(preset)
 
     @abstractmethod

@@ -26,6 +26,7 @@ from .e15_ablation import AblationExperiment
 from .e16_rate_c import RateCExperiment
 from .e17_dag import DagExperiment
 from .e18_stability import StabilityExperiment
+from .e19_fault_degradation import FaultDegradationExperiment
 
 __all__ = ["EXPERIMENTS", "get_experiment", "all_experiment_ids"]
 
@@ -50,6 +51,7 @@ EXPERIMENTS: dict[str, type[Experiment]] = {
         RateCExperiment,
         DagExperiment,
         StabilityExperiment,
+        FaultDegradationExperiment,
     )
 }
 

@@ -1,13 +1,21 @@
 """Result records, trace files and serialisation."""
 
 from .report import load_results_dir, markdown_table, render_markdown_report
-from .results import ExperimentResult, load_result, save_result
+from .results import (
+    ExperimentResult,
+    load_result,
+    load_run_result,
+    save_result,
+    save_run_result,
+)
 from .tracefile import load_trace, save_trace, trace_to_replay_tape
 
 __all__ = [
     "ExperimentResult",
     "save_result",
     "load_result",
+    "save_run_result",
+    "load_run_result",
     "load_results_dir",
     "markdown_table",
     "render_markdown_report",

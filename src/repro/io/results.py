@@ -15,8 +15,15 @@ from pathlib import Path
 from typing import Any
 
 from ..analysis.tables import format_table, rows_to_csv
+from ..network.simulator import RunResult
 
-__all__ = ["ExperimentResult", "save_result", "load_result"]
+__all__ = [
+    "ExperimentResult",
+    "save_result",
+    "load_result",
+    "save_run_result",
+    "load_run_result",
+]
 
 
 @dataclass
@@ -77,3 +84,39 @@ def load_result(path: str | Path) -> ExperimentResult:
     """Load a previously saved JSON result."""
     data = json.loads(Path(path).read_text())
     return ExperimentResult(**data)
+
+
+_RUN_RESULT_FORMAT = "repro-run-result-v1"
+
+
+def save_run_result(result: RunResult, path: str | Path) -> Path:
+    """Serialise a :class:`~repro.network.simulator.RunResult` to JSON.
+
+    The drop-accounting fields added by the robustness extension
+    (``dropped``, ``drops_by_cause``, ``drops_by_node``) round-trip
+    exactly; ``drops_by_node`` keys survive JSON's string-key coercion
+    via :func:`load_run_result`.
+    """
+    path = Path(path)
+    data = asdict(result)
+    data["format"] = _RUN_RESULT_FORMAT
+    path.write_text(json.dumps(data, indent=2, sort_keys=True))
+    return path
+
+
+def load_run_result(path: str | Path) -> RunResult:
+    """Load a :class:`RunResult` saved by :func:`save_run_result`.
+
+    Raises
+    ------
+    ValueError
+        If the file does not announce the run-result format.
+    """
+    path = Path(path)
+    data = json.loads(path.read_text())
+    if data.pop("format", None) != _RUN_RESULT_FORMAT:
+        raise ValueError(f"{path}: not a saved RunResult")
+    data["drops_by_node"] = {
+        int(k): int(v) for k, v in data.get("drops_by_node", {}).items()
+    }
+    return RunResult(**data)

@@ -7,8 +7,10 @@ replaying its injections against another policy via
 :class:`~repro.adversaries.ReplayAdversary`.
 
 Format: one JSON object per line with keys ``step``, ``before``,
-``injections``, ``sends``, ``after``, ``delivered``; a header line
-carries the topology's successor array so the file is self-describing.
+``injections``, ``sends``, ``after``, ``delivered`` (plus ``dropped``
+and ``drops`` for steps that lost packets under the finite-buffer
+model); a header line carries the topology's successor array so the
+file is self-describing.
 """
 
 from __future__ import annotations
@@ -47,19 +49,18 @@ def save_trace(
             + "\n"
         )
         for rec in records:
-            fh.write(
-                json.dumps(
-                    {
-                        "step": rec.step,
-                        "before": np.asarray(rec.heights_before).tolist(),
-                        "injections": list(rec.injections),
-                        "sends": np.asarray(rec.sends).tolist(),
-                        "after": np.asarray(rec.heights_after).tolist(),
-                        "delivered": rec.delivered,
-                    }
-                )
-                + "\n"
-            )
+            d = {
+                "step": rec.step,
+                "before": np.asarray(rec.heights_before).tolist(),
+                "injections": list(rec.injections),
+                "sends": np.asarray(rec.sends).tolist(),
+                "after": np.asarray(rec.heights_after).tolist(),
+                "delivered": rec.delivered,
+            }
+            if rec.dropped:
+                d["dropped"] = rec.dropped
+                d["drops"] = [list(t) for t in rec.drops]
+            fh.write(json.dumps(d) + "\n")
     return path
 
 
@@ -94,6 +95,11 @@ def load_trace(path: str | Path) -> tuple[Topology, list[StepRecord]]:
                     sends=np.asarray(d["sends"], dtype=np.int64),
                     heights_after=np.asarray(d["after"], dtype=np.int64),
                     delivered=int(d["delivered"]),
+                    dropped=int(d.get("dropped", 0)),
+                    drops=tuple(
+                        (int(n), str(c), int(k))
+                        for n, c, k in d.get("drops", ())
+                    ),
                 )
             )
     return topology, records

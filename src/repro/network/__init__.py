@@ -5,7 +5,7 @@ Topologies, packets, buffers, the reference packet-tracking
 collection, trace recording and after-the-fact trace auditing.
 """
 
-from .buffers import Buffer, Discipline
+from .buffers import Buffer, Discipline, Overflow
 from .dag import (
     DagTopology,
     diamond_grid,
@@ -16,7 +16,23 @@ from .dag import (
 from .dag_engine import DagEngine, DagPolicy
 from .engine_fast import DecisionTiming, PathEngine, UndirectedPathEngine
 from .events import StepRecord, TraceRecorder
-from .metrics import DelayRecorder, MaxHeightTracker, MetricsBundle, SeriesRecorder
+from .faults import (
+    NO_FAULTS,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    RandomFaults,
+    StepFaults,
+    run_with_recovery,
+)
+from .metrics import (
+    DelayRecorder,
+    LossLedger,
+    MaxHeightTracker,
+    MetricsBundle,
+    SeriesRecorder,
+)
 from .packet import Packet
 from .simulator import RunResult, Simulator
 from .topology import (
@@ -37,6 +53,7 @@ from .validation import check_step_record, check_trace
 __all__ = [
     "Buffer",
     "Discipline",
+    "Overflow",
     "DagTopology",
     "DagEngine",
     "DagPolicy",
@@ -49,7 +66,16 @@ __all__ = [
     "UndirectedPathEngine",
     "StepRecord",
     "TraceRecorder",
+    "FaultKind",
+    "FaultEvent",
+    "RandomFaults",
+    "FaultPlan",
+    "StepFaults",
+    "NO_FAULTS",
+    "FaultInjector",
+    "run_with_recovery",
     "DelayRecorder",
+    "LossLedger",
     "MaxHeightTracker",
     "MetricsBundle",
     "SeriesRecorder",

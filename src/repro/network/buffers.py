@@ -1,9 +1,16 @@
-"""Per-node buffers and queueing disciplines.
+"""Per-node buffers, queueing disciplines and overflow handling.
 
 A buffer stores the packets currently held by a node.  The paper's
 results are about buffer *sizes*, not the order packets leave, so the
 discipline is irrelevant to the height bounds — but it does affect delay
 (experiment E12), so FIFO and LIFO are both provided.
+
+Buffers are unbounded by default (the faithful model: the quantity of
+interest is the maximum occupancy ever reached).  Passing a finite
+``capacity`` turns on the degradation model used by experiment E19:
+what a deployment provisioned *below* the proven bound actually loses.
+The :class:`Overflow` discipline decides who pays when a full buffer is
+pushed into.
 """
 
 from __future__ import annotations
@@ -12,9 +19,10 @@ from collections import deque
 from enum import Enum
 from typing import Iterator
 
+from ..errors import BufferOverflow
 from .packet import Packet
 
-__all__ = ["Discipline", "Buffer"]
+__all__ = ["Discipline", "Overflow", "Buffer"]
 
 
 class Discipline(str, Enum):
@@ -32,22 +40,77 @@ class Discipline(str, Enum):
     SIS = "sis"
 
 
-class Buffer:
-    """An unbounded packet buffer with a selectable service discipline.
+class Overflow(str, Enum):
+    """Who pays when a packet is pushed into a full finite buffer.
 
-    Unboundedness is deliberate: the paper's model never drops packets;
-    the quantity of interest is the maximum occupancy ever reached.
+    ``DROP_TAIL`` rejects the arriving packet; ``DROP_OLDEST`` evicts
+    the packet at the head of the queue to make room (RED-style "fresh
+    data wins"); ``PUSH_BACK`` refuses the transfer entirely — the
+    *sender* keeps the packet, so the engine must check :attr:`free`
+    before moving (a blind push raises
+    :class:`~repro.errors.BufferOverflow`).  Adversary injections can
+    never be pushed back (there is no sender to hold them), so a
+    push-back buffer drop-tails injected packets instead.
     """
 
-    __slots__ = ("_items", "_discipline")
+    DROP_TAIL = "drop-tail"
+    DROP_OLDEST = "drop-oldest"
+    PUSH_BACK = "push-back"
 
-    def __init__(self, discipline: Discipline | str = Discipline.FIFO) -> None:
+
+class Buffer:
+    """A packet buffer with a selectable service discipline.
+
+    Unbounded by default (the paper's model never drops packets; the
+    quantity of interest is the maximum occupancy ever reached).  With a
+    finite ``capacity``, :meth:`push` applies the ``overflow``
+    discipline and reports the victim so the engine can account the
+    loss in its conservation ledger.
+    """
+
+    __slots__ = ("_items", "_discipline", "_capacity", "_overflow")
+
+    def __init__(
+        self,
+        discipline: Discipline | str = Discipline.FIFO,
+        *,
+        capacity: int | None = None,
+        overflow: Overflow | str = Overflow.DROP_TAIL,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise BufferOverflow(
+                f"buffer capacity must be >= 1 or None, got {capacity}"
+            )
         self._items: deque[Packet] = deque()
         self._discipline = Discipline(discipline)
+        self._capacity = None if capacity is None else int(capacity)
+        self._overflow = Overflow(overflow)
 
     @property
     def discipline(self) -> Discipline:
         return self._discipline
+
+    @property
+    def capacity(self) -> int | None:
+        """Maximum occupancy; ``None`` means unbounded."""
+        return self._capacity
+
+    @property
+    def overflow(self) -> Overflow:
+        return self._overflow
+
+    @property
+    def full(self) -> bool:
+        return (
+            self._capacity is not None and len(self._items) >= self._capacity
+        )
+
+    @property
+    def free(self) -> int | None:
+        """Remaining slots; ``None`` means unlimited."""
+        if self._capacity is None:
+            return None
+        return max(self._capacity - len(self._items), 0)
 
     @property
     def height(self) -> int:
@@ -63,9 +126,51 @@ class Buffer:
     def __iter__(self) -> Iterator[Packet]:
         return iter(self._items)
 
-    def push(self, packet: Packet) -> None:
-        """Accept a packet (from the adversary or a predecessor)."""
-        self._items.append(packet)
+    def push(self, packet: Packet, *, injection: bool = False) -> Packet | None:
+        """Accept a packet (from the adversary or a predecessor).
+
+        Returns the packet lost to overflow handling, if any: the
+        rejected arrival under ``drop-tail``, the evicted oldest packet
+        under ``drop-oldest``, or ``None`` when the packet was simply
+        accepted.  ``injection=True`` marks adversary traffic, which a
+        ``push-back`` buffer must drop-tail (nothing upstream can hold
+        it).
+
+        Raises
+        ------
+        BufferOverflow
+            Pushing forwarded traffic into a full ``push-back`` buffer
+            — the engine must consult :attr:`free` and retain the
+            packet at the sender instead.
+        """
+        if not self.full:
+            self._items.append(packet)
+            return None
+        if self._overflow is Overflow.DROP_OLDEST:
+            evicted = self._items.popleft()
+            self._items.append(packet)
+            return evicted
+        if self._overflow is Overflow.PUSH_BACK and not injection:
+            raise BufferOverflow(
+                f"push into a full push-back buffer (capacity "
+                f"{self._capacity}); the engine must check `free` and "
+                "keep the packet at the sender"
+            )
+        return packet  # drop-tail (also push-back's injection fallback)
+
+    def requeue(self, packet: Packet) -> None:
+        """Return a just-popped packet to its pre-pop position.
+
+        Used by push-back forwarding: the engine pops the service-order
+        packet, finds the receiver full, and hands it back.  FIFO pops
+        from the head, so the packet re-enters at the head; every other
+        discipline either pops from the tail (LIFO) or selects by
+        injection time (LIS/SIS), for which the position is irrelevant.
+        """
+        if self._discipline is Discipline.FIFO:
+            self._items.appendleft(packet)
+        else:
+            self._items.append(packet)
 
     def _system_extreme_index(self) -> int:
         """Index of the LIS/SIS service target (ties by injection id)."""
@@ -116,6 +221,16 @@ class Buffer:
         simulator clones packets separately when checkpointing because
         their mutable fields (``delivered_step``, ``hops``) change.
         """
-        b = Buffer(self._discipline)
+        b = Buffer(
+            self._discipline,
+            capacity=self._capacity,
+            overflow=self._overflow,
+        )
         b._items = deque(self._items)
         return b
+
+    def drain(self) -> tuple[Packet, ...]:
+        """Remove and return everything (a fault wiping the buffer)."""
+        items = tuple(self._items)
+        self._items.clear()
+        return items

@@ -10,19 +10,31 @@ produce identical height trajectories.
 :class:`UndirectedPathEngine` extends the model with a leftwards
 (away-from-sink) link per edge for the Theorem 3.3 experiment.
 
+:class:`PathEngine` also supports the finite-buffer degradation model
+(``buffer_capacity`` + an overflow discipline, losses accounted in the
+:class:`~repro.network.metrics.LossLedger`) and deterministic fault
+injection (:class:`~repro.network.faults.FaultPlan`), entirely with
+height arithmetic; with neither enabled its trajectories are
+bit-identical to the seed engine.
+
 Both engines support :meth:`checkpoint` / :meth:`restore`, which the
 recursive lower-bound adversary of Theorem 3.1 uses to explore its two
-scenarios and keep the denser one.
+scenarios and keep the denser one, and :meth:`snapshot` — a full-state
+superset used for crash/resume (see
+:func:`repro.network.faults.run_with_recovery`).
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Any, Literal
 
 import numpy as np
 
+from .buffers import Overflow
 from .events import StepRecord, TraceRecorder
+from .faults import NO_FAULTS, FaultInjector, FaultPlan
 from .metrics import MetricsBundle
 from .topology import Topology, path
 from .validation import validate_injections
@@ -44,6 +56,7 @@ class _Checkpoint:
     heights: np.ndarray
     step: int
     metrics: dict[str, Any]
+    faults: dict[str, Any] | None = None
 
 
 class PathEngine:
@@ -69,6 +82,10 @@ class PathEngine:
         decisions see the freshly injected packets.
     series_every / trace:
         Optional time-series sampling stride and full trace recording.
+    buffer_capacity / overflow / faults:
+        The degradation extensions (finite buffers with an overflow
+        discipline; a deterministic fault plan).  All default to off,
+        in which case the engine is bit-identical to the seed.
     """
 
     def __init__(
@@ -80,6 +97,9 @@ class PathEngine:
         capacity: int = 1,
         injection_limit: int | None = None,
         decision_timing: DecisionTiming = "pre_injection",
+        buffer_capacity: int | None = None,
+        overflow: Overflow | str = Overflow.DROP_TAIL,
+        faults: FaultPlan | FaultInjector | None = None,
         series_every: int = 0,
         trace: TraceRecorder | None = None,
         validate: bool = False,
@@ -100,6 +120,20 @@ class PathEngine:
             capacity if injection_limit is None else injection_limit
         )
         self.decision_timing: DecisionTiming = decision_timing
+        self.buffer_capacity = (
+            None if buffer_capacity is None else int(buffer_capacity)
+        )
+        if self.buffer_capacity is not None and self.buffer_capacity < 1:
+            raise SimulationError(
+                f"buffer_capacity must be >= 1 or None, got {buffer_capacity}"
+            )
+        self.overflow = Overflow(overflow)
+        if isinstance(faults, FaultInjector):
+            self.faults: FaultInjector | None = faults
+        elif faults is not None:
+            self.faults = FaultInjector(faults, self.topology)
+        else:
+            self.faults = None
         self.validate = validate
         self.trace = trace
         self.heights = np.zeros(n, dtype=np.int64)
@@ -133,39 +167,112 @@ class PathEngine:
         ``injections`` overrides the adversary for this step — used by
         orchestrating adversaries (Theorem 3.1) that drive the engine
         directly with checkpoints.
+
+        Raises
+        ------
+        FaultError
+            If the fault plan kills the run at this step (before any
+            state is mutated, so a snapshot-resume is clean).
         """
+        fault = (
+            self.faults.begin_step(self.step_index)
+            if self.faults is not None
+            else NO_FAULTS
+        )
         h = self.heights
         before = h.copy() if self.trace is not None else None
+        drops: dict[tuple[int, str], int] = {}
+        ledger = self.metrics.ledger
+        for v in fault.wiped:
+            k = int(h[v])
+            if k:
+                ledger.record(v, "wipe", k)
+                drops[(v, "wipe")] = k
+                h[v] = 0
 
         if injections is not None:
-            sites = validate_injections(
-                injections, self.topology, self.injection_limit
+            batch = validate_injections(
+                injections, self.topology, self.injection_limit,
+                step=self.step_index,
             )
         elif self.adversary is not None:
-            sites = validate_injections(
+            batch = validate_injections(
                 self.adversary.inject(self.step_index, h, self.topology),
                 self.topology,
                 self.injection_limit,
+                step=self.step_index,
             )
         else:
-            sites = ()
+            batch = ()
+        if fault.defer and batch:
+            self.faults.defer_injections(  # type: ignore[union-attr]
+                self.step_index, batch, fault.defer
+            )
+            batch = ()
+        sites = fault.released + batch
         self.policy.observe_injections(sites)
+
+        cap = self.buffer_capacity
+
+        def apply_injections() -> None:
+            if not fault.crashed and cap is None:
+                for s in sites:  # the seed fast path, untouched
+                    h[s] += 1
+                return
+            for s in sites:
+                if s in fault.crashed:
+                    ledger.record(s, "crash")
+                    drops[(s, "crash")] = drops.get((s, "crash"), 0) + 1
+                elif cap is not None and h[s] >= cap:
+                    # push-back buffers drop-tail adversary traffic too:
+                    # there is no upstream sender to hold the packet
+                    ledger.record(s, "overflow")
+                    drops[(s, "overflow")] = drops.get((s, "overflow"), 0) + 1
+                else:
+                    h[s] += 1
 
         if self.decision_timing == "pre_injection":
             counts = self._decide(h)
-            for s in sites:
-                h[s] += 1
+            apply_injections()
         else:
-            for s in sites:
-                h[s] += 1
+            apply_injections()
             counts = self._decide(h)
+        if fault.blocked:
+            counts = counts.copy()
+            counts[list(fault.blocked)] = 0
 
         self.metrics.injected += len(sites)
         delivered = int(counts[-2]) if self.n >= 2 else 0
-        # simultaneous moves: node i loses counts[i], node i+1 gains them
-        h -= counts
-        h[1:] += counts[:-1]
-        h[-1] = 0  # the sink consumes instantly
+        sends = counts
+        if cap is None:
+            # simultaneous moves: node i loses counts[i], node i+1 gains
+            h -= counts
+            h[1:] += counts[:-1]
+            h[-1] = 0  # the sink consumes instantly
+        else:
+            # each node's own sends free space before arrivals land
+            h -= counts
+            incoming = np.zeros_like(counts)
+            incoming[1:] = counts[:-1]
+            room = cap - h
+            room[-1] = np.iinfo(np.int64).max  # the sink never fills
+            admitted = np.minimum(incoming, np.maximum(room, 0))
+            refused = incoming - admitted
+            h += admitted
+            h[-1] = 0
+            if refused.any():
+                if self.overflow is Overflow.PUSH_BACK:
+                    # refused packets stay with their sender (node v-1)
+                    # and the send never happened
+                    h[:-1] += refused[1:]
+                    sends = counts.copy()
+                    sends[:-1] -= refused[1:]
+                else:  # drop-tail / drop-oldest: same height dynamics
+                    for v in np.flatnonzero(refused):
+                        k = int(refused[v])
+                        ledger.record(int(v), "overflow", k)
+                        key = (int(v), "overflow")
+                        drops[key] = drops.get(key, 0) + k
         self.metrics.delivered += delivered
 
         self.step_index += 1
@@ -178,9 +285,14 @@ class PathEngine:
                     step=self.step_index - 1,
                     heights_before=before,
                     injections=sites,
-                    sends=counts.copy(),
+                    sends=sends.copy(),
                     heights_after=h.copy(),
                     delivered=delivered,
+                    dropped=sum(drops.values()),
+                    drops=tuple(
+                        (node, cause, k)
+                        for (node, cause), k in sorted(drops.items())
+                    ),
                 )
             )
 
@@ -192,27 +304,60 @@ class PathEngine:
 
     # ------------------------------------------------------------------
     def assert_conservation(self) -> None:
-        """Injected packets must equal delivered + still buffered."""
+        """Conservation ledger: injected == delivered + buffered + dropped.
+
+        With unbounded buffers and no faults the dropped term is
+        identically zero and this is the paper's zero-loss invariant.
+        """
         in_flight = int(self.heights.sum())
-        if self.metrics.injected != self.metrics.delivered + in_flight:
+        ledger = self.metrics.ledger
+        if not ledger.balanced(
+            self.metrics.injected, self.metrics.delivered, in_flight
+        ):
             raise ConservationViolation(
-                f"injected={self.metrics.injected} != delivered="
-                f"{self.metrics.delivered} + in_flight={in_flight}"
+                f"step {self.step_index}: injected={self.metrics.injected} "
+                f"!= delivered={self.metrics.delivered} + in_flight="
+                f"{in_flight} + dropped={ledger.total} "
+                f"(drops by cause: {ledger.by_cause()})"
             )
 
     def checkpoint(self) -> _Checkpoint:
-        """Snapshot engine state (used by the Theorem 3.1 adversary)."""
+        """Snapshot engine state (used by the Theorem 3.1 adversary).
+
+        Includes the fault injector's replay state, so a restored
+        scenario re-experiences exactly the faults of the original.
+        Policy/adversary state is *not* captured — use :meth:`snapshot`
+        for full crash-resume fidelity.
+        """
         return _Checkpoint(
             heights=self.heights.copy(),
             step=self.step_index,
             metrics=self.metrics.snapshot(),
+            faults=(
+                self.faults.snapshot() if self.faults is not None else None
+            ),
         )
 
-    def restore(self, cp: _Checkpoint) -> None:
-        """Roll back to a previous :meth:`checkpoint`."""
+    def snapshot(self) -> dict[str, Any]:
+        """Full state for checkpoint/resume across an induced crash."""
+        return {
+            "engine": self.checkpoint(),
+            "policy": copy.deepcopy(self.policy),
+            "adversary": copy.deepcopy(self.adversary),
+        }
+
+    def restore(self, cp: _Checkpoint | dict[str, Any]) -> None:
+        """Roll back to a previous :meth:`checkpoint` / :meth:`snapshot`."""
+        if isinstance(cp, dict):
+            self.policy = copy.deepcopy(cp["policy"])
+            self.adversary = copy.deepcopy(cp["adversary"])
+            self.restore(cp["engine"])
+            return
         self.heights = cp.heights.copy()
         self.step_index = cp.step
         self.metrics.restore(cp.metrics)
+        if self.faults is not None and cp.faults is not None:
+            self.faults.restore(cp.faults)
 
     @property
     def max_height(self) -> int:
@@ -281,13 +426,15 @@ class UndirectedPathEngine:
         h = self.heights
         if injections is not None:
             sites = validate_injections(
-                injections, self.topology, self.injection_limit
+                injections, self.topology, self.injection_limit,
+                step=self.step_index,
             )
         elif self.adversary is not None:
             sites = validate_injections(
                 self.adversary.inject(self.step_index, h, self.topology),
                 self.topology,
                 self.injection_limit,
+                step=self.step_index,
             )
         else:
             sites = ()

@@ -35,6 +35,12 @@ class StepRecord:
         Configuration C' at the start of the next step.
     delivered:
         Packets consumed by the sink during this step.
+    dropped:
+        Packets lost during this step (0 in the faithful model).
+    drops:
+        Per-loss detail: ``(node, cause, count)`` triples.  ``sends``
+        records *effective* sends (push-back retentions excluded), so
+        a trace with drops still audits against conservation.
     """
 
     step: int
@@ -43,6 +49,8 @@ class StepRecord:
     sends: np.ndarray
     heights_after: np.ndarray
     delivered: int
+    dropped: int = 0
+    drops: tuple[tuple[int, str, int], ...] = ()
 
 
 class TraceRecorder:

@@ -18,7 +18,84 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["MaxHeightTracker", "SeriesRecorder", "DelayRecorder", "MetricsBundle"]
+__all__ = [
+    "MaxHeightTracker",
+    "SeriesRecorder",
+    "DelayRecorder",
+    "LossLedger",
+    "MetricsBundle",
+]
+
+
+class LossLedger:
+    """Per-node, per-cause accounting of every packet the network lost.
+
+    The faithful §2 model never drops a packet, so the seed engines
+    enforce ``injected == delivered + in_flight`` as a hard invariant.
+    With finite buffers and injected faults, loss is *expected*; what
+    must still hold — and what this ledger lets the engines assert every
+    step — is the extended conservation law::
+
+        injected == delivered + in_flight + dropped
+
+    Causes are short strings (``"overflow"``, ``"crash"``, ``"wipe"``)
+    so new fault modes need no schema change.  Counts are plain dicts
+    keyed by cause then node, which keeps the ledger independent of the
+    network size and cheap to snapshot.
+    """
+
+    __slots__ = ("_drops",)
+
+    def __init__(self) -> None:
+        self._drops: dict[str, dict[int, int]] = {}
+
+    def record(self, node: int, cause: str, count: int = 1) -> None:
+        """Account ``count`` packets lost at ``node`` for ``cause``."""
+        if count <= 0:
+            return
+        per_node = self._drops.setdefault(cause, {})
+        per_node[int(node)] = per_node.get(int(node), 0) + int(count)
+
+    @property
+    def total(self) -> int:
+        """All packets ever lost, across nodes and causes."""
+        return sum(
+            sum(per_node.values()) for per_node in self._drops.values()
+        )
+
+    def by_cause(self) -> dict[str, int]:
+        """Total drops per cause."""
+        return {
+            cause: sum(per_node.values())
+            for cause, per_node in sorted(self._drops.items())
+        }
+
+    def by_node(self) -> dict[int, int]:
+        """Total drops per node."""
+        out: dict[int, int] = {}
+        for per_node in self._drops.values():
+            for node, k in per_node.items():
+                out[node] = out.get(node, 0) + k
+        return dict(sorted(out.items()))
+
+    def detail(self) -> dict[str, dict[int, int]]:
+        """Full (cause → node → count) breakdown, as plain dicts."""
+        return {
+            cause: dict(sorted(per_node.items()))
+            for cause, per_node in sorted(self._drops.items())
+        }
+
+    def balanced(self, injected: int, delivered: int, in_flight: int) -> bool:
+        """Does the extended conservation law hold?"""
+        return injected == delivered + in_flight + self.total
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "drops": {c: dict(pn) for c, pn in self._drops.items()}
+        }
+
+    def restore(self, snap: dict[str, Any]) -> None:
+        self._drops = {c: dict(pn) for c, pn in snap["drops"].items()}
 
 
 class MaxHeightTracker:
@@ -127,6 +204,7 @@ class MetricsBundle:
     tracker: MaxHeightTracker
     series: SeriesRecorder = field(default_factory=SeriesRecorder)
     delays: DelayRecorder = field(default_factory=DelayRecorder)
+    ledger: LossLedger = field(default_factory=LossLedger)
     injected: int = 0
     delivered: int = 0
 
@@ -145,11 +223,17 @@ class MetricsBundle:
     def max_height(self) -> int:
         return self.tracker.max_height
 
+    @property
+    def dropped(self) -> int:
+        """Total packets lost (0 in the faithful zero-loss model)."""
+        return self.ledger.total
+
     def snapshot(self) -> dict[str, Any]:
         return {
             "tracker": self.tracker.snapshot(),
             "series": self.series.snapshot(),
             "delays": self.delays.snapshot(),
+            "ledger": self.ledger.snapshot(),
             "injected": self.injected,
             "delivered": self.delivered,
         }
@@ -158,5 +242,6 @@ class MetricsBundle:
         self.tracker.restore(snap["tracker"])
         self.series.restore(snap["series"])
         self.delays.restore(snap["delays"])
+        self.ledger.restore(snap["ledger"])
         self.injected = snap["injected"]
         self.delivered = snap["delivered"]

@@ -10,6 +10,20 @@ This is the faithful implementation of the §2 model:
   packet is ever dropped (zero loss is an *invariant* here, checked by
   conservation accounting, not a metric).
 
+Two opt-in extensions relax the clean-room assumptions without
+perturbing the faithful model (a run with unbounded buffers and no
+fault plan is bit-identical to the seed simulator):
+
+* **finite buffers** — ``buffer_capacity`` plus an
+  :class:`~repro.network.buffers.Overflow` discipline (drop-tail,
+  drop-oldest, push-back).  Losses are accounted per node and cause in
+  the :class:`~repro.network.metrics.LossLedger`, and the invariant
+  becomes the extended conservation law
+  ``injected == delivered + in_flight + dropped``;
+* **fault injection** — a :class:`~repro.network.faults.FaultPlan`
+  (link outages, node crashes with buffer wipe or retention, injection
+  jitter, process kills) consulted at the top of every step.
+
 Packets are real objects so that delays, ordering and provenance are
 measurable (experiment E12).  For big parameter sweeps on paths prefer
 :class:`repro.network.engine_fast.PathEngine`; a property-based test
@@ -19,13 +33,14 @@ proves the two engines generate identical height trajectories.
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
 
-from .buffers import Buffer, Discipline
+from .buffers import Buffer, Discipline, Overflow
 from .events import StepRecord, TraceRecorder
+from .faults import NO_FAULTS, FaultInjector, FaultPlan, StepFaults
 from .metrics import MetricsBundle
 from .packet import Packet
 from .topology import Topology
@@ -42,7 +57,12 @@ __all__ = ["Simulator", "RunResult"]
 
 @dataclass(frozen=True)
 class RunResult:
-    """Summary of a finished run."""
+    """Summary of a finished run.
+
+    ``dropped``/``drops_by_cause``/``drops_by_node`` are all zero/empty
+    in the faithful zero-loss model; they only fill in under the
+    finite-buffer or fault-injection extensions.
+    """
 
     steps: int
     max_height: int
@@ -52,10 +72,32 @@ class RunResult:
     delivered: int
     in_flight: int
     delay_summary: dict[str, float]
+    dropped: int = 0
+    drops_by_cause: dict[str, int] = field(default_factory=dict)
+    drops_by_node: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of injected packets that were lost."""
+        return self.dropped / self.injected if self.injected else 0.0
 
 
 class Simulator:
-    """Packet-level synchronous simulator on an arbitrary in-tree."""
+    """Packet-level synchronous simulator on an arbitrary in-tree.
+
+    Parameters (beyond the faithful-model ones)
+    -------------------------------------------
+    buffer_capacity:
+        Finite per-node buffer size; ``None`` (default) keeps the
+        paper's unbounded buffers.
+    overflow:
+        Overflow discipline for finite buffers (see
+        :class:`~repro.network.buffers.Overflow`).
+    faults:
+        A :class:`~repro.network.faults.FaultPlan` (or a prebuilt
+        :class:`~repro.network.faults.FaultInjector`) to thread through
+        the run; ``None`` disables fault injection entirely.
+    """
 
     def __init__(
         self,
@@ -67,6 +109,9 @@ class Simulator:
         injection_limit: int | None = None,
         decision_timing: str = "pre_injection",
         discipline: Discipline | str = Discipline.FIFO,
+        buffer_capacity: int | None = None,
+        overflow: Overflow | str = Overflow.DROP_TAIL,
+        faults: FaultPlan | FaultInjector | None = None,
         series_every: int = 0,
         trace: TraceRecorder | None = None,
         validate: bool = True,
@@ -85,11 +130,26 @@ class Simulator:
         )
         self.decision_timing = decision_timing
         self.discipline = Discipline(discipline)
+        self.buffer_capacity = (
+            None if buffer_capacity is None else int(buffer_capacity)
+        )
+        self.overflow = Overflow(overflow)
+        if isinstance(faults, FaultInjector):
+            self.faults: FaultInjector | None = faults
+        elif faults is not None:
+            self.faults = FaultInjector(faults, topology)
+        else:
+            self.faults = None
         self.validate = validate
         self.trace = trace
 
         self.buffers: list[Buffer] = [
-            Buffer(self.discipline) for _ in range(topology.n)
+            Buffer(
+                self.discipline,
+                capacity=self.buffer_capacity,
+                overflow=self.overflow,
+            )
+            for _ in range(topology.n)
         ]
         self.step_index = 0
         self._next_pid = 0
@@ -109,38 +169,83 @@ class Simulator:
         """Current configuration (h(sink) ≡ 0 by construction)."""
         return np.asarray([b.height for b in self.buffers], dtype=np.int64)
 
-    def _inject(self, sites: tuple[int, ...]) -> None:
+    def _record_drop(
+        self, drops: dict[tuple[int, str], int], node: int, cause: str,
+        count: int = 1,
+    ) -> None:
+        self.metrics.ledger.record(node, cause, count)
+        key = (node, cause)
+        drops[key] = drops.get(key, 0) + count
+
+    def _inject(
+        self,
+        sites: tuple[int, ...],
+        fault: StepFaults,
+        drops: dict[tuple[int, str], int],
+    ) -> None:
         for s in sites:
             pkt = Packet(
                 pid=self._next_pid, origin=s, birth_step=self.step_index
             )
             self._next_pid += 1
-            self.buffers[s].push(pkt)
+            if s in fault.crashed:
+                # the node's ingestion interface is down: the packet is
+                # offered and lost
+                self._record_drop(drops, s, "crash")
+                continue
+            rejected = self.buffers[s].push(pkt, injection=True)
+            if rejected is not None:
+                self._record_drop(drops, s, "overflow")
         self.metrics.injected += len(sites)
 
-    def _forward(self, counts: np.ndarray) -> int:
-        """Apply simultaneous moves; returns packets delivered."""
+    def _forward(
+        self,
+        counts: np.ndarray,
+        drops: dict[tuple[int, str], int],
+    ) -> tuple[int, np.ndarray]:
+        """Apply simultaneous moves; returns (delivered, effective sends).
+
+        Effective sends differ from ``counts`` only under push-back:
+        a packet refused by a full receiver stays at its sender and the
+        send never happened.  When several senders share a receiver,
+        arrivals are processed in ascending sender id — the same
+        deterministic order the vectorised engine uses.
+        """
         sink = self.topology.sink
-        moving: list[tuple[int, Packet]] = []
+        moving: list[tuple[int, int, Packet]] = []
         for v in np.flatnonzero(counts):
             v = int(v)
             k = int(counts[v])
             if self.validate:
                 if v == sink:
-                    raise SimulationError("the sink cannot forward packets")
+                    raise SimulationError(
+                        f"step {self.step_index}: the sink (node {v}) "
+                        "cannot forward packets"
+                    )
                 if k > self.capacity:
                     raise SimulationError(
-                        f"node {v} sent {k} > capacity {self.capacity}"
+                        f"step {self.step_index}: node {v} sent {k} > "
+                        f"capacity {self.capacity}"
                     )
                 if k > self.buffers[v].height:
                     raise SimulationError(
-                        f"node {v} sent {k} from height {self.buffers[v].height}"
+                        f"step {self.step_index}: node {v} sent {k} from "
+                        f"height {self.buffers[v].height}"
                     )
             dest = int(self.topology.succ[v])
             for _ in range(k):
-                moving.append((dest, self.buffers[v].pop()))
+                moving.append((v, dest, self.buffers[v].pop()))
         delivered = 0
-        for dest, pkt in moving:
+        effective = np.asarray(counts, dtype=np.int64).copy()
+        pushed_back: dict[int, list[Packet]] = {}
+        for src, dest, pkt in moving:
+            if dest != sink:
+                buf = self.buffers[dest]
+                if buf.overflow is Overflow.PUSH_BACK and buf.full:
+                    # receiver refuses: the sender keeps the packet
+                    pushed_back.setdefault(src, []).append(pkt)
+                    effective[src] -= 1
+                    continue
             pkt.hops += 1
             if dest == sink:
                 pkt.delivered_step = self.step_index
@@ -148,42 +253,79 @@ class Simulator:
                 self.metrics.delays.record(pkt.delay)
                 delivered += 1
             else:
-                self.buffers[dest].push(pkt)
+                evicted = self.buffers[dest].push(pkt)
+                if evicted is not None:
+                    self._record_drop(drops, dest, "overflow")
+        for src, pkts in pushed_back.items():
+            # reversed: requeue restores each packet to its pre-pop
+            # position, so the last-popped must go back first
+            for pkt in reversed(pkts):
+                self.buffers[src].requeue(pkt)
         self.metrics.delivered += delivered
-        return delivered
+        return delivered, effective
 
     def step(self, injections: tuple[int, ...] | None = None) -> None:
         """Advance one round.
 
         ``injections`` overrides the adversary for this step (used by
         orchestrating adversaries such as the Theorem 3.1 attack).
+
+        Raises
+        ------
+        FaultError
+            If the fault plan kills the run at this step (before any
+            state is mutated, so a snapshot-resume is clean).
         """
+        fault = (
+            self.faults.begin_step(self.step_index)
+            if self.faults is not None
+            else NO_FAULTS
+        )
+        drops: dict[tuple[int, str], int] = {}
+        # trace snapshot first: the audit equation charges wipes to this
+        # step, so heights_before must still contain the wiped packets
         h_before = self.heights
+        for v in fault.wiped:
+            lost = self.buffers[v].drain()
+            self._record_drop(drops, v, "wipe", len(lost))
+        h_start = h_before if not fault.wiped else self.heights
+
         if injections is not None:
-            sites = validate_injections(
-                injections, self.topology, self.injection_limit
+            batch = validate_injections(
+                injections, self.topology, self.injection_limit,
+                step=self.step_index,
             )
         elif self.adversary is not None:
-            sites = validate_injections(
-                self.adversary.inject(self.step_index, h_before, self.topology),
+            batch = validate_injections(
+                self.adversary.inject(self.step_index, h_start, self.topology),
                 self.topology,
                 self.injection_limit,
+                step=self.step_index,
             )
         else:
-            sites = ()
+            batch = ()
+        if fault.defer and batch:
+            self.faults.defer_injections(  # type: ignore[union-attr]
+                self.step_index, batch, fault.defer
+            )
+            batch = ()
+        sites = fault.released + batch
         self.policy.observe_injections(sites)
 
         if self.decision_timing == "pre_injection":
             counts = self.policy.send_counts(
-                h_before, self.topology, self.capacity
+                h_start, self.topology, self.capacity
             )
-            self._inject(sites)
+            self._inject(sites, fault, drops)
         else:
-            self._inject(sites)
+            self._inject(sites, fault, drops)
             counts = self.policy.send_counts(
                 self.heights, self.topology, self.capacity
             )
-        delivered = self._forward(counts)
+        if fault.blocked:
+            counts = np.asarray(counts, dtype=np.int64).copy()
+            counts[list(fault.blocked)] = 0
+        delivered, sends = self._forward(counts, drops)
 
         self.step_index += 1
         h_after = self.heights
@@ -191,14 +333,20 @@ class Simulator:
         if self.validate:
             self.assert_conservation(h_after)
         if self.trace is not None:
+            dropped = sum(drops.values())
             self.trace.append(
                 StepRecord(
                     step=self.step_index - 1,
                     heights_before=h_before,
                     injections=sites,
-                    sends=np.asarray(counts, dtype=np.int64),
+                    sends=sends,
                     heights_after=h_after,
                     delivered=delivered,
+                    dropped=dropped,
+                    drops=tuple(
+                        (node, cause, k)
+                        for (node, cause), k in sorted(drops.items())
+                    ),
                 )
             )
 
@@ -210,6 +358,7 @@ class Simulator:
 
     def result(self) -> RunResult:
         h = self.heights
+        ledger = self.metrics.ledger
         return RunResult(
             steps=self.step_index,
             max_height=self.metrics.max_height,
@@ -219,17 +368,31 @@ class Simulator:
             delivered=self.metrics.delivered,
             in_flight=int(h.sum()),
             delay_summary=self.metrics.delays.summary(),
+            dropped=ledger.total,
+            drops_by_cause=ledger.by_cause(),
+            drops_by_node=ledger.by_node(),
         )
 
     # ------------------------------------------------------------------
     def assert_conservation(self, heights: np.ndarray | None = None) -> None:
-        """Zero-loss invariant: injected == delivered + buffered."""
+        """Conservation ledger: injected == delivered + buffered + dropped.
+
+        In the faithful model the dropped term is identically zero and
+        this is the paper's zero-loss invariant; under the finite-buffer
+        or fault extensions it is the extended law that every loss must
+        be accounted to a node and a cause.
+        """
         h = self.heights if heights is None else heights
         in_flight = int(h.sum())
-        if self.metrics.injected != self.metrics.delivered + in_flight:
+        ledger = self.metrics.ledger
+        if not ledger.balanced(
+            self.metrics.injected, self.metrics.delivered, in_flight
+        ):
             raise ConservationViolation(
-                f"injected={self.metrics.injected} != delivered="
-                f"{self.metrics.delivered} + in_flight={in_flight}"
+                f"step {self.step_index}: injected={self.metrics.injected} "
+                f"!= delivered={self.metrics.delivered} + in_flight="
+                f"{in_flight} + dropped={ledger.total} "
+                f"(drops by cause: {ledger.by_cause()})"
             )
 
     @property
@@ -238,19 +401,46 @@ class Simulator:
 
     # ------------------------------------------------------------------
     def checkpoint(self) -> dict[str, Any]:
-        """Deep snapshot (packets included) for scenario rollback."""
+        """Deep snapshot (packets included) for scenario rollback.
+
+        Includes the fault injector's replay state so orchestrating
+        adversaries (Theorem 3.1) explore identical fault trajectories
+        in both scenarios.  Policy/adversary state is *not* captured —
+        use :meth:`snapshot` for full crash-resume fidelity.
+        """
         return {
             "buffers": copy.deepcopy(self.buffers),
             "step": self.step_index,
             "next_pid": self._next_pid,
             "delivered_packets": copy.deepcopy(self.delivered_packets),
             "metrics": self.metrics.snapshot(),
+            "faults": (
+                self.faults.snapshot() if self.faults is not None else None
+            ),
         }
 
+    def snapshot(self) -> dict[str, Any]:
+        """Full state for checkpoint/resume across an induced crash.
+
+        Extends :meth:`checkpoint` with deep copies of the policy and
+        adversary, so a restored run continues bit-identically to one
+        that was never interrupted.
+        """
+        cp = self.checkpoint()
+        cp["policy"] = copy.deepcopy(self.policy)
+        cp["adversary"] = copy.deepcopy(self.adversary)
+        return cp
+
     def restore(self, cp: dict[str, Any]) -> None:
-        """Roll back to a previous :meth:`checkpoint`."""
+        """Roll back to a previous :meth:`checkpoint` / :meth:`snapshot`."""
         self.buffers = copy.deepcopy(cp["buffers"])
         self.step_index = cp["step"]
         self._next_pid = cp["next_pid"]
         self.delivered_packets = copy.deepcopy(cp["delivered_packets"])
         self.metrics.restore(cp["metrics"])
+        if self.faults is not None and cp.get("faults") is not None:
+            self.faults.restore(cp["faults"])
+        if "policy" in cp:
+            self.policy = copy.deepcopy(cp["policy"])
+        if "adversary" in cp:
+            self.adversary = copy.deepcopy(cp["adversary"])

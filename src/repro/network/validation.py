@@ -4,6 +4,10 @@ The engines validate online; these functions re-verify recorded
 :class:`~repro.network.events.StepRecord` traces after the fact, which
 is what the test-suite and the certifier use to audit a run
 independently of the engine that produced it.
+
+Every error message carries the step number, the offending node id(s)
+and the offending count, so a failed fault-injection run can be
+debugged from its logs alone.
 """
 
 from __future__ import annotations
@@ -28,10 +32,18 @@ __all__ = [
 ]
 
 
+def _at(step: int | None) -> str:
+    """Message prefix locating a failure in time (empty if unknown)."""
+    return "" if step is None else f"step {step}: "
+
+
 def validate_injections(
-    sites, topology: Topology, limit: int
+    sites, topology: Topology, limit: int, step: int | None = None
 ) -> tuple[int, ...]:
     """Check an injection batch against the model constraints.
+
+    ``step`` (when known) is woven into every message so that failures
+    inside long adversarial runs are locatable from the log alone.
 
     Raises
     ------
@@ -44,13 +56,19 @@ def validate_injections(
     sites = tuple(int(s) for s in sites)
     if len(sites) > limit:
         raise RateViolation(
-            f"adversary injected {len(sites)} packets; rate limit is {limit}"
+            f"{_at(step)}adversary injected {len(sites)} packets "
+            f"at sites {sites}; rate limit is {limit}"
         )
     for s in sites:
         if not 0 <= s < topology.n:
-            raise RateViolation(f"injection site {s} out of range")
+            raise RateViolation(
+                f"{_at(step)}injection site (node {s}) out of range "
+                f"for n={topology.n}"
+            )
         if s == topology.sink:
-            raise RateViolation("injection at the sink is not allowed")
+            raise RateViolation(
+                f"{_at(step)}injection at the sink (node {s}) is not allowed"
+            )
     return sites
 
 
@@ -65,37 +83,75 @@ def check_step_record(
     Verifies the rate constraint, per-link capacity, send feasibility
     (no sends from buffers that were empty at decision time) and that
     the before/after configurations are consistent with the recorded
-    moves.
+    moves.  Records carrying drop accounting (finite-buffer or
+    fault-injection runs) are audited against the extended conservation
+    law: drops at a node explain exactly that much missing height.
     """
     n = topology.n
     before = np.asarray(record.heights_before, dtype=np.int64)
     after = np.asarray(record.heights_after, dtype=np.int64)
     sends = np.asarray(record.sends, dtype=np.int64)
     if before.shape != (n,) or after.shape != (n,) or sends.shape != (n,):
-        raise SimulationError("record arrays have wrong shape")
+        raise SimulationError(
+            f"step {record.step}: record arrays have wrong shape "
+            f"(expected ({n},), got before={before.shape}, "
+            f"after={after.shape}, sends={sends.shape})"
+        )
 
     if len(record.injections) > capacity:
         raise RateViolation(
-            f"step {record.step}: {len(record.injections)} injections > c={capacity}"
+            f"step {record.step}: {len(record.injections)} injections at "
+            f"sites {tuple(record.injections)} > c={capacity}"
         )
     for s in record.injections:
         if not 0 <= s < n or s == topology.sink:
-            raise RateViolation(f"step {record.step}: bad injection site {s}")
+            raise RateViolation(
+                f"step {record.step}: bad injection site (node {s}, n={n}, "
+                f"sink={topology.sink})"
+            )
 
     if sends.min(initial=0) < 0 or sends.max(initial=0) > capacity:
+        bad = np.flatnonzero((sends < 0) | (sends > capacity))
         raise CapacityViolation(
-            f"step {record.step}: a link carried more than c={capacity} packets"
+            f"step {record.step}: illegal send counts at nodes "
+            f"{bad.tolist()} (counts {sends[bad].tolist()}, c={capacity})"
         )
     if sends[topology.sink] != 0:
-        raise SimulationError(f"step {record.step}: the sink forwarded a packet")
+        raise SimulationError(
+            f"step {record.step}: the sink (node {topology.sink}) forwarded "
+            f"{int(sends[topology.sink])} packet(s)"
+        )
 
     inj = np.zeros(n, dtype=np.int64)
     for s in record.injections:
         inj[s] += 1
     available = before if decision_timing == "pre_injection" else before + inj
     if (sends > available).any():
+        bad = np.flatnonzero(sends > available)
         raise SimulationError(
-            f"step {record.step}: send from an empty buffer"
+            f"step {record.step}: send from an empty buffer at nodes "
+            f"{bad.tolist()} (sent {sends[bad].tolist()}, available "
+            f"{available[bad].tolist()})"
+        )
+
+    drop_vec = np.zeros(n, dtype=np.int64)
+    for node, cause, count in record.drops:
+        if not 0 <= node < n:
+            raise SimulationError(
+                f"step {record.step}: drop accounted to node {node}, out "
+                f"of range for n={n}"
+            )
+        if count < 1:
+            raise ConservationViolation(
+                f"step {record.step}: non-positive drop count {count} at "
+                f"node {node} (cause {cause!r})"
+            )
+        drop_vec[node] += count
+    if int(drop_vec.sum()) != record.dropped:
+        raise ConservationViolation(
+            f"step {record.step}: drop detail sums to "
+            f"{int(drop_vec.sum())} but the record claims "
+            f"{record.dropped} dropped"
         )
 
     recv = np.zeros(n, dtype=np.int64)
@@ -109,11 +165,14 @@ def check_step_record(
             delivered += k
         else:
             recv[dest] += k
-    expected = before + inj - sends + recv
+    expected = before + inj - sends + recv - drop_vec
     expected[topology.sink] = 0
     if (expected != after).any():
+        bad = np.flatnonzero(expected != after)
         raise ConservationViolation(
-            f"step {record.step}: configuration inconsistent with moves"
+            f"step {record.step}: configuration inconsistent with moves at "
+            f"nodes {bad.tolist()} (expected {expected[bad].tolist()}, "
+            f"recorded {after[bad].tolist()})"
         )
     if delivered != record.delivered:
         raise ConservationViolation(
@@ -137,12 +196,15 @@ def check_trace(
     count = 0
     for rec in records:
         check_step_record(rec, topology, capacity, decision_timing)
-        if prev_after is not None and (
-            np.asarray(rec.heights_before) != prev_after
-        ).any():
-            raise SimulationError(
-                f"step {rec.step}: trace does not chain with previous step"
+        if prev_after is not None:
+            mismatch = np.flatnonzero(
+                np.asarray(rec.heights_before) != prev_after
             )
+            if mismatch.size:
+                raise SimulationError(
+                    f"step {rec.step}: trace does not chain with previous "
+                    f"step at nodes {mismatch.tolist()}"
+                )
         prev_after = np.asarray(rec.heights_after)
         count += 1
     return count

@@ -22,11 +22,11 @@ from repro.io.results import ExperimentResult
 
 class TestRegistry:
     def test_experiment_count(self):
-        assert len(EXPERIMENTS) == 18
+        assert len(EXPERIMENTS) == 19
 
     def test_ids_are_numeric_order(self):
         ids = all_experiment_ids()
-        assert ids[0] == "E1" and ids[-1] == "E18"
+        assert ids[0] == "E1" and ids[-1] == "E19"
 
     def test_case_insensitive_lookup(self):
         assert get_experiment("e7").id == "E7"
@@ -48,7 +48,8 @@ class TestRegistry:
         assert len(standard_suite()) == 9
 
 
-@pytest.mark.parametrize("eid", ["E4", "E6", "E8", "E13", "E14", "E17"])
+@pytest.mark.parametrize("eid", ["E4", "E6", "E8", "E13", "E14", "E17",
+                                 "E19"])
 class TestQuickRuns:
     def test_runs_and_passes(self, eid):
         result = get_experiment(eid).run("quick")

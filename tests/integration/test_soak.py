@@ -1,6 +1,10 @@
 """Soak tests: long certified runs and cross-engine consistency at
 larger scales than the unit tests use.  These are the closest thing to
 the paper's "for any input stream" quantifier that a test can afford.
+
+The ``soak``-marked classes add long fault-injection burn-ins (crashes,
+outages, finite buffers, periodic kill/resume); they are excluded from
+the default pytest run — use ``make soak``.
 """
 
 from __future__ import annotations
@@ -17,7 +21,17 @@ from repro.adversaries import (
 )
 from repro.core.certificate import certify_path_run
 from repro.core.tree_certificate import certify_tree_run
-from repro.network.topology import broom, caterpillar, random_tree, spider
+from repro.network.engine_fast import PathEngine
+from repro.network.faults import (
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    RandomFaults,
+    run_with_recovery,
+)
+from repro.network.simulator import Simulator
+from repro.network.topology import broom, caterpillar, path, random_tree, spider
+from repro.policies import OddEvenPolicy, TreeOddEvenPolicy
 
 
 class TestLongCertifiedPaths:
@@ -70,3 +84,90 @@ class TestTreeFamiliesCertify:
             tie_rule="round_robin", validate_every=25,
         )
         assert rep.certified
+
+
+def _soak_plan(steps: int, seed: int) -> FaultPlan:
+    """A dense fault plan: scheduled outages and wipes, a stochastic
+    background, and periodic process kills for the recovery harness."""
+    return FaultPlan(
+        events=(
+            FaultEvent(kind=FaultKind.LINK_DOWN, start=steps // 10,
+                       node=3, duration=5),
+            FaultEvent(kind=FaultKind.CRASH, start=steps // 4, node=7,
+                       duration=6, wipe=True),
+            FaultEvent(kind=FaultKind.JITTER, start=steps // 3,
+                       duration=10, delay=3),
+            FaultEvent(kind=FaultKind.HALT, start=steps // 2),
+            FaultEvent(kind=FaultKind.CRASH, start=(2 * steps) // 3,
+                       node=11, duration=4, wipe=False),
+            FaultEvent(kind=FaultKind.HALT, start=(4 * steps) // 5),
+        ),
+        random=RandomFaults(p_link_down=0.01, p_crash=0.002, duration=3),
+        seed=seed,
+    )
+
+
+@pytest.mark.soak
+class TestFaultInjectionSoak:
+    """Long degraded runs: the ledger must balance and recovery must
+    survive every induced kill, for tens of thousands of steps."""
+
+    def test_path_engine_survives_dense_faults(self):
+        steps = 20_000
+        engine = PathEngine(
+            64, OddEvenPolicy(), SeesawAdversary(),
+            buffer_capacity=9, faults=_soak_plan(steps, seed=101),
+        )
+        recoveries = run_with_recovery(engine, steps, snapshot_every=100)
+        assert recoveries == 2  # both scheduled halts fired and were survived
+        assert engine.step_index == steps
+        engine.assert_conservation()
+
+    def test_simulator_survives_dense_faults(self):
+        steps = 5_000
+        sim = Simulator(
+            path(48), OddEvenPolicy(), UniformRandomAdversary(seed=5),
+            buffer_capacity=8, overflow="drop-oldest",
+            faults=_soak_plan(steps, seed=17), validate=False,
+        )
+        recoveries = run_with_recovery(sim, steps, snapshot_every=100)
+        assert recoveries == 2
+        res = sim.result()
+        assert res.injected == res.delivered + res.in_flight + res.dropped
+
+    def test_tree_run_under_stochastic_faults(self):
+        steps = 5_000
+        plan = FaultPlan(
+            random=RandomFaults(p_link_down=0.02, p_crash=0.005,
+                                duration=3, wipe=True),
+            seed=23,
+        )
+        sim = Simulator(
+            random_tree(48, seed=21), TreeOddEvenPolicy(),
+            TreeSeesawAdversary(), buffer_capacity=10, faults=plan,
+            validate=False,
+        )
+        sim.run(steps)
+        sim.assert_conservation()
+        ledger = sim.metrics.ledger
+        assert ledger.total > 0  # wipes at this rate must lose something
+        assert set(ledger.by_cause()) <= {"crash", "wipe", "overflow"}
+
+    def test_long_resume_equals_uninterrupted(self):
+        steps = 10_000
+        plan = _soak_plan(steps, seed=31)
+        no_halts = FaultPlan(
+            events=tuple(e for e in plan.events
+                         if e.kind is not FaultKind.HALT),
+            random=plan.random, seed=plan.seed,
+        )
+        killed = PathEngine(32, OddEvenPolicy(), SeesawAdversary(),
+                            buffer_capacity=8, faults=plan)
+        run_with_recovery(killed, steps, snapshot_every=250)
+        smooth = PathEngine(32, OddEvenPolicy(), SeesawAdversary(),
+                            buffer_capacity=8, faults=no_halts)
+        smooth.run(steps)
+        assert np.array_equal(killed.heights, smooth.heights)
+        assert killed.metrics.delivered == smooth.metrics.delivered
+        assert (killed.metrics.ledger.detail()
+                == smooth.metrics.ledger.detail())

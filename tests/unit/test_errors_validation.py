@@ -7,10 +7,12 @@ import pytest
 
 from repro.errors import (
     AttachmentError,
+    BufferOverflow,
     CapacityViolation,
     CertificationError,
     ConservationViolation,
     ExperimentError,
+    FaultError,
     LocalityViolation,
     MatchingError,
     PolicyError,
@@ -30,13 +32,14 @@ class TestHierarchy:
         [TopologyError, SimulationError, PolicyError, CertificationError,
          ExperimentError, RateViolation, CapacityViolation,
          ConservationViolation, LocalityViolation, MatchingError,
-         AttachmentError],
+         AttachmentError, BufferOverflow, FaultError],
     )
     def test_all_derive_from_repro_error(self, exc):
         assert issubclass(exc, ReproError)
 
     def test_violations_are_simulation_errors(self):
-        for exc in (RateViolation, CapacityViolation, ConservationViolation):
+        for exc in (RateViolation, CapacityViolation, ConservationViolation,
+                    BufferOverflow, FaultError):
             assert issubclass(exc, SimulationError)
 
     def test_certification_sub_errors(self):

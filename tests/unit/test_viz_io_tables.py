@@ -7,7 +7,14 @@ import pytest
 
 from repro.analysis.tables import format_kv, format_table, rows_to_csv
 from repro.core.attachment import AttachmentScheme, Slot
-from repro.io.results import ExperimentResult, load_result, save_result
+from repro.io.results import (
+    ExperimentResult,
+    load_result,
+    load_run_result,
+    save_result,
+    save_run_result,
+)
+from repro.network.simulator import RunResult
 from repro.network.topology import spider
 from repro.viz.ascii import height_profile, series_plot, sparkline
 from repro.viz.attachment_render import (
@@ -159,3 +166,67 @@ class TestResultsIO:
 
     def test_csv_export(self):
         assert self._result().to_csv().startswith("a,b")
+
+
+class TestRunResultIO:
+    """Regression: RunResult (with the drop-accounting fields) must
+    survive a JSON round-trip exactly — including int node keys."""
+
+    def _run_result(self) -> RunResult:
+        return RunResult(
+            steps=500,
+            max_height=7,
+            argmax_node=12,
+            argmax_step=333,
+            injected=500,
+            delivered=480,
+            in_flight=11,
+            delay_summary={"mean": 4.5, "p99": 17.0},
+            dropped=9,
+            drops_by_cause={"overflow": 6, "wipe": 3},
+            drops_by_node={3: 5, 12: 4},
+        )
+
+    def test_round_trip_is_exact(self, tmp_path):
+        res = self._run_result()
+        p = save_run_result(res, tmp_path / "run.json")
+        loaded = load_run_result(p)
+        assert loaded == res
+        # JSON stringifies dict keys; the loader must restore ints
+        assert all(isinstance(k, int) for k in loaded.drops_by_node)
+        assert loaded.loss_rate == res.loss_rate
+
+    def test_zero_loss_result_round_trips(self, tmp_path):
+        res = RunResult(
+            steps=10, max_height=2, argmax_node=1, argmax_step=4,
+            injected=10, delivered=8, in_flight=2, delay_summary={},
+        )
+        p = save_run_result(res, tmp_path / "run.json")
+        loaded = load_run_result(p)
+        assert loaded == res and loaded.dropped == 0
+
+    def test_rejects_foreign_json(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text('{"steps": 1}')
+        with pytest.raises(ValueError):
+            load_run_result(p)
+
+    def test_simulator_result_round_trips(self, tmp_path):
+        from repro.adversaries import SeesawAdversary
+        from repro.network.faults import FaultEvent, FaultKind, FaultPlan
+        from repro.network.simulator import Simulator
+        from repro.network.topology import path as path_topo
+        from repro.policies import OddEvenPolicy
+
+        sim = Simulator(
+            path_topo(16), OddEvenPolicy(), SeesawAdversary(),
+            buffer_capacity=2,
+            faults=FaultPlan(events=(
+                FaultEvent(kind=FaultKind.CRASH, start=5, node=3,
+                           duration=3, wipe=True),
+            )),
+            validate=False,
+        )
+        res = sim.run(120)
+        p = save_run_result(res, tmp_path / "run.json")
+        assert load_run_result(p) == res
