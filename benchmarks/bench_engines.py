@@ -10,6 +10,7 @@ substrate are visible independently of the experiment-level timings.
 from __future__ import annotations
 
 from repro.adversaries import (
+    FarEndAdversary,
     RecursiveLowerBoundAttack,
     SeesawAdversary,
     UniformRandomAdversary,
@@ -32,6 +33,44 @@ def test_bench_fast_engine_4096_nodes(benchmark):
         return engine.max_height
 
     assert benchmark(run) >= 1
+
+
+def test_bench_fast_engine_batched_run(benchmark):
+    """run() through the batched fast path (schedule-capable far-end
+    adversary): injections precomputed, no per-step python dispatch."""
+
+    def run():
+        engine = PathEngine(4096, OddEvenPolicy(), FarEndAdversary())
+        engine.run(2000)
+        return engine.metrics.injected
+
+    assert benchmark(run) == 2000
+
+
+def test_bench_fast_engine_per_step_baseline(benchmark):
+    """The same far-end workload stepped round by round — the baseline
+    the batched path is compared against in BENCH records."""
+
+    def run():
+        engine = PathEngine(4096, OddEvenPolicy(), FarEndAdversary())
+        for _ in range(2000):
+            engine.step()
+        return engine.metrics.injected
+
+    assert benchmark(run) == 2000
+
+
+def test_bench_push_back_cascade(benchmark):
+    """Finite buffers with cascading push-back refusals (the sweep in
+    PathEngine._push_back_sends) under a saturating stream."""
+
+    def run():
+        engine = PathEngine(512, GreedyPolicy(), FarEndAdversary(),
+                            buffer_capacity=2, overflow="push-back")
+        engine.run(2000)
+        return engine.metrics.injected
+
+    assert benchmark(run) > 0
 
 
 def test_bench_packet_simulator_256_nodes(benchmark):

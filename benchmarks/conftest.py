@@ -6,14 +6,52 @@ reports the wall-clock cost through pytest-benchmark.  Experiments run
 exactly once per benchmark (``pedantic(rounds=1)``) — they are
 measurements, not hot loops; the micro-benchmarks in
 ``bench_engines.py`` cover raw simulator throughput.
+
+Setting ``REPRO_BENCH_LABEL=<label>`` makes a benchmark session emit a
+``BENCH_<label>.json`` perf record (same ``repro-bench-v1`` format the
+CLI's ``repro run ... --bench`` writes; see README.md) into
+``REPRO_BENCH_DIR`` (default: the current directory).
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.experiments import get_experiment
 from repro.io.results import ExperimentResult
+
+_DURATIONS: list[tuple[str, str, float]] = []
+
+
+def pytest_runtest_logreport(report):
+    if report.when == "call" and os.environ.get("REPRO_BENCH_LABEL"):
+        _DURATIONS.append((report.nodeid, report.outcome, report.duration))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    label = os.environ.get("REPRO_BENCH_LABEL")
+    if not label or not _DURATIONS:
+        return
+    from repro.runner import bench_record, engine_throughput, write_bench
+    from repro.runner.runner import ExperimentRecord, RunManifest
+
+    manifest = RunManifest(preset="benchmarks", jobs=1)
+    for nodeid, outcome, duration in _DURATIONS:
+        manifest.records.append(
+            ExperimentRecord(
+                experiment_id=nodeid.split("::")[-1],
+                status="ok" if outcome == "passed" else "error",
+                wall_s=duration,
+            )
+        )
+    manifest.wall_s = sum(r.wall_s for r in manifest.records)
+    path = write_bench(
+        bench_record(label, manifest=manifest, engine=engine_throughput()),
+        os.environ.get("REPRO_BENCH_DIR", "."),
+    )
+    print(f"\nwrote perf record {path}")
 
 
 @pytest.fixture

@@ -50,6 +50,26 @@ class Adversary(ABC):
         must not be mutated.
         """
 
+    def inject_schedule(
+        self, start: int, steps: int, topology: Topology
+    ) -> Sequence[tuple[int, ...]] | None:
+        """Optional batched protocol: the next ``steps`` injection
+        batches, for steps ``start .. start + steps - 1``.
+
+        Height-independent adversaries (whose choices never depend on
+        the configuration) may override this so that
+        :meth:`repro.network.engine_fast.PathEngine.run` can precompute
+        the whole schedule once and skip per-step Python dispatch on
+        its hot loop.  Returning ``None`` — the default, and the only
+        correct answer for adaptive adversaries — makes the engine fall
+        back to per-step :meth:`inject`.
+
+        An implementation must leave the adversary in exactly the state
+        ``steps`` sequential :meth:`inject` calls would, so batched and
+        per-step runs can interleave freely on one engine.
+        """
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"
 
@@ -61,3 +81,6 @@ class NullAdversary(Adversary):
 
     def inject(self, step, heights, topology):
         return ()
+
+    def inject_schedule(self, start, steps, topology):
+        return ((),) * steps

@@ -51,6 +51,16 @@ class FixedNodeAdversary(Adversary):
             return ()
         return (self.node,) * self.count
 
+    def inject_schedule(self, start, steps, topology):
+        if self._start is None:
+            self._start = start
+        burst = (self.node,) * self.count
+        if self.duration is None:
+            return (burst,) * steps
+        remaining = max(self.duration - (start - self._start), 0)
+        on = min(remaining, steps)
+        return (burst,) * on + ((),) * (steps - on)
+
 
 class FarEndAdversary(Adversary):
     """Inject at a node of maximum depth (the paper's "leftmost node")."""
@@ -68,6 +78,9 @@ class FarEndAdversary(Adversary):
 
     def inject(self, step, heights, topology):
         return (self._node,) * self.count
+
+    def inject_schedule(self, start, steps, topology):
+        return ((self._node,) * self.count,) * steps
 
 
 class PreSinkAdversary(Adversary):
@@ -89,6 +102,9 @@ class PreSinkAdversary(Adversary):
 
     def inject(self, step, heights, topology):
         return (self._node,) * self.count
+
+    def inject_schedule(self, start, steps, topology):
+        return ((self._node,) * self.count,) * steps
 
 
 class ScheduleAdversary(Adversary):
@@ -199,3 +215,9 @@ class RoundRobinAdversary(Adversary):
 
     def inject(self, step, heights, topology):
         return (self._cycle[step % len(self._cycle)],)
+
+    def inject_schedule(self, start, steps, topology):
+        # one tuple per cycle position, shared across the schedule
+        period = [(v,) for v in self._cycle]
+        m = len(period)
+        return [period[(start + i) % m] for i in range(steps)]

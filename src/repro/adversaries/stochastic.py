@@ -120,6 +120,13 @@ class OnOffAdversary(Adversary):
         phase = step % (self.on + self.off)
         return (self.node,) if phase < self.on else ()
 
+    def inject_schedule(self, start, steps, topology):
+        burst, quiet, period = (self.node,), (), self.on + self.off
+        return [
+            burst if (start + i) % period < self.on else quiet
+            for i in range(steps)
+        ]
+
 
 class TokenBucketAdversary(Adversary):
     """(ρ, σ) constraint wrapper: rate ρ with burstiness σ ([21] model).

@@ -48,10 +48,17 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("experiments", nargs="+",
                    help="experiment ids (e.g. E2 E3) or 'all'")
     r.add_argument("--preset", choices=("quick", "full"), default="quick")
+    r.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes for the sweep (default 1 = "
+                        "serial; results print in id order either way)")
     r.add_argument("--out", default=None,
                    help="directory for JSON/TXT artefacts")
     r.add_argument("--no-artifacts", action="store_true",
                    help="omit ASCII charts from stdout")
+    r.add_argument("--bench", default=None, metavar="LABEL",
+                   help="emit a BENCH_<LABEL>.json perf record (engine "
+                        "steps/sec + per-experiment wall-clock; see "
+                        "benchmarks/README.md)")
     r.add_argument("--faults", default=None, metavar="PLAN.json",
                    help="fault plan JSON threaded into simulating "
                         "experiments (see docs/robustness.md)")
@@ -85,10 +92,12 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--faults", default=None, metavar="PLAN.json",
                    help="fault plan JSON (link outages, crashes, jitter, "
                         "halts)")
+    from .network.buffers import Overflow
+
     s.add_argument("--buffer-capacity", type=int, default=None,
                    help="finite per-node buffer (default: unbounded)")
-    s.add_argument("--overflow", default="drop-tail",
-                   choices=("drop-tail", "drop-oldest", "push-back"),
+    s.add_argument("--overflow", default=Overflow.DROP_TAIL.value,
+                   choices=tuple(o.value for o in Overflow),
                    help="overflow discipline for finite buffers")
     s.add_argument("--snapshot-every", type=int, default=50,
                    help="snapshot stride for crash/resume when a fault "
@@ -146,23 +155,43 @@ def _load_fault_plan(path: str | None):
 
 
 def _cmd_run(ids: Sequence[str], preset: str, out: str | None,
-             no_artifacts: bool, faults: str | None = None) -> int:
-    if len(ids) == 1 and ids[0].lower() == "all":
-        ids = all_experiment_ids()
+             no_artifacts: bool, faults: str | None = None,
+             jobs: int = 1, bench: str | None = None) -> int:
+    from .runner import (
+        bench_record,
+        engine_throughput,
+        run_experiments,
+        write_bench,
+    )
+
     plan = _load_fault_plan(faults)
-    failures = 0
-    for eid in ids:
-        exp = get_experiment(eid)
-        result = exp.run(preset, faults=plan)
-        print(result.to_text(include_artifacts=not no_artifacts))
+
+    def report(rec) -> None:
+        if rec.result is not None:
+            print(rec.result.to_text(include_artifacts=not no_artifacts))
+            if out:
+                print(f"saved {save_result(rec.result, out)}")
+        else:
+            print(f"=== {rec.experiment_id}: ERROR ({rec.error}) ===")
         print()
-        if out:
-            path = save_result(result, out)
-            print(f"saved {path}")
-        if not result.passed:
-            failures += 1
+
+    manifest = run_experiments(
+        ids, preset, jobs=jobs, faults=plan, on_record=report
+    )
+    if bench is not None:
+        path = write_bench(
+            bench_record(bench, manifest=manifest,
+                         engine=engine_throughput()),
+            out or ".",
+        )
+        print(f"wrote perf record {path}")
+    failures = manifest.failures
     if failures:
-        print(f"{failures} experiment(s) FAILED their shape assertion")
+        detail = ", ".join(f"{r.experiment_id} ({r.status})"
+                           for r in failures)
+        print(f"{len(failures)} experiment(s) FAILED: {detail}")
+    print(f"{len(manifest.records)} experiment(s) in "
+          f"{manifest.wall_s:.2f}s (--jobs {manifest.jobs})")
     return 1 if failures else 0
 
 
@@ -315,7 +344,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "run":
         try:
             return _cmd_run(args.experiments, args.preset, args.out,
-                            args.no_artifacts, args.faults)
+                            args.no_artifacts, args.faults,
+                            args.jobs, args.bench)
         except FaultError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

@@ -19,10 +19,10 @@ from collections import deque
 from enum import Enum
 from typing import Iterator
 
-from ..errors import BufferOverflow
+from ..errors import BufferOverflow, SimulationError
 from .packet import Packet
 
-__all__ = ["Discipline", "Overflow", "Buffer"]
+__all__ = ["Discipline", "Overflow", "Buffer", "coerce_overflow"]
 
 
 class Discipline(str, Enum):
@@ -56,6 +56,24 @@ class Overflow(str, Enum):
     DROP_TAIL = "drop-tail"
     DROP_OLDEST = "drop-oldest"
     PUSH_BACK = "push-back"
+
+
+def coerce_overflow(value: "Overflow | str") -> "Overflow":
+    """Convert a user-supplied overflow spec into an :class:`Overflow`.
+
+    Raises
+    ------
+    SimulationError
+        Naming the valid spellings, instead of the bare ``ValueError``
+        the enum constructor would raise for e.g. ``"push_back"``.
+    """
+    try:
+        return Overflow(value)
+    except ValueError:
+        valid = ", ".join(repr(o.value) for o in Overflow)
+        raise SimulationError(
+            f"unknown overflow discipline {value!r}; choose from {valid}"
+        ) from None
 
 
 class Buffer:

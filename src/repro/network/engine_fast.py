@@ -32,7 +32,7 @@ from typing import Any, Literal
 
 import numpy as np
 
-from .buffers import Overflow
+from .buffers import Overflow, coerce_overflow
 from .events import StepRecord, TraceRecorder
 from .faults import NO_FAULTS, FaultInjector, FaultPlan
 from .metrics import MetricsBundle
@@ -42,7 +42,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..adversaries.base import Adversary
-from ..errors import ConservationViolation, SimulationError
+from ..errors import BufferOverflow, ConservationViolation, SimulationError
 from ..policies.base import ForwardingPolicy
 from ..policies.undirected import UndirectedPathPolicy
 
@@ -127,7 +127,7 @@ class PathEngine:
             raise SimulationError(
                 f"buffer_capacity must be >= 1 or None, got {buffer_capacity}"
             )
-        self.overflow = Overflow(overflow)
+        self.overflow = coerce_overflow(overflow)
         if isinstance(faults, FaultInjector):
             self.faults: FaultInjector | None = faults
         elif faults is not None:
@@ -249,6 +249,14 @@ class PathEngine:
             h -= counts
             h[1:] += counts[:-1]
             h[-1] = 0  # the sink consumes instantly
+        elif self.overflow is Overflow.PUSH_BACK:
+            # a refused packet never leaves its sender, so only the
+            # effective sends move; nothing is dropped here
+            sends = self._push_back_sends(h, counts, cap)
+            delivered = int(sends[-2])
+            h -= sends
+            h[1:] += sends[:-1]
+            h[-1] = 0
         else:
             # each node's own sends free space before arrivals land
             h -= counts
@@ -261,18 +269,12 @@ class PathEngine:
             h += admitted
             h[-1] = 0
             if refused.any():
-                if self.overflow is Overflow.PUSH_BACK:
-                    # refused packets stay with their sender (node v-1)
-                    # and the send never happened
-                    h[:-1] += refused[1:]
-                    sends = counts.copy()
-                    sends[:-1] -= refused[1:]
-                else:  # drop-tail / drop-oldest: same height dynamics
-                    for v in np.flatnonzero(refused):
-                        k = int(refused[v])
-                        ledger.record(int(v), "overflow", k)
-                        key = (int(v), "overflow")
-                        drops[key] = drops.get(key, 0) + k
+                # drop-tail / drop-oldest: same height dynamics
+                for v in np.flatnonzero(refused):
+                    k = int(refused[v])
+                    ledger.record(int(v), "overflow", k)
+                    key = (int(v), "overflow")
+                    drops[key] = drops.get(key, 0) + k
         self.metrics.delivered += delivered
 
         self.step_index += 1
@@ -296,19 +298,163 @@ class PathEngine:
                 )
             )
 
+    def _push_back_sends(
+        self, h: np.ndarray, counts: np.ndarray, cap: int
+    ) -> np.ndarray:
+        """Effective sends under :attr:`Overflow.PUSH_BACK`.
+
+        A send into a full buffer is refused and the packet stays with
+        its sender, where it keeps occupying a slot — so refusals
+        cascade upstream: node ``v``'s room for arrivals depends on how
+        many of its *own* packets node ``v+1`` refused.  The cascade is
+        resolved with a right-to-left sweep (the receiver nearest the
+        sink settles first; the sink itself never refuses).  When no
+        buffer is near capacity the vectorised pre-check shows no
+        refusal is possible and ``counts`` is returned unchanged, which
+        keeps the common case as fast as the drop disciplines.
+        """
+        incoming = np.zeros_like(counts)
+        incoming[1:] = counts[:-1]
+        room = cap - (h - counts)
+        room[-1] = np.iinfo(np.int64).max  # the sink never fills
+        if (incoming <= np.maximum(room, 0)).all():
+            return counts  # no buffer can refuse: all sends succeed
+        eff = counts.copy()
+        # eff[n-2] = counts[n-2] (the sink always accepts); walking
+        # leftwards, node v may send only into v+1's room *after* v+1's
+        # own effective send is settled.
+        for v in range(self.n - 3, -1, -1):
+            allowed = cap - int(h[v + 1]) + int(eff[v + 1])
+            if allowed < eff[v]:
+                eff[v] = max(allowed, 0)
+        return eff
+
     def run(self, steps: int) -> "PathEngine":
-        """Advance ``steps`` rounds; returns self for chaining."""
+        """Advance ``steps`` rounds; returns self for chaining.
+
+        When the adversary can publish its injection schedule up front
+        (:meth:`~repro.adversaries.base.Adversary.inject_schedule`) and
+        no per-step instrumentation is active (fault plan, trace,
+        validation, finite buffers), the rounds execute through a
+        batched inner loop that skips the per-step adversary dispatch
+        and rate re-validation.  The batched path is bit-identical to
+        per-step stepping (a parity test pins this); it is purely a
+        throughput optimisation.
+        """
+        if steps > 0 and self._batchable():
+            schedule = self.adversary.inject_schedule(  # type: ignore[union-attr]
+                self.step_index, steps, self.topology
+            )
+            if schedule is not None:
+                return self._run_batched(schedule, steps)
         for _ in range(steps):
             self.step()
         return self
 
+    def _batchable(self) -> bool:
+        """Is the batched inner loop observably identical to step()?"""
+        return (
+            self.adversary is not None
+            and self.faults is None
+            and self.trace is None
+            and not self.validate
+            and self.buffer_capacity is None
+        )
+
+    def _run_batched(self, schedule, steps: int) -> "PathEngine":
+        """The hot loop behind :meth:`run` for precomputed schedules."""
+        if len(schedule) != steps:
+            raise SimulationError(
+                f"adversary {self.adversary!r} returned "
+                f"{len(schedule)} schedule entries for {steps} steps"
+            )
+        h = self.heights
+        topo = self.topology
+        pre = self.decision_timing == "pre_injection"
+        send_counts = self.policy.send_counts
+        capacity = self.capacity
+        # the base observe_injections is a documented no-op: skip the
+        # per-step call unless the policy actually overrides it
+        observe_injections = (
+            None
+            if type(self.policy).observe_injections
+            is ForwardingPolicy.observe_injections
+            else self.policy.observe_injections
+        )
+        tracker = self.metrics.tracker
+        per_node_max = tracker.per_node_max
+        series = self.metrics.series if self.metrics.series.enabled else None
+        # deterministic schedules repeat a handful of distinct batches;
+        # validate each distinct batch once instead of every step
+        canon: dict[tuple[int, ...], tuple[int, ...]] = {}
+        injected = 0
+        delivered = 0
+        for entry in schedule:
+            sites = canon.get(entry)
+            if sites is None:
+                sites = validate_injections(
+                    entry, topo, self.injection_limit, step=self.step_index
+                )
+                canon[entry] = sites
+            if observe_injections is not None:
+                observe_injections(sites)
+            if pre:
+                counts = send_counts(h, topo, capacity)
+                for s in sites:
+                    h[s] += 1
+            else:
+                for s in sites:
+                    h[s] += 1
+                counts = send_counts(h, topo, capacity)
+            injected += len(sites)
+            delivered += int(counts[-2])
+            h -= counts
+            h[1:] += counts[:-1]
+            h[-1] = 0
+            self.step_index += 1
+            # inlined MetricsBundle.observe (same semantics, fewer calls)
+            np.maximum(per_node_max, h, out=per_node_max)
+            m = int(h.max())
+            if m > tracker.max_height:
+                tracker.max_height = m
+                tracker.argmax_node = int(np.argmax(h))
+                tracker.argmax_step = self.step_index
+            if series is not None:
+                series.observe(self.step_index, h)
+        self.metrics.injected += injected
+        self.metrics.delivered += delivered
+        return self
+
     # ------------------------------------------------------------------
+    def assert_capacity(self) -> None:
+        """Finite-buffer invariant: no non-sink node above capacity.
+
+        Trivially true with unbounded buffers; under a finite
+        ``buffer_capacity`` every overflow discipline must keep every
+        non-sink height at or below the capacity (the sink consumes
+        instantly and holds nothing).
+        """
+        cap = self.buffer_capacity
+        if cap is None:
+            return
+        over = np.flatnonzero(self.heights[:-1] > cap)
+        if over.size:
+            v = int(over[0])
+            raise BufferOverflow(
+                f"step {self.step_index}: node {v} holds "
+                f"{int(self.heights[v])} packets > buffer_capacity {cap}"
+            )
+
     def assert_conservation(self) -> None:
         """Conservation ledger: injected == delivered + buffered + dropped.
 
         With unbounded buffers and no faults the dropped term is
         identically zero and this is the paper's zero-loss invariant.
+        Also re-checks the finite-buffer capacity invariant
+        (:meth:`assert_capacity`) so a ``validate=True`` run catches a
+        height above ``buffer_capacity`` the moment it appears.
         """
+        self.assert_capacity()
         in_flight = int(self.heights.sum())
         ledger = self.metrics.ledger
         if not ledger.balanced(

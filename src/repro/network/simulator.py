@@ -38,7 +38,7 @@ from typing import Any
 
 import numpy as np
 
-from .buffers import Buffer, Discipline, Overflow
+from .buffers import Buffer, Discipline, Overflow, coerce_overflow
 from .events import StepRecord, TraceRecorder
 from .faults import NO_FAULTS, FaultInjector, FaultPlan, StepFaults
 from .metrics import MetricsBundle
@@ -49,7 +49,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..adversaries.base import Adversary
-from ..errors import ConservationViolation, SimulationError
+from ..errors import BufferOverflow, ConservationViolation, SimulationError
 from ..policies.base import ForwardingPolicy
 
 __all__ = ["Simulator", "RunResult"]
@@ -133,7 +133,7 @@ class Simulator:
         self.buffer_capacity = (
             None if buffer_capacity is None else int(buffer_capacity)
         )
-        self.overflow = Overflow(overflow)
+        self.overflow = coerce_overflow(overflow)
         if isinstance(faults, FaultInjector):
             self.faults: FaultInjector | None = faults
         elif faults is not None:
@@ -206,10 +206,15 @@ class Simulator:
         """Apply simultaneous moves; returns (delivered, effective sends).
 
         Effective sends differ from ``counts`` only under push-back:
-        a packet refused by a full receiver stays at its sender and the
-        send never happened.  When several senders share a receiver,
-        arrivals are processed in ascending sender id — the same
-        deterministic order the vectorised engine uses.
+        a packet refused by a full receiver stays at its sender — the
+        send never happened and the packet keeps occupying a slot at
+        the sender.  Because a held-back packet shrinks the sender's
+        own room for arrivals, refusals cascade upstream; transfers are
+        therefore resolved receiver-first, in ascending depth of the
+        sender (the receiver nearest the sink settles before anyone
+        sends into it — the sink itself never refuses).  Siblings
+        sharing a receiver are processed in ascending sender id, the
+        same deterministic order the vectorised engine uses.
         """
         sink = self.topology.sink
         moving: list[tuple[int, int, Packet]] = []
@@ -237,30 +242,42 @@ class Simulator:
                 moving.append((v, dest, self.buffers[v].pop()))
         delivered = 0
         effective = np.asarray(counts, dtype=np.int64).copy()
-        pushed_back: dict[int, list[Packet]] = {}
-        for src, dest, pkt in moving:
-            if dest != sink:
-                buf = self.buffers[dest]
-                if buf.overflow is Overflow.PUSH_BACK and buf.full:
-                    # receiver refuses: the sender keeps the packet
-                    pushed_back.setdefault(src, []).append(pkt)
-                    effective[src] -= 1
-                    continue
-            pkt.hops += 1
+        # receiver-first order: (sender depth, sender id); the sort is
+        # stable, so a sender's packets stay in pop order
+        depth = self.topology.depth
+        moving.sort(key=lambda m: (depth[m[0]], m[0]))
+        i = 0
+        while i < len(moving):
+            src, dest, _ = moving[i]
+            j = i
+            while j < len(moving) and moving[j][0] == src:
+                j += 1
+            group = [pkt for _, _, pkt in moving[i:j]]
+            i = j
             if dest == sink:
-                pkt.delivered_step = self.step_index
-                self.delivered_packets.append(pkt)
-                self.metrics.delays.record(pkt.delay)
-                delivered += 1
-            else:
-                evicted = self.buffers[dest].push(pkt)
+                for pkt in group:
+                    pkt.hops += 1
+                    pkt.delivered_step = self.step_index
+                    self.delivered_packets.append(pkt)
+                    self.metrics.delays.record(pkt.delay)
+                    delivered += 1
+                continue
+            buf = self.buffers[dest]
+            push_back = buf.overflow is Overflow.PUSH_BACK
+            for k, pkt in enumerate(group):
+                if push_back and buf.full:
+                    # the receiver's own sends are already settled and
+                    # arrivals only fill it further, so the whole
+                    # remaining suffix is refused; requeue restores
+                    # pre-pop positions (last-popped goes back first)
+                    for refused in reversed(group[k:]):
+                        self.buffers[src].requeue(refused)
+                    effective[src] -= len(group) - k
+                    break
+                pkt.hops += 1
+                evicted = buf.push(pkt)
                 if evicted is not None:
                     self._record_drop(drops, dest, "overflow")
-        for src, pkts in pushed_back.items():
-            # reversed: requeue restores each packet to its pre-pop
-            # position, so the last-popped must go back first
-            for pkt in reversed(pkts):
-                self.buffers[src].requeue(pkt)
         self.metrics.delivered += delivered
         return delivered, effective
 
@@ -374,15 +391,37 @@ class Simulator:
         )
 
     # ------------------------------------------------------------------
+    def assert_capacity(self, heights: np.ndarray | None = None) -> None:
+        """Finite-buffer invariant: no non-sink node above capacity.
+
+        Trivially true with unbounded buffers; under a finite
+        ``buffer_capacity`` every overflow discipline must keep every
+        non-sink buffer at or below the capacity (the sink consumes
+        instantly and holds nothing).
+        """
+        cap = self.buffer_capacity
+        if cap is None:
+            return
+        h = self.heights if heights is None else heights
+        over = np.flatnonzero(h > cap)
+        if over.size:
+            v = int(over[0])
+            raise BufferOverflow(
+                f"step {self.step_index}: node {v} holds {int(h[v])} "
+                f"packets > buffer_capacity {cap}"
+            )
+
     def assert_conservation(self, heights: np.ndarray | None = None) -> None:
         """Conservation ledger: injected == delivered + buffered + dropped.
 
         In the faithful model the dropped term is identically zero and
         this is the paper's zero-loss invariant; under the finite-buffer
         or fault extensions it is the extended law that every loss must
-        be accounted to a node and a cause.
+        be accounted to a node and a cause.  Also re-checks the
+        finite-buffer capacity invariant (:meth:`assert_capacity`).
         """
         h = self.heights if heights is None else heights
+        self.assert_capacity(h)
         in_flight = int(h.sum())
         ledger = self.metrics.ledger
         if not ledger.balanced(

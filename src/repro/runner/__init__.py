@@ -1,0 +1,38 @@
+"""Experiment orchestration: parallel sweeps and perf telemetry.
+
+The :mod:`repro.runner` subsystem sits between the CLI/benchmarks and
+the experiment registry:
+
+* :func:`run_experiments` — execute a set of registry experiments
+  serially or across a process pool (``repro run all --jobs N``), with
+  per-experiment wall-clock timing, failure isolation (one crashing
+  experiment is recorded as an error instead of killing the sweep) and
+  deterministic result ordering;
+* :class:`RunManifest` / :class:`ExperimentRecord` — the merged record
+  of one sweep;
+* :mod:`repro.runner.perf` — engine throughput measurement and the
+  ``BENCH_<label>.json`` perf records that track the repo's performance
+  trajectory (see ``benchmarks/README.md`` for the format).
+"""
+
+from .perf import (
+    BENCH_FORMAT,
+    bench_record,
+    engine_throughput,
+    git_rev,
+    load_bench,
+    write_bench,
+)
+from .runner import ExperimentRecord, RunManifest, run_experiments
+
+__all__ = [
+    "ExperimentRecord",
+    "RunManifest",
+    "run_experiments",
+    "BENCH_FORMAT",
+    "bench_record",
+    "engine_throughput",
+    "git_rev",
+    "load_bench",
+    "write_bench",
+]

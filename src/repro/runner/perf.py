@@ -1,0 +1,133 @@
+"""Perf telemetry: engine throughput and ``BENCH_<label>.json`` records.
+
+The ROADMAP's north star is a system that runs as fast as the hardware
+allows — which is only meaningful if every change leaves a comparable
+perf data point.  A *bench record* is one such point: engine
+steps/second (per-step vs batched fast path), per-experiment wall-clock
+from a sweep's :class:`~repro.runner.runner.RunManifest`, the preset,
+and the git revision that produced it.  ``tools/perf_report.py``
+records and compares them; ``repro run ... --bench LABEL`` emits one
+from any CLI sweep; CI uploads ``BENCH_quick.json`` on every PR.
+
+Format (``benchmarks/README.md`` documents it for humans)::
+
+    {
+      "format": "repro-bench-v1",
+      "label": "quick",
+      "created_unix": 1754500000,
+      "git_rev": "3f9600f",
+      "engine": {"n": ..., "steps": ...,
+                 "per_step_sps": ..., "batched_sps": ..., "speedup": ...},
+      "sweep": {"preset": ..., "jobs": ..., "wall_s": ...,
+                "experiments": [{"id": ..., "status": ..., "wall_s": ...}]}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from pathlib import Path
+from typing import Any
+
+from ..errors import SimulationError
+from .runner import RunManifest
+
+__all__ = [
+    "BENCH_FORMAT",
+    "git_rev",
+    "engine_throughput",
+    "bench_record",
+    "write_bench",
+    "load_bench",
+]
+
+BENCH_FORMAT = "repro-bench-v1"
+
+
+def git_rev() -> str:
+    """Short git revision of the working tree, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def engine_throughput(n: int = 256, steps: int = 4000) -> dict[str, Any]:
+    """Measure :class:`PathEngine` steps/second, per-step vs batched.
+
+    Runs the same (Odd-Even, far-end) workload twice — once stepping
+    round by round, once through the batched ``run()`` fast path — and
+    asserts the two trajectories are identical before reporting, so a
+    perf record can never be produced by a diverging fast path.
+    """
+    from ..adversaries import FarEndAdversary
+    from ..network.engine_fast import PathEngine
+    from ..policies import OddEvenPolicy
+
+    per_step = PathEngine(n, OddEvenPolicy(), FarEndAdversary())
+    t0 = time.perf_counter()
+    for _ in range(steps):
+        per_step.step()
+    per_step_s = time.perf_counter() - t0
+
+    batched = PathEngine(n, OddEvenPolicy(), FarEndAdversary())
+    t0 = time.perf_counter()
+    batched.run(steps)
+    batched_s = time.perf_counter() - t0
+
+    if (per_step.heights != batched.heights).any():
+        raise SimulationError(
+            "batched PathEngine.run() diverged from per-step stepping"
+        )
+    return {
+        "n": n,
+        "steps": steps,
+        "per_step_sps": round(steps / per_step_s, 1),
+        "batched_sps": round(steps / batched_s, 1),
+        "speedup": round(per_step_s / batched_s, 3),
+    }
+
+
+def bench_record(
+    label: str,
+    *,
+    manifest: RunManifest | None = None,
+    engine: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble a bench record from its measured parts."""
+    record: dict[str, Any] = {
+        "format": BENCH_FORMAT,
+        "label": label,
+        "created_unix": int(time.time()),
+        "git_rev": git_rev(),
+    }
+    if engine is not None:
+        record["engine"] = engine
+    if manifest is not None:
+        record["sweep"] = manifest.to_dict()
+    return record
+
+
+def write_bench(
+    record: dict[str, Any], directory: str | Path = "."
+) -> Path:
+    """Write ``BENCH_<label>.json`` into ``directory``; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{record['label']}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench(path: str | Path) -> dict[str, Any]:
+    """Load a bench record, refusing files that aren't one."""
+    data = json.loads(Path(path).read_text())
+    if data.get("format") != BENCH_FORMAT:
+        raise ValueError(f"{path}: not a {BENCH_FORMAT} record")
+    return data

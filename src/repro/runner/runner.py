@@ -1,0 +1,222 @@
+"""Process-pool experiment runner.
+
+``repro run all --preset full`` used to execute all experiments
+strictly serially in one process; this module is the orchestration
+layer that lets the sweep use however many cores the machine has,
+without changing what any experiment computes:
+
+* experiments run in *isolated workers* — an experiment that raises
+  (or whose worker dies) becomes an ``error`` record instead of
+  aborting the sweep;
+* results are returned in *submission order* regardless of completion
+  order, so serial and parallel sweeps print identically;
+* every experiment is timed (wall-clock), and the whole sweep is
+  summarised in a :class:`RunManifest` that the perf-telemetry layer
+  (:mod:`repro.runner.perf`) serialises into ``BENCH_<label>.json``.
+
+``jobs=1`` (the default) runs in-process with no pool, byte-identical
+to the historical serial path.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..errors import ExperimentError
+from ..experiments import all_experiment_ids, get_experiment
+from ..io.results import ExperimentResult
+from ..network.faults import FaultPlan
+
+__all__ = ["ExperimentRecord", "RunManifest", "run_experiments"]
+
+
+@dataclass
+class ExperimentRecord:
+    """Outcome of one experiment inside a sweep.
+
+    ``status`` is ``"ok"`` (ran, shape assertion passed),
+    ``"failed-shape"`` (ran, shape assertion failed) or ``"error"``
+    (raised / worker died; ``error`` carries the message and ``result``
+    is ``None``).
+    """
+
+    experiment_id: str
+    status: str
+    wall_s: float
+    result: ExperimentResult | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> dict[str, Any]:
+        """Compact form for manifests / BENCH records (no result body)."""
+        d: dict[str, Any] = {
+            "id": self.experiment_id,
+            "status": self.status,
+            "wall_s": round(self.wall_s, 4),
+        }
+        if self.error is not None:
+            d["error"] = self.error
+        return d
+
+
+@dataclass
+class RunManifest:
+    """The merged record of one sweep: who ran, how it went, how long."""
+
+    preset: str
+    jobs: int
+    records: list[ExperimentRecord] = field(default_factory=list)
+    wall_s: float = 0.0
+
+    @property
+    def failures(self) -> list[ExperimentRecord]:
+        return [r for r in self.records if not r.ok]
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "preset": self.preset,
+            "jobs": self.jobs,
+            "wall_s": round(self.wall_s, 4),
+            "experiments": [r.to_dict() for r in self.records],
+        }
+
+
+def _run_one(
+    experiment_id: str, preset: str, plan_json: str | None
+) -> tuple[str, float, ExperimentResult | None, str | None]:
+    """Worker body: run one experiment, never raise.
+
+    Module-level (picklable) so it can cross a process boundary; the
+    fault plan travels as JSON for the same reason.
+    """
+    plan = FaultPlan.from_json(plan_json) if plan_json else None
+    t0 = time.perf_counter()
+    try:
+        result = get_experiment(experiment_id).run(preset, faults=plan)
+    except BaseException as err:  # isolate *any* failure to this record
+        return (
+            experiment_id,
+            time.perf_counter() - t0,
+            None,
+            f"{type(err).__name__}: {err}",
+        )
+    return experiment_id, time.perf_counter() - t0, result, None
+
+
+def _record(
+    experiment_id: str,
+    wall_s: float,
+    result: ExperimentResult | None,
+    error: str | None,
+) -> ExperimentRecord:
+    if error is not None:
+        status = "error"
+    elif result is not None and result.passed:
+        status = "ok"
+    else:
+        status = "failed-shape"
+    return ExperimentRecord(
+        experiment_id=experiment_id,
+        status=status,
+        wall_s=wall_s,
+        result=result,
+        error=error,
+    )
+
+
+def run_experiments(
+    ids: Sequence[str],
+    preset: str = "quick",
+    *,
+    jobs: int = 1,
+    faults: FaultPlan | None = None,
+    on_record: Callable[[ExperimentRecord], None] | None = None,
+) -> RunManifest:
+    """Run registry experiments, serially or across a process pool.
+
+    Parameters
+    ----------
+    ids:
+        Experiment ids (``["E2", "E19"]``) or ``["all"]``.
+    jobs:
+        Worker processes; ``1`` (default) runs in-process serially.
+    faults:
+        Optional :class:`FaultPlan` threaded into every experiment.
+    on_record:
+        Progress callback, invoked with each :class:`ExperimentRecord`
+        **in submission order** as soon as it (and everything before
+        it) is available — the CLI streams reports through this.
+
+    Unknown experiment ids raise :class:`ExperimentError` up front
+    (before anything runs); failures *inside* an experiment never
+    propagate — they are returned as ``error`` records.
+    """
+    if len(ids) == 1 and str(ids[0]).lower() == "all":
+        ids = all_experiment_ids()
+    ids = [i.upper() for i in ids]
+    for eid in ids:
+        get_experiment(eid)  # raises ExperimentError for unknown ids
+    if jobs < 1:
+        raise ExperimentError(f"--jobs must be >= 1, got {jobs}")
+    plan_json = faults.to_json() if faults is not None else None
+
+    manifest = RunManifest(preset=preset, jobs=jobs)
+    t0 = time.perf_counter()
+    if jobs == 1 or len(ids) <= 1:
+        for eid in ids:
+            rec = _record(*_run_one(eid, preset, plan_json))
+            manifest.records.append(rec)
+            if on_record is not None:
+                on_record(rec)
+    else:
+        manifest.records = _run_pool(
+            ids, preset, plan_json, jobs, on_record
+        )
+    manifest.wall_s = time.perf_counter() - t0
+    return manifest
+
+
+def _run_pool(
+    ids: Sequence[str],
+    preset: str,
+    plan_json: str | None,
+    jobs: int,
+    on_record: Callable[[ExperimentRecord], None] | None,
+) -> list[ExperimentRecord]:
+    """Fan the sweep out over a process pool, keeping submission order."""
+    done: dict[int, ExperimentRecord] = {}
+    with ProcessPoolExecutor(max_workers=min(jobs, len(ids))) as pool:
+        futures = {
+            pool.submit(_run_one, eid, preset, plan_json): idx
+            for idx, eid in enumerate(ids)
+        }
+        emitted = 0
+        pending = set(futures)
+        while pending:
+            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in finished:
+                idx = futures[fut]
+                try:
+                    done[idx] = _record(*fut.result())
+                except BaseException as err:
+                    # the worker process itself died (BrokenProcessPool,
+                    # cancellation): record it, keep the sweep going
+                    done[idx] = _record(
+                        ids[idx], 0.0, None,
+                        f"worker died: {type(err).__name__}: {err}",
+                    )
+                while emitted in done:
+                    if on_record is not None:
+                        on_record(done[emitted])
+                    emitted += 1
+    return [done[i] for i in range(len(ids))]

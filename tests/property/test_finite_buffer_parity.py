@@ -1,0 +1,223 @@
+"""Cross-engine parity and invariants under *finite* buffers.
+
+``test_model_invariants`` pins the two engines to each other in the
+faithful (unbounded) model; this module does the same for the E19
+degradation model: with a finite ``buffer_capacity`` and any of the
+three overflow disciplines, :class:`Simulator` and :class:`PathEngine`
+must still be the same model — identical height trajectories *and*
+identical loss ledgers — and under ``push-back`` no node may ever be
+driven above its capacity.
+
+The push-back capacity invariant regression at the bottom pins the bug
+this suite was written against: a refused hand-off used to leave the
+refusing node's *predecessor* free to send anyway, so a held node's
+upstream neighbour could reach height ``capacity + 1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adversaries import ScheduleAdversary
+from repro.errors import BufferOverflow
+from repro.network.buffers import Overflow
+from repro.network.engine_fast import PathEngine
+from repro.network.simulator import Simulator
+from repro.network.topology import path
+from repro.policies import (
+    DownhillOrFlatPolicy,
+    DownhillPolicy,
+    ForwardIfEmptyPolicy,
+    GreedyPolicy,
+    OddEvenPolicy,
+)
+from repro.policies.base import ForwardingPolicy
+
+POLICIES = st.sampled_from(
+    [OddEvenPolicy, GreedyPolicy, DownhillPolicy, DownhillOrFlatPolicy,
+     ForwardIfEmptyPolicy]
+)
+DISCIPLINES = st.sampled_from(list(Overflow))
+
+
+@st.composite
+def finite_buffer_run(draw):
+    n = draw(st.integers(4, 16))
+    steps = draw(st.integers(1, 40))
+    sched = draw(
+        st.lists(
+            st.one_of(st.none(), st.integers(0, n - 2)),
+            min_size=steps,
+            max_size=steps,
+        )
+    )
+    policy_cls = draw(POLICIES)
+    cap = draw(st.integers(1, 3))
+    overflow = draw(DISCIPLINES)
+    timing = draw(st.sampled_from(["pre_injection", "post_injection"]))
+    return n, steps, sched, policy_cls, cap, overflow, timing
+
+
+def as_adversary(sched):
+    return ScheduleAdversary(
+        {i: (s,) for i, s in enumerate(sched) if s is not None}
+    )
+
+
+@given(finite_buffer_run())
+@settings(max_examples=80, deadline=None)
+def test_engines_agree_under_finite_buffers(run):
+    """Same heights, same losses, step by step, all three disciplines.
+
+    ``validate=True`` makes both engines assert the extended
+    conservation law (injected == delivered + in_flight + dropped) and
+    the capacity invariant after every step, so a violation inside
+    either engine fails here even if the two engines agree.
+    """
+    n, steps, sched, policy_cls, cap, overflow, timing = run
+    fast = PathEngine(
+        n, policy_cls(), as_adversary(sched), decision_timing=timing,
+        buffer_capacity=cap, overflow=overflow, validate=True,
+    )
+    slow = Simulator(
+        path(n), policy_cls(), as_adversary(sched), decision_timing=timing,
+        buffer_capacity=cap, overflow=overflow, validate=True,
+    )
+    for _ in range(steps):
+        fast.step()
+        slow.step()
+        assert (fast.heights == slow.heights).all()
+    assert fast.metrics.injected == slow.metrics.injected
+    assert fast.metrics.delivered == slow.metrics.delivered
+    assert fast.metrics.ledger.detail() == slow.metrics.ledger.detail()
+
+
+@given(finite_buffer_run())
+@settings(max_examples=60, deadline=None)
+def test_push_back_never_exceeds_capacity(run):
+    """Under push-back, no non-sink height may ever exceed capacity."""
+    n, steps, sched, policy_cls, cap, _overflow, timing = run
+    engine = PathEngine(
+        n, policy_cls(), as_adversary(sched), decision_timing=timing,
+        buffer_capacity=cap, overflow=Overflow.PUSH_BACK,
+    )
+    sim = Simulator(
+        path(n), policy_cls(), as_adversary(sched), decision_timing=timing,
+        buffer_capacity=cap, overflow=Overflow.PUSH_BACK,
+    )
+    for _ in range(steps):
+        engine.step()
+        sim.step()
+        assert (engine.heights[:-1] <= cap).all()
+        assert (sim.heights[:-1] <= cap).all()
+        engine.assert_capacity()
+        sim.assert_capacity()
+
+
+@given(finite_buffer_run())
+@settings(max_examples=40, deadline=None)
+def test_push_back_only_drops_injections(run):
+    """Forwarded traffic is never lost under push-back: every drop in
+    the ledger is at a node the schedule injected into."""
+    n, steps, sched, policy_cls, cap, _overflow, timing = run
+    engine = PathEngine(
+        n, policy_cls(), as_adversary(sched), decision_timing=timing,
+        buffer_capacity=cap, overflow=Overflow.PUSH_BACK, validate=True,
+    )
+    engine.run(steps)
+    injected_at = {s for s in sched if s is not None}
+    for node in engine.metrics.ledger.by_node():
+        assert node in injected_at
+
+
+class _HoldNode(ForwardingPolicy):
+    """Greedy everywhere, except one held node — and, until released,
+    everywhere: the test scripts the fill phase by holding all nodes."""
+
+    name = "hold-node"
+    locality = 0
+
+    def __init__(self, held_node: int) -> None:
+        self.held_node = held_node
+        self.release = False
+
+    def send_mask(self, heights, topology):
+        mask = np.zeros(topology.n, dtype=bool)
+        if self.release:
+            mask |= heights > 0
+            mask[topology.sink] = False
+            mask[self.held_node] = False
+        return mask
+
+
+class TestPushBackCascadeRegression:
+    """Pin the exact scenario from the bug report: n = 4, capacity 2,
+    heights [2, 2, 2, 0], a policy holding node 2.  Node 1's hand-off to
+    the full node 2 is refused, so node 1 stays at height 2 — meaning it
+    has no room either, and node 0's send must cascade-refuse too.  The
+    broken engines admitted node 0's packet and drove node 1 to height 3.
+    """
+
+    CAP = 2
+
+    def _fill(self, engine):
+        # three scripted steps fill the path to [2, 2, 2, 0] while the
+        # policy holds every node
+        for node in (0, 1, 2):
+            engine.step(injections=(node, node))
+
+    def test_fast_engine_cascades_refusals(self):
+        policy = _HoldNode(2)
+        e = PathEngine(
+            4, policy, None, injection_limit=2,
+            buffer_capacity=self.CAP, overflow=Overflow.PUSH_BACK,
+        )
+        self._fill(e)
+        assert e.heights.tolist() == [2, 2, 2, 0]
+        policy.release = True
+        e.step(injections=())
+        assert e.heights.tolist() == [2, 2, 2, 0]
+        e.assert_capacity()
+        e.assert_conservation()
+
+    def test_simulator_cascades_refusals(self):
+        policy = _HoldNode(2)
+        s = Simulator(
+            path(4), policy, None, injection_limit=2,
+            buffer_capacity=self.CAP, overflow=Overflow.PUSH_BACK,
+        )
+        self._fill(s)
+        assert s.heights.tolist() == [2, 2, 2, 0]
+        policy.release = True
+        s.step(injections=())
+        assert s.heights.tolist() == [2, 2, 2, 0]
+        s.assert_capacity()
+        s.assert_conservation()
+
+    def test_partial_refusal_admits_what_fits(self):
+        # loosen the jam: node 2 sends, so node 1's hand-off lands and
+        # node 0's send fills the slot node 1 vacated
+        policy = _HoldNode(3)  # holds nothing that exists upstream
+        e = PathEngine(
+            4, policy, None, injection_limit=2,
+            buffer_capacity=self.CAP, overflow=Overflow.PUSH_BACK,
+        )
+        self._fill(e)
+        policy.release = True
+        e.step(injections=())
+        # everyone forwarded one: [1+1, 1+1, 1+1, 0] minus the delivery
+        assert e.heights.tolist() == [1, 2, 2, 0]
+        e.assert_capacity()
+
+    def test_assert_capacity_raises_on_violation(self):
+        e = PathEngine(
+            4, GreedyPolicy(), None,
+            buffer_capacity=self.CAP, overflow=Overflow.PUSH_BACK,
+        )
+        e.heights[1] = self.CAP + 1
+        with pytest.raises(BufferOverflow):
+            e.assert_capacity()
+        with pytest.raises(BufferOverflow):
+            e.assert_conservation()

@@ -312,3 +312,64 @@ class TestTreeSeesaw:
 
         rep = certify_tree_run(small_spider, TreeSeesawAdversary(), 300)
         assert rep.certified
+
+
+class TestInjectSchedule:
+    """The batched-run contract: ``inject_schedule(start, steps, topo)``
+    must return exactly what ``steps`` sequential ``inject`` calls
+    would, and leave the adversary in the same state afterwards."""
+
+    FACTORIES = [
+        NullAdversary,
+        FarEndAdversary,
+        PreSinkAdversary,
+        RoundRobinAdversary,
+        lambda: FixedNodeAdversary(2),
+        lambda: FixedNodeAdversary(1, duration=5),
+        lambda: OnOffAdversary(0, on=3, off=2),
+    ]
+
+    @pytest.mark.parametrize("factory", FACTORIES)
+    def test_schedule_matches_sequential_inject(self, factory):
+        topo = path(8)
+        a, b = factory(), factory()
+        a.reset(topo, 1)
+        b.reset(topo, 1)
+        h = zero_heights(topo)
+        sequential = [tuple(a.inject(s, h, topo)) for s in range(12)]
+        schedule = b.inject_schedule(0, 12, topo)
+        assert [tuple(x) for x in schedule] == sequential
+
+    @pytest.mark.parametrize("factory", FACTORIES)
+    def test_schedule_splits_compose(self, factory):
+        topo = path(8)
+        a, b = factory(), factory()
+        a.reset(topo, 1)
+        b.reset(topo, 1)
+        whole = [tuple(x) for x in a.inject_schedule(0, 12, topo)]
+        head = [tuple(x) for x in b.inject_schedule(0, 5, topo)]
+        tail = [tuple(x) for x in b.inject_schedule(5, 7, topo)]
+        assert head + tail == whole
+
+    @pytest.mark.parametrize("factory", FACTORIES)
+    def test_schedule_then_inject_interleave(self, factory):
+        # consuming a schedule must leave the adversary able to continue
+        # per-step from where the batch ended
+        topo = path(8)
+        a, b = factory(), factory()
+        a.reset(topo, 1)
+        b.reset(topo, 1)
+        h = zero_heights(topo)
+        sequential = [tuple(a.inject(s, h, topo)) for s in range(12)]
+        batch = [tuple(x) for x in b.inject_schedule(0, 7, topo)]
+        resumed = [tuple(b.inject(s, h, topo)) for s in range(7, 12)]
+        assert batch + resumed == sequential
+
+    def test_adaptive_adversaries_opt_out(self):
+        # height-dependent traffic cannot be precomputed: the base
+        # class answers None and the engine falls back to stepping
+        topo = path(8)
+        for adv in (SeesawAdversary(), MaxHeightChaserAdversary(),
+                    ScheduleAdversary({0: (1,)})):
+            adv.reset(topo, 1)
+            assert adv.inject_schedule(0, 10, topo) is None

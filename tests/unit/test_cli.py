@@ -100,3 +100,50 @@ class TestCommands:
 
         with pytest.raises(ExperimentError):
             main(["certify", "--topology", "moebius:9"])
+
+
+class TestRunJobsAndBench:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["run", "E4"])
+        assert args.jobs == 1
+        assert args.bench is None
+
+    def test_parallel_run(self, capsys, tmp_path):
+        code = main(["run", "E1", "E6", "--preset", "quick",
+                     "--jobs", "2", "--out", str(tmp_path),
+                     "--no-artifacts"])
+        assert code == 0
+        out = capsys.readouterr().out
+        # results stream in submission order despite the pool
+        assert out.index("E1") < out.index("E6")
+        assert "(--jobs 2)" in out
+
+    def test_bench_record_written(self, capsys, tmp_path):
+        code = main(["run", "E6", "--preset", "quick",
+                     "--out", str(tmp_path), "--no-artifacts",
+                     "--bench", "clitest"])
+        assert code == 0
+        bench = tmp_path / "BENCH_clitest.json"
+        assert bench.exists()
+        from repro.runner import load_bench
+
+        record = load_bench(bench)
+        assert record["sweep"]["experiments"][0]["id"] == "E6"
+        assert record["engine"]["batched_sps"] > 0
+
+    def test_failing_sweep_exits_nonzero(self, capsys, tmp_path):
+        # E6 runs; the bogus preset error is isolated per experiment
+        # and surfaces as exit code 1, not a traceback
+        code = main(["run", "E6", "--preset", "quick", "--jobs", "1",
+                     "--no-artifacts", "--faults", "/no/such/plan.json"])
+        assert code == 2  # unreadable fault plan is a clean CLI error
+
+    def test_overflow_choices_are_enum_derived(self):
+        from repro.network.buffers import Overflow
+
+        parser = build_parser()
+        for o in Overflow:
+            args = parser.parse_args(["simulate", "--overflow", o.value])
+            assert args.overflow == o.value
+        with pytest.raises(SystemExit):
+            parser.parse_args(["simulate", "--overflow", "push_back"])

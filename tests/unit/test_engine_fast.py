@@ -9,6 +9,7 @@ from repro.adversaries import (
     FarEndAdversary,
     FixedNodeAdversary,
     NullAdversary,
+    RoundRobinAdversary,
     ScheduleAdversary,
 )
 from repro.errors import RateViolation, SimulationError
@@ -179,3 +180,89 @@ class TestTraceRecording:
         e = PathEngine(4, OddEvenPolicy(), FixedNodeAdversary(2), trace=trace)
         e.step()
         assert trace[0].injections == (2,)
+
+
+def _metrics_key(engine):
+    """Comparable view of a full metrics snapshot."""
+    snap = engine.metrics.snapshot()
+    snap["tracker"]["per_node_max"] = snap["tracker"]["per_node_max"].tolist()
+    return snap
+
+
+def _pair(n=16, adversary_cls=FarEndAdversary, policy_cls=OddEvenPolicy,
+          **kwargs):
+    make = lambda: PathEngine(  # noqa: E731
+        n, policy_cls(), adversary_cls(), **kwargs
+    )
+    return make(), make()
+
+
+class TestBatchedRun:
+    """run() takes a batched fast path for schedule-capable adversaries;
+    it must be bit-identical to per-step stepping, metrics included."""
+
+    def test_run_matches_stepping(self):
+        batched, stepped = _pair()
+        batched.run(200)
+        for _ in range(200):
+            stepped.step()
+        assert (batched.heights == stepped.heights).all()
+        assert batched.step_index == stepped.step_index == 200
+        assert _metrics_key(batched) == _metrics_key(stepped)
+
+    def test_interleaved_runs_and_steps(self):
+        batched, stepped = _pair(adversary_cls=RoundRobinAdversary)
+        batched.run(100)
+        for _ in range(37):
+            batched.step()
+        batched.run(63)
+        for _ in range(200):
+            stepped.step()
+        assert (batched.heights == stepped.heights).all()
+        assert _metrics_key(batched) == _metrics_key(stepped)
+
+    def test_series_recording_matches(self):
+        batched, stepped = _pair(series_every=7)
+        batched.run(100)
+        for _ in range(100):
+            stepped.step()
+        assert _metrics_key(batched) == _metrics_key(stepped)
+
+    def test_adaptive_adversary_still_runs(self):
+        # SeesawAdversary reads the heights, so there is no schedule;
+        # run() must transparently fall back to per-step stepping
+        from repro.adversaries import SeesawAdversary
+
+        batched, stepped = _pair(adversary_cls=SeesawAdversary)
+        batched.run(150)
+        for _ in range(150):
+            stepped.step()
+        assert (batched.heights == stepped.heights).all()
+        assert _metrics_key(batched) == _metrics_key(stepped)
+
+    def test_validate_mode_matches(self):
+        # validate=True disables the batch (it asserts per step) but
+        # must not change the trajectory
+        plain, validated = (
+            PathEngine(12, OddEvenPolicy(), FarEndAdversary()),
+            PathEngine(12, OddEvenPolicy(), FarEndAdversary(),
+                       validate=True),
+        )
+        plain.run(80)
+        validated.run(80)
+        assert (plain.heights == validated.heights).all()
+
+    def test_short_schedule_rejected(self):
+        class LyingAdversary(FarEndAdversary):
+            def inject_schedule(self, start, steps, topology):
+                return (((self._node,),) * (steps - 1))  # one short
+
+        e = PathEngine(8, OddEvenPolicy(), LyingAdversary())
+        with pytest.raises(SimulationError):
+            e.run(10)
+
+    def test_run_zero_steps_is_noop(self):
+        e = PathEngine(8, OddEvenPolicy(), FarEndAdversary())
+        e.run(0)
+        assert e.step_index == 0
+        assert e.metrics.injected == 0

@@ -127,3 +127,36 @@ class TestTraceChaining:
         r1 = record([0, 0, 0], (0,), [0, 0, 0], [1, 0, 0], 0, step=0)
         r2 = record([1, 0, 0], (), [1, 0, 0], [0, 1, 0], 0, step=1)
         assert check_trace([r1, r2], self.TOPO, 1) == 2
+
+
+class TestOverflowCoercion:
+    """Engine constructors wrap the enum's ValueError into a
+    SimulationError that names the valid spellings."""
+
+    def test_accepts_enum_and_string(self):
+        from repro.network.buffers import Overflow, coerce_overflow
+
+        assert coerce_overflow(Overflow.PUSH_BACK) is Overflow.PUSH_BACK
+        assert coerce_overflow("drop-oldest") is Overflow.DROP_OLDEST
+
+    def test_bad_value_names_the_choices(self):
+        from repro.network.buffers import coerce_overflow
+
+        with pytest.raises(SimulationError) as exc:
+            coerce_overflow("push_back")
+        msg = str(exc.value)
+        for valid in ("'drop-tail'", "'drop-oldest'", "'push-back'"):
+            assert valid in msg
+
+    def test_engines_surface_the_friendly_error(self):
+        from repro.network.engine_fast import PathEngine
+        from repro.network.simulator import Simulator
+        from repro.network.topology import path
+        from repro.policies import GreedyPolicy
+
+        with pytest.raises(SimulationError, match="drop-tail"):
+            PathEngine(4, GreedyPolicy(), None, buffer_capacity=2,
+                       overflow="bogus")
+        with pytest.raises(SimulationError, match="push-back"):
+            Simulator(path(4), GreedyPolicy(), None, buffer_capacity=2,
+                      overflow="bogus")

@@ -1,0 +1,130 @@
+"""Unit tests for the process-pool experiment runner and perf records."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.runner import (
+    BENCH_FORMAT,
+    RunManifest,
+    bench_record,
+    engine_throughput,
+    load_bench,
+    run_experiments,
+    write_bench,
+)
+
+
+class TestValidation:
+    def test_unknown_id_raises_before_anything_runs(self):
+        with pytest.raises(ExperimentError):
+            run_experiments(["E6", "E999"], "quick")
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ExperimentError):
+            run_experiments(["E6"], "quick", jobs=0)
+
+    def test_ids_are_case_insensitive(self):
+        manifest = run_experiments(["e6"], "quick")
+        assert manifest.records[0].experiment_id == "E6"
+
+    def test_all_expands_registry(self, monkeypatch):
+        import repro.runner.runner as runner_mod
+
+        monkeypatch.setattr(
+            runner_mod, "all_experiment_ids", lambda: ["E6"]
+        )
+        manifest = run_experiments(["all"], "quick")
+        assert [r.experiment_id for r in manifest.records] == ["E6"]
+
+
+class TestSerial:
+    def test_manifest_shape(self):
+        manifest = run_experiments(["E6"], "quick")
+        assert manifest.preset == "quick"
+        assert manifest.jobs == 1
+        assert manifest.passed
+        rec = manifest.records[0]
+        assert rec.ok and rec.status == "ok"
+        assert rec.wall_s > 0
+        assert rec.result is not None and rec.result.passed
+        assert manifest.wall_s >= rec.wall_s
+
+    def test_failure_is_isolated_not_raised(self):
+        # an unknown preset blows up *inside* the experiment, after id
+        # validation — the sweep must finish and record the error
+        manifest = run_experiments(["E6", "E1"], "no-such-preset")
+        assert len(manifest.records) == 2
+        assert not manifest.passed
+        for rec in manifest.records:
+            assert rec.status == "error"
+            assert rec.result is None
+            assert "preset" in rec.error
+
+    def test_to_dict_is_json_ready(self):
+        manifest = run_experiments(["E6"], "quick")
+        d = json.loads(json.dumps(manifest.to_dict()))
+        assert d["experiments"][0]["id"] == "E6"
+        assert d["experiments"][0]["status"] == "ok"
+
+
+class TestParallel:
+    IDS = ["E1", "E6"]
+
+    def test_matches_serial_results(self):
+        serial = run_experiments(self.IDS, "quick", jobs=1)
+        pooled = run_experiments(self.IDS, "quick", jobs=2)
+        assert [r.experiment_id for r in pooled.records] == self.IDS
+        for s, p in zip(serial.records, pooled.records):
+            assert s.experiment_id == p.experiment_id
+            assert s.status == p.status == "ok"
+            # the experiments are deterministic: identical payloads,
+            # whatever process computed them
+            assert s.result.rows == p.result.rows
+            assert s.result.passed == p.result.passed
+
+    def test_on_record_streams_in_submission_order(self):
+        seen: list[str] = []
+        run_experiments(
+            self.IDS, "quick", jobs=2,
+            on_record=lambda r: seen.append(r.experiment_id),
+        )
+        assert seen == self.IDS
+
+    def test_pool_isolates_worker_failures(self):
+        manifest = run_experiments(self.IDS, "no-such-preset", jobs=2)
+        assert [r.experiment_id for r in manifest.records] == self.IDS
+        assert all(r.status == "error" for r in manifest.records)
+
+
+class TestBenchRecords:
+    def test_engine_throughput_shape(self):
+        engine = engine_throughput(n=16, steps=64)
+        assert engine["n"] == 16 and engine["steps"] == 64
+        assert engine["per_step_sps"] > 0
+        assert engine["batched_sps"] > 0
+        assert engine["speedup"] > 0
+
+    def test_record_roundtrip(self, tmp_path):
+        manifest = RunManifest(preset="quick", jobs=1)
+        record = bench_record(
+            "unit", manifest=manifest,
+            engine={"n": 8, "steps": 10, "per_step_sps": 1.0,
+                    "batched_sps": 2.0, "speedup": 2.0},
+        )
+        path = write_bench(record, tmp_path)
+        assert path.name == "BENCH_unit.json"
+        loaded = load_bench(path)
+        assert loaded["format"] == BENCH_FORMAT
+        assert loaded["engine"]["speedup"] == 2.0
+        assert loaded["sweep"]["preset"] == "quick"
+        assert loaded["git_rev"]
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        alien = tmp_path / "BENCH_alien.json"
+        alien.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ValueError):
+            load_bench(alien)

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Record and compare ``BENCH_<label>.json`` perf records.
+
+Usage::
+
+    # record: engine microbench + (optionally) a full experiment sweep
+    PYTHONPATH=src python tools/perf_report.py record quick \\
+        --preset quick --jobs 4 --out .
+    PYTHONPATH=src python tools/perf_report.py record engine-only \\
+        --no-sweep
+
+    # compare two records (old first)
+    PYTHONPATH=src python tools/perf_report.py compare \\
+        BENCH_before.json BENCH_after.json
+
+``record`` writes ``BENCH_<label>.json`` (format documented in
+``benchmarks/README.md``): engine steps/second for the per-step and
+batched paths, per-experiment wall-clock, preset and git revision —
+one comparable perf data point per run.  ``compare`` prints the deltas
+and exits 1 when the new record is slower than ``--max-regression``
+(default 25%) on engine throughput or total sweep wall-clock.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.runner import (  # noqa: E402  (path bootstrap above)
+    bench_record,
+    engine_throughput,
+    load_bench,
+    run_experiments,
+    write_bench,
+)
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    engine = engine_throughput(n=args.engine_n, steps=args.engine_steps)
+    print(
+        f"engine n={engine['n']}: per-step {engine['per_step_sps']} "
+        f"steps/s, batched {engine['batched_sps']} steps/s "
+        f"({engine['speedup']}x)"
+    )
+    manifest = None
+    if not args.no_sweep:
+        manifest = run_experiments(
+            ["all"], args.preset, jobs=args.jobs,
+            on_record=lambda r: print(
+                f"  {r.experiment_id}: {r.status} ({r.wall_s:.2f}s)"
+            ),
+        )
+        print(f"sweep: {len(manifest.records)} experiments in "
+              f"{manifest.wall_s:.2f}s with --jobs {args.jobs}")
+    path = write_bench(
+        bench_record(args.label, manifest=manifest, engine=engine),
+        args.out,
+    )
+    print(f"wrote {path}")
+    if manifest is not None and not manifest.passed:
+        bad = ", ".join(r.experiment_id for r in manifest.failures)
+        print(f"WARNING: non-ok experiments: {bad}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _fmt_delta(old: float, new: float, higher_is_better: bool) -> str:
+    if not old:
+        return "n/a"
+    change = (new - old) / old * 100.0
+    good = change >= 0 if higher_is_better else change <= 0
+    return f"{change:+.1f}%{'' if good else '  <-- regression'}"
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    old, new = load_bench(args.old), load_bench(args.new)
+    print(f"old: {args.old} (rev {old.get('git_rev')})")
+    print(f"new: {args.new} (rev {new.get('git_rev')})")
+    regressed = False
+    tol = args.max_regression
+
+    eo, en = old.get("engine"), new.get("engine")
+    if eo and en:
+        for key in ("per_step_sps", "batched_sps"):
+            print(f"engine {key}: {eo[key]} -> {en[key]} "
+                  f"({_fmt_delta(eo[key], en[key], True)})")
+        if en["batched_sps"] < eo["batched_sps"] * (1 - tol):
+            regressed = True
+
+    so, sn = old.get("sweep"), new.get("sweep")
+    if so and sn:
+        print(f"sweep wall: {so['wall_s']}s -> {sn['wall_s']}s "
+              f"({_fmt_delta(so['wall_s'], sn['wall_s'], False)})")
+        old_by_id = {e["id"]: e for e in so["experiments"]}
+        for e in sn["experiments"]:
+            o = old_by_id.get(e["id"])
+            if o is None:
+                print(f"  {e['id']}: new ({e['wall_s']}s)")
+                continue
+            print(f"  {e['id']}: {o['wall_s']}s -> {e['wall_s']}s "
+                  f"({_fmt_delta(o['wall_s'], e['wall_s'], False)})")
+        if sn["wall_s"] > so["wall_s"] * (1 + tol):
+            regressed = True
+
+    if regressed:
+        print(f"REGRESSION beyond {tol:.0%} tolerance", file=sys.stderr)
+        return 1
+    print("no regression beyond tolerance")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = p.add_subparsers(dest="command", required=True)
+
+    r = sub.add_parser("record", help="measure and write BENCH_<label>.json")
+    r.add_argument("label")
+    r.add_argument("--preset", choices=("quick", "full"), default="quick")
+    r.add_argument("--jobs", type=int, default=1)
+    r.add_argument("--out", default=".")
+    r.add_argument("--no-sweep", action="store_true",
+                   help="engine microbench only (skip the experiments)")
+    r.add_argument("--engine-n", type=int, default=256)
+    r.add_argument("--engine-steps", type=int, default=4000)
+
+    c = sub.add_parser("compare", help="diff two bench records")
+    c.add_argument("old")
+    c.add_argument("new")
+    c.add_argument("--max-regression", type=float, default=0.25,
+                   help="tolerated slowdown fraction (default 0.25)")
+
+    args = p.parse_args(argv)
+    if args.command == "record":
+        return _cmd_record(args)
+    return _cmd_compare(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
