@@ -20,7 +20,14 @@ from repro.core.tree_certificate import certify_tree_run
 from repro.network.engine_fast import PathEngine
 from repro.network.events import TraceRecorder
 from repro.network.simulator import Simulator
-from repro.network.topology import balanced_tree, path, spider
+from repro.network.topology import (
+    balanced_tree,
+    caterpillar,
+    path,
+    random_tree,
+    spider,
+)
+from repro.network.tree_engine import TreeEngine
 from repro.policies import GreedyPolicy, OddEvenPolicy, TreeOddEvenPolicy
 
 
@@ -96,6 +103,103 @@ def test_bench_tree_policy_binary_depth8(benchmark):
         return sim.max_height
 
     assert benchmark(run) >= 1
+
+
+# ---------------------------------------------------------------------
+# TreeEngine vs Simulator pairs: same topology, policy, adversary and
+# step budget, so the ratio of the two timings is the tree-engine
+# speedup the acceptance criteria and docs/performance.md quote.
+
+_BINARY_2047 = balanced_tree(2, 10)          # n = 2047 >= 2**10
+_CATERPILLAR_1026 = caterpillar(512, 2)      # long spine + legs
+_RANDOM_2048 = random_tree(2048, seed=5)     # random recursive tree
+
+
+def test_bench_tree_engine_binary_2047(benchmark):
+    """TreeEngine on a 2047-node balanced binary tree, far-end stream
+    (the acceptance workload: >= 5x the Simulator pair below)."""
+
+    def run():
+        engine = TreeEngine(_BINARY_2047, TreeOddEvenPolicy(),
+                            FarEndAdversary())
+        engine.run(2000)
+        return engine.metrics.delivered
+
+    assert benchmark(run) > 0
+
+
+def test_bench_simulator_binary_2047(benchmark):
+    """The packet Simulator on the same binary-tree workload."""
+
+    def run():
+        sim = Simulator(_BINARY_2047, TreeOddEvenPolicy(),
+                        FarEndAdversary(), validate=False)
+        sim.run(2000)
+        return sim.metrics.delivered
+
+    assert benchmark(run) > 0
+
+
+def test_bench_tree_engine_caterpillar(benchmark):
+    """TreeEngine on a 1026-node caterpillar, far-end stream."""
+
+    def run():
+        engine = TreeEngine(_CATERPILLAR_1026, TreeOddEvenPolicy(),
+                            FarEndAdversary())
+        engine.run(2000)
+        return engine.metrics.delivered
+
+    assert benchmark(run) > 0
+
+
+def test_bench_simulator_caterpillar(benchmark):
+    """The packet Simulator on the same caterpillar workload."""
+
+    def run():
+        sim = Simulator(_CATERPILLAR_1026, TreeOddEvenPolicy(),
+                        FarEndAdversary(), validate=False)
+        sim.run(2000)
+        return sim.metrics.delivered
+
+    assert benchmark(run) > 0
+
+
+def test_bench_tree_engine_random_2048(benchmark):
+    """TreeEngine on a 2048-node random recursive tree."""
+
+    def run():
+        engine = TreeEngine(_RANDOM_2048, TreeOddEvenPolicy(),
+                            FarEndAdversary())
+        engine.run(2000)
+        return engine.metrics.delivered
+
+    assert benchmark(run) > 0
+
+
+def test_bench_simulator_random_2048(benchmark):
+    """The packet Simulator on the same random-tree workload."""
+
+    def run():
+        sim = Simulator(_RANDOM_2048, TreeOddEvenPolicy(),
+                        FarEndAdversary(), validate=False)
+        sim.run(2000)
+        return sim.metrics.delivered
+
+    assert benchmark(run) > 0
+
+
+def test_bench_tree_engine_push_back(benchmark):
+    """TreeEngine finite buffers with cascading push-back refusals
+    (the depth-ordered sweep in TreeEngine._push_back_sends)."""
+
+    def run():
+        engine = TreeEngine(_CATERPILLAR_1026, GreedyPolicy(),
+                            FarEndAdversary(), buffer_capacity=2,
+                            overflow="push-back")
+        engine.run(2000)
+        return engine.metrics.injected
+
+    assert benchmark(run) > 0
 
 
 def test_bench_certifier_overhead(benchmark):

@@ -34,7 +34,12 @@ def pytest_sessionfinish(session, exitstatus):
     label = os.environ.get("REPRO_BENCH_LABEL")
     if not label or not _DURATIONS:
         return
-    from repro.runner import bench_record, engine_throughput, write_bench
+    from repro.runner import (
+        bench_record,
+        engine_throughput,
+        tree_engine_throughput,
+        write_bench,
+    )
     from repro.runner.runner import ExperimentRecord, RunManifest
 
     manifest = RunManifest(preset="benchmarks", jobs=1)
@@ -48,7 +53,8 @@ def pytest_sessionfinish(session, exitstatus):
         )
     manifest.wall_s = sum(r.wall_s for r in manifest.records)
     path = write_bench(
-        bench_record(label, manifest=manifest, engine=engine_throughput()),
+        bench_record(label, manifest=manifest, engine=engine_throughput(),
+                     tree=tree_engine_throughput()),
         os.environ.get("REPRO_BENCH_DIR", "."),
     )
     print(f"\nwrote perf record {path}")

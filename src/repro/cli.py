@@ -161,6 +161,7 @@ def _cmd_run(ids: Sequence[str], preset: str, out: str | None,
         bench_record,
         engine_throughput,
         run_experiments,
+        tree_engine_throughput,
         write_bench,
     )
 
@@ -181,7 +182,8 @@ def _cmd_run(ids: Sequence[str], preset: str, out: str | None,
     if bench is not None:
         path = write_bench(
             bench_record(bench, manifest=manifest,
-                         engine=engine_throughput()),
+                         engine=engine_throughput(),
+                         tree=tree_engine_throughput()),
             out or ".",
         )
         print(f"wrote perf record {path}")

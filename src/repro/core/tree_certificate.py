@@ -247,15 +247,35 @@ def certify_tree_run(
     *,
     tie_rule: str = "min_id",
     validate_every: int = 1,
+    engine: str = "tree",
 ) -> TreeCertificateReport:
     """Run the Tree policy under ``adversary`` with the certifier
-    attached; returns the certificate report."""
+    attached; returns the certificate report.
+
+    The certifier only consumes :class:`~repro.network.events.StepRecord`
+    traces, so any engine that emits them can drive it.  ``engine``
+    selects the backend: ``"tree"`` (default) is the vectorised
+    height-only :class:`~repro.network.tree_engine.TreeEngine`;
+    ``"simulator"`` is the reference packet-tracking
+    :class:`~repro.network.simulator.Simulator`.  Both produce
+    bit-identical certificates (pinned by the cross-engine parity
+    suite).
+    """
     from ..network.events import TraceRecorder
-    from ..network.simulator import Simulator
     from ..policies.tree import TreeOddEvenPolicy
 
+    if engine == "tree":
+        from ..network.tree_engine import TreeEngine as engine_cls
+    elif engine == "simulator":
+        from ..network.simulator import Simulator as engine_cls
+    else:
+        raise CertificationError(
+            f"unknown certify_tree_run engine {engine!r} "
+            "(expected 'tree' or 'simulator')"
+        )
+
     trace = TraceRecorder(keep_last=1)
-    sim = Simulator(
+    sim = engine_cls(
         topology,
         TreeOddEvenPolicy(tie_rule=tie_rule),
         adversary,

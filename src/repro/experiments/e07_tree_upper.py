@@ -21,7 +21,7 @@ from ..analysis import classify_growth
 from ..core.bounds import tree_upper_bound
 from ..core.tree_certificate import certify_tree_run
 from ..io.results import ExperimentResult
-from ..network.simulator import Simulator
+from ..network.tree_engine import TreeEngine
 from ..network.topology import Topology, balanced_tree, caterpillar, random_tree, spider
 from ..policies import TreeOddEvenPolicy
 from .base import Experiment
@@ -74,7 +74,7 @@ class TreeUpperExperiment(Experiment):
                 worst = max(worst, rep.max_height)
                 certified &= rep.certified
             # spine attack (uncertified driver; measures forced height)
-            sim = Simulator(topo, TreeOddEvenPolicy(), None, validate=False)
+            sim = TreeEngine(topo, TreeOddEvenPolicy(), None)
             try:
                 attack = RecursiveLowerBoundAttack(ell=2).run(sim)
                 forced = attack.forced_height

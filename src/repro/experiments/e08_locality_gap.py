@@ -15,7 +15,7 @@ from ..adversaries import SpiderWaveAdversary
 from ..analysis import classify_growth
 from ..core.bounds import tree_upper_bound
 from ..io.results import ExperimentResult
-from ..network.simulator import Simulator
+from ..network.tree_engine import TreeEngine
 from ..network.topology import spider
 from ..policies import OddEvenPolicy, TreeOddEvenPolicy
 from .base import Experiment
@@ -49,7 +49,7 @@ class LocalityGapExperiment(Experiment):
                 ("1-local", OddEvenPolicy()),
                 ("2-local", TreeOddEvenPolicy()),
             ):
-                sim = Simulator(
+                sim = TreeEngine(
                     topo, policy, SpiderWaveAdversary.from_spider(topo)
                 )
                 sim.run(steps)

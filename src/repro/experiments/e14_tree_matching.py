@@ -22,7 +22,7 @@ from ..core.tree_matching import (
 )
 from ..io.results import ExperimentResult
 from ..network.events import TraceRecorder
-from ..network.simulator import Simulator
+from ..network.tree_engine import TreeEngine
 from ..network.topology import spider
 from ..policies import TreeOddEvenPolicy
 from ..viz.tree_render import render_tree, render_tree_matching
@@ -46,7 +46,7 @@ class TreeMatchingExperiment(Experiment):
 
         # find a round with at least one crossover pair and render it
         trace = TraceRecorder()
-        sim = Simulator(
+        sim = TreeEngine(
             topo, TreeOddEvenPolicy(), UniformRandomAdversary(seed=4),
             trace=trace,
         )

@@ -41,6 +41,7 @@ from ..network.faults import (
 )
 from ..network.simulator import RunResult, Simulator
 from ..network.topology import balanced_tree
+from ..network.tree_engine import TreeEngine
 from ..policies import OddEvenPolicy, TreeOddEvenPolicy
 from .base import Experiment
 
@@ -162,14 +163,13 @@ class FaultDegradationExperiment(Experiment):
         for plan_name, plan in plans.items():
             prev_loss: int | None = None
             for cap in caps:
-                sim = Simulator(
+                sim = TreeEngine(
                     topo,
                     TreeOddEvenPolicy(),
                     TreeSeesawAdversary(),
                     buffer_capacity=cap,
                     overflow="drop-tail",
                     faults=plan,
-                    validate=False,
                 )
                 # the recovery harness makes user plans containing halt
                 # events survivable here (a plain run would just die)

@@ -35,6 +35,7 @@ from .metrics import (
 )
 from .packet import Packet
 from .simulator import RunResult, Simulator
+from .tree_engine import TreeEngine
 from .topology import (
     SINK_SUCC,
     Topology,
@@ -82,6 +83,7 @@ __all__ = [
     "Packet",
     "RunResult",
     "Simulator",
+    "TreeEngine",
     "SINK_SUCC",
     "Topology",
     "balanced_tree",

@@ -25,9 +25,12 @@ fault plan is bit-identical to the seed simulator):
   jitter, process kills) consulted at the top of every step.
 
 Packets are real objects so that delays, ordering and provenance are
-measurable (experiment E12).  For big parameter sweeps on paths prefer
-:class:`repro.network.engine_fast.PathEngine`; a property-based test
-proves the two engines generate identical height trajectories.
+measurable (experiment E12).  For big parameter sweeps prefer the
+vectorised height-only engines —
+:class:`repro.network.engine_fast.PathEngine` on paths,
+:class:`repro.network.tree_engine.TreeEngine` on arbitrary in-trees;
+property-based tests prove each engine generates height trajectories,
+metrics and loss ledgers identical to this reference implementation.
 """
 
 from __future__ import annotations
@@ -151,6 +154,7 @@ class Simulator:
             )
             for _ in range(topology.n)
         ]
+        self._heights = np.zeros(topology.n, dtype=np.int64)
         self.step_index = 0
         self._next_pid = 0
         self.delivered_packets: list[Packet] = []
@@ -166,7 +170,18 @@ class Simulator:
 
     @property
     def heights(self) -> np.ndarray:
-        """Current configuration (h(sink) ≡ 0 by construction)."""
+        """Current configuration (h(sink) ≡ 0 by construction).
+
+        Maintained incrementally on every push/pop/drain rather than
+        rebuilt from the buffer list — this property sits inside every
+        hot loop (policies, adversaries, validation, tracing).  Under
+        ``validate=True`` each step cross-checks the cache against the
+        buffer-derived value.
+        """
+        return self._heights.copy()
+
+    def _derived_heights(self) -> np.ndarray:
+        """Ground truth recomputed from the buffers (slow path)."""
         return np.asarray([b.height for b in self.buffers], dtype=np.int64)
 
     def _record_drop(
@@ -195,7 +210,11 @@ class Simulator:
                 continue
             rejected = self.buffers[s].push(pkt, injection=True)
             if rejected is not None:
+                # a packet was lost (the new one under drop-tail, the
+                # oldest under drop-oldest): net height unchanged
                 self._record_drop(drops, s, "overflow")
+            else:
+                self._heights[s] += 1
         self.metrics.injected += len(sites)
 
     def _forward(
@@ -240,6 +259,7 @@ class Simulator:
             dest = int(self.topology.succ[v])
             for _ in range(k):
                 moving.append((v, dest, self.buffers[v].pop()))
+            self._heights[v] -= k
         delivered = 0
         effective = np.asarray(counts, dtype=np.int64).copy()
         # receiver-first order: (sender depth, sender id); the sort is
@@ -273,11 +293,14 @@ class Simulator:
                     for refused in reversed(group[k:]):
                         self.buffers[src].requeue(refused)
                     effective[src] -= len(group) - k
+                    self._heights[src] += len(group) - k
                     break
                 pkt.hops += 1
                 evicted = buf.push(pkt)
                 if evicted is not None:
                     self._record_drop(drops, dest, "overflow")
+                else:
+                    self._heights[dest] += 1
         self.metrics.delivered += delivered
         return delivered, effective
 
@@ -305,6 +328,7 @@ class Simulator:
         for v in fault.wiped:
             lost = self.buffers[v].drain()
             self._record_drop(drops, v, "wipe", len(lost))
+            self._heights[v] = 0
         h_start = h_before if not fault.wiped else self.heights
 
         if injections is not None:
@@ -348,6 +372,13 @@ class Simulator:
         h_after = self.heights
         self.metrics.observe(self.step_index, h_after)
         if self.validate:
+            derived = self._derived_heights()
+            if not np.array_equal(self._heights, derived):
+                raise SimulationError(
+                    f"step {self.step_index}: incremental height cache "
+                    f"diverged from buffers (cache={self._heights.tolist()}, "
+                    f"buffers={derived.tolist()})"
+                )
             self.assert_conservation(h_after)
         if self.trace is not None:
             dropped = sum(drops.values())
@@ -473,6 +504,7 @@ class Simulator:
     def restore(self, cp: dict[str, Any]) -> None:
         """Roll back to a previous :meth:`checkpoint` / :meth:`snapshot`."""
         self.buffers = copy.deepcopy(cp["buffers"])
+        self._heights = self._derived_heights()
         self.step_index = cp["step"]
         self._next_pid = cp["next_pid"]
         self.delivered_packets = copy.deepcopy(cp["delivered_packets"])

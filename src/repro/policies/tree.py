@@ -32,11 +32,49 @@ import numpy as np
 
 from .base import ForwardingPolicy
 from ..errors import PolicyError
-from ..network.topology import Topology
+from ..network.topology import SINK_SUCC, Topology
 
 __all__ = ["TreeOddEvenPolicy", "select_priority_children"]
 
 TieRule = Literal["min_id", "max_id", "round_robin"]
+
+# below this many occupied nodes a plain dict sweep beats the stack of
+# numpy calls the vectorised arbitration needs (a single adversarial
+# stream on a 2000-node tree occupies ~depth nodes)
+_SPARSE_CUTOFF = 64
+
+
+def _priority_groups(
+    heights: np.ndarray, succ: np.ndarray, occupied: np.ndarray
+) -> tuple[dict[int, list[int]], dict[int, int]]:
+    """Per parent: its top-height occupied children and that height.
+
+    Candidate lists ascend in node id because ``occupied`` does, so the
+    first entry is the min-id winner and the last the max-id one.
+    """
+    cands: dict[int, list[int]] = {}
+    besth: dict[int, int] = {}
+    for v, hv, p in zip(
+        occupied.tolist(), heights[occupied].tolist(),
+        succ[occupied].tolist(),
+    ):
+        if p < 0:  # the sink sends nowhere
+            continue
+        b = besth.get(p, 0)
+        if hv > b:
+            besth[p] = hv
+            cands[p] = [v]
+        elif hv == b:
+            cands[p].append(v)
+    return cands, besth
+
+
+def _pick(group: list[int], tie_rule: str, rotation: int) -> int:
+    if tie_rule == "min_id":
+        return group[0]
+    if tie_rule == "max_id":
+        return group[-1]
+    return group[rotation % len(group)]
 
 
 def select_priority_children(
@@ -51,34 +89,47 @@ def select_priority_children(
     (ties per ``tie_rule``); -1 if the node has no occupied child.
     This is shared with the tree-matching certifier (Algorithm 6),
     which must reconstruct the same priority lines the policy used.
+
+    Fully vectorised: a scatter-max over the parent array finds each
+    node's best occupied-child height, then the tied candidates are
+    grouped by parent with a stable argsort (candidate ids are already
+    ascending, matching the order ``topology.children`` lists them) and
+    the tie rule picks an offset into each group.  When only a handful
+    of nodes hold packets (a single adversarial stream on a large tree)
+    the numpy call overhead dwarfs the work, so a plain dict sweep over
+    the occupied nodes takes over — same winners, pinned by the policy
+    unit tests against the loop reference.
     """
+    if tie_rule not in ("min_id", "max_id", "round_robin"):
+        raise PolicyError(f"unknown tie rule {tie_rule!r}")
     n = topology.n
+    heights = np.asarray(heights)
     winner = np.full(n, -1, dtype=np.int64)
-    for v in range(n):
-        kids = topology.children[v]
-        if not kids:
-            continue
-        best = -1
-        best_h = 0
-        candidates: list[int] = []
-        for cnode in kids:
-            hc = int(heights[cnode])
-            if hc > best_h:
-                best_h = hc
-                candidates = [cnode]
-            elif hc == best_h and hc > 0:
-                candidates.append(cnode)
-        if not candidates:
-            continue
-        if tie_rule == "min_id":
-            best = min(candidates)
-        elif tie_rule == "max_id":
-            best = max(candidates)
-        elif tie_rule == "round_robin":
-            best = candidates[rotation % len(candidates)]
-        else:  # pragma: no cover - guarded by Literal
-            raise PolicyError(f"unknown tie rule {tie_rule!r}")
-        winner[v] = best
+    succ = topology.succ
+    occupied = np.flatnonzero((succ != SINK_SUCC) & (heights > 0))
+    if occupied.size == 0:
+        return winner
+    if occupied.size <= _SPARSE_CUTOFF:
+        cands, _ = _priority_groups(heights, succ, occupied)
+        for p, group in cands.items():
+            winner[p] = _pick(group, tie_rule, rotation)
+        return winner
+    best = np.zeros(n, dtype=np.int64)
+    np.maximum.at(best, succ[occupied], heights[occupied])
+    top = occupied[heights[occupied] == best[succ[occupied]]]
+    parents = succ[top]
+    order = np.argsort(parents, kind="stable")  # groups by parent,
+    top = top[order]                            # ascending id within
+    group, start, size = np.unique(
+        parents[order], return_index=True, return_counts=True
+    )
+    if tie_rule == "min_id":
+        sel = start
+    elif tie_rule == "max_id":
+        sel = start + size - 1
+    else:  # round_robin
+        sel = start + rotation % size
+    winner[group] = top[sel]
     return winner
 
 
@@ -99,18 +150,34 @@ class TreeOddEvenPolicy(ForwardingPolicy):
         self._rotation = 0
 
     def send_mask(self, heights: np.ndarray, topology: Topology) -> np.ndarray:
-        winner = select_priority_children(
-            heights, topology, self.tie_rule, self._rotation
-        )
+        heights = np.asarray(heights)
+        rotation = self._rotation
         if self.tie_rule == "round_robin":
             self._rotation += 1
         mask = np.zeros(topology.n, dtype=bool)
-        for v in winner[winner >= 0]:
-            v = int(v)
-            h = int(heights[v])
-            h_parent = int(heights[topology.succ[v]])
-            if h & 1:
-                mask[v] = h_parent <= h
-            else:
-                mask[v] = h_parent < h
+        # the contract guarantees heights[sink] == 0, so the occupied
+        # set never contains the sink
+        occupied = np.flatnonzero(heights > 0)
+        if occupied.size == 0:
+            return mask
+        if occupied.size <= _SPARSE_CUTOFF:
+            cands, besth = _priority_groups(
+                heights, topology.succ, occupied
+            )
+            for p, group in cands.items():
+                w = _pick(group, self.tie_rule, rotation)
+                hw = besth[p]
+                hp = heights[p]
+                # odd height: forward iff parent <= h; even: strictly
+                mask[w] = hp <= hw if hw & 1 else hp < hw
+            return mask
+        winner = select_priority_children(
+            heights, topology, self.tie_rule, rotation
+        )
+        w = winner[winner >= 0]
+        if w.size:
+            h = heights[w]
+            h_parent = heights[topology.succ[w]]
+            # odd height: forward iff parent <= h; even: strictly below
+            mask[w] = np.where(h & 1, h_parent <= h, h_parent < h)
         return mask

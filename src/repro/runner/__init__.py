@@ -21,6 +21,7 @@ from .perf import (
     engine_throughput,
     git_rev,
     load_bench,
+    tree_engine_throughput,
     write_bench,
 )
 from .runner import ExperimentRecord, RunManifest, run_experiments
@@ -34,5 +35,6 @@ __all__ = [
     "engine_throughput",
     "git_rev",
     "load_bench",
+    "tree_engine_throughput",
     "write_bench",
 ]

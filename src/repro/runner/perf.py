@@ -18,6 +18,8 @@ Format (``benchmarks/README.md`` documents it for humans)::
       "git_rev": "3f9600f",
       "engine": {"n": ..., "steps": ...,
                  "per_step_sps": ..., "batched_sps": ..., "speedup": ...},
+      "tree": {"family": ..., "n": ..., "steps": ...,
+               "simulator_sps": ..., "tree_engine_sps": ..., "speedup": ...},
       "sweep": {"preset": ..., "jobs": ..., "wall_s": ...,
                 "experiments": [{"id": ..., "status": ..., "wall_s": ...}]}
     }
@@ -38,6 +40,7 @@ __all__ = [
     "BENCH_FORMAT",
     "git_rev",
     "engine_throughput",
+    "tree_engine_throughput",
     "bench_record",
     "write_bench",
     "load_bench",
@@ -94,11 +97,56 @@ def engine_throughput(n: int = 256, steps: int = 4000) -> dict[str, Any]:
     }
 
 
+def tree_engine_throughput(
+    depth: int = 10, steps: int = 2000
+) -> dict[str, Any]:
+    """Measure TreeEngine vs Simulator steps/second on a balanced
+    binary tree of the given depth (n = 2^(depth+1) - 1).
+
+    Both engines run the same (Algorithm 5, far-end) workload; the
+    height trajectories are asserted identical before reporting, so a
+    perf record can never come from a diverging fast path.
+    """
+    from ..adversaries import FarEndAdversary
+    from ..network.simulator import Simulator
+    from ..network.topology import balanced_tree
+    from ..network.tree_engine import TreeEngine
+    from ..policies import TreeOddEvenPolicy
+
+    topo = balanced_tree(2, depth)
+    sim = Simulator(
+        topo, TreeOddEvenPolicy(), FarEndAdversary(), validate=False
+    )
+    t0 = time.perf_counter()
+    for _ in range(steps):
+        sim.step()
+    sim_s = time.perf_counter() - t0
+
+    eng = TreeEngine(topo, TreeOddEvenPolicy(), FarEndAdversary())
+    t0 = time.perf_counter()
+    eng.run(steps)
+    eng_s = time.perf_counter() - t0
+
+    if (sim.heights != eng.heights).any():
+        raise SimulationError(
+            "TreeEngine diverged from the Simulator reference"
+        )
+    return {
+        "family": f"balanced_tree(2,{depth})",
+        "n": topo.n,
+        "steps": steps,
+        "simulator_sps": round(steps / sim_s, 1),
+        "tree_engine_sps": round(steps / eng_s, 1),
+        "speedup": round(sim_s / eng_s, 3),
+    }
+
+
 def bench_record(
     label: str,
     *,
     manifest: RunManifest | None = None,
     engine: dict[str, Any] | None = None,
+    tree: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Assemble a bench record from its measured parts."""
     record: dict[str, Any] = {
@@ -109,6 +157,8 @@ def bench_record(
     }
     if engine is not None:
         record["engine"] = engine
+    if tree is not None:
+        record["tree"] = tree
     if manifest is not None:
         record["sweep"] = manifest.to_dict()
     return record

@@ -1,0 +1,226 @@
+"""Cross-engine parity on random in-trees: TreeEngine vs Simulator.
+
+``test_finite_buffer_parity`` pins :class:`PathEngine` to the Simulator
+on paths; this module does the same for the height-only
+:class:`~repro.network.tree_engine.TreeEngine` on *arbitrary* in-trees —
+random recursive trees, all three overflow disciplines, both decision
+timings, all three tie rules, and fault plans.  The two engines must be
+the same model: identical height trajectories step by step, identical
+injected/delivered totals, identical loss ledgers.
+
+The batched-run properties at the bottom pin ``TreeEngine.run`` (the
+sparse inner loop and its dense-fallback handoff) to plain stepping of
+the *same* engine class — the fast path must be a pure throughput
+optimisation, observably bit-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.adversaries import ScheduleAdversary
+from repro.adversaries.base import Adversary
+from repro.network.buffers import Overflow
+from repro.network.faults import FaultEvent, FaultKind, FaultPlan
+from repro.network.simulator import Simulator
+from repro.network.topology import from_parent_array
+from repro.network.tree_engine import TreeEngine
+from repro.policies import GreedyPolicy, TreeOddEvenPolicy
+
+TIE_RULES = st.sampled_from(["min_id", "max_id", "round_robin"])
+TIMINGS = st.sampled_from(["pre_injection", "post_injection"])
+
+
+@st.composite
+def random_in_tree(draw, min_n=3, max_n=20):
+    """A random recursive tree as a parent array (node 0 is the sink)."""
+    n = draw(st.integers(min_n, max_n))
+    parents = [-1] + [
+        draw(st.integers(0, v - 1)) for v in range(1, n)
+    ]
+    return from_parent_array(parents)
+
+
+@st.composite
+def tree_run(draw):
+    topo = draw(random_in_tree())
+    steps = draw(st.integers(1, 40))
+    sched = draw(
+        st.lists(
+            st.one_of(st.none(), st.integers(1, topo.n - 1)),
+            min_size=steps,
+            max_size=steps,
+        )
+    )
+    policy_cls = draw(st.sampled_from([TreeOddEvenPolicy, GreedyPolicy]))
+    if policy_cls is TreeOddEvenPolicy:
+        policy_args = {"tie_rule": draw(TIE_RULES)}
+    else:
+        policy_args = {}
+    timing = draw(TIMINGS)
+    return topo, steps, sched, policy_cls, policy_args, timing
+
+
+def as_adversary(sched):
+    return ScheduleAdversary(
+        {i: (s,) for i, s in enumerate(sched) if s is not None}
+    )
+
+
+@st.composite
+def fault_plan(draw, n, steps):
+    """A small non-halting fault plan targeting this topology."""
+    events = draw(
+        st.lists(
+            st.builds(
+                FaultEvent,
+                kind=st.sampled_from(
+                    [FaultKind.LINK_DOWN, FaultKind.CRASH, FaultKind.JITTER]
+                ),
+                start=st.integers(0, max(steps - 1, 0)),
+                node=st.integers(1, n - 1),
+                duration=st.integers(1, 4),
+                wipe=st.booleans(),
+                delay=st.integers(1, 3),
+            ),
+            max_size=4,
+        )
+    )
+    return FaultPlan(events=tuple(events))
+
+
+def _engines(topo, policy_cls, policy_args, adv_sched, timing, **kw):
+    """A (TreeEngine, Simulator) pair on identical configurations."""
+    return (
+        TreeEngine(topo, policy_cls(**policy_args), as_adversary(adv_sched),
+                   decision_timing=timing, validate=True, **kw),
+        Simulator(topo, policy_cls(**policy_args), as_adversary(adv_sched),
+                  decision_timing=timing, validate=True, **kw),
+    )
+
+
+def _assert_lockstep(fast, slow, steps):
+    for _ in range(steps):
+        fast.step()
+        slow.step()
+        assert (fast.heights == slow.heights).all()
+    assert fast.metrics.injected == slow.metrics.injected
+    assert fast.metrics.delivered == slow.metrics.delivered
+    assert fast.metrics.ledger.detail() == slow.metrics.ledger.detail()
+
+
+@given(tree_run())
+@settings(max_examples=80, deadline=None)
+def test_engines_agree_with_unbounded_buffers(run):
+    """The faithful §2 model: same trajectory, zero loss, any in-tree."""
+    topo, steps, sched, policy_cls, policy_args, timing = run
+    fast, slow = _engines(topo, policy_cls, policy_args, sched, timing)
+    _assert_lockstep(fast, slow, steps)
+    assert fast.metrics.ledger.total == 0
+
+
+@given(tree_run(), st.integers(1, 3), st.sampled_from(list(Overflow)))
+@settings(max_examples=80, deadline=None)
+def test_engines_agree_under_finite_buffers(run, cap, overflow):
+    """E19's degradation model on trees: same heights, same losses,
+    all three overflow disciplines (validate=True makes both engines
+    also self-check conservation and capacity every step)."""
+    topo, steps, sched, policy_cls, policy_args, timing = run
+    fast, slow = _engines(topo, policy_cls, policy_args, sched, timing,
+                          buffer_capacity=cap, overflow=overflow)
+    _assert_lockstep(fast, slow, steps)
+
+
+@given(tree_run(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_engines_agree_under_faults(run, data):
+    """Link outages, crashes (with and without wipes) and injection
+    jitter hit both engines identically — including the loss ledger's
+    per-node per-cause attribution."""
+    topo, steps, sched, policy_cls, policy_args, timing = run
+    plan = data.draw(fault_plan(topo.n, steps))
+    fast, slow = _engines(topo, policy_cls, policy_args, sched, timing,
+                          faults=plan)
+    _assert_lockstep(fast, slow, steps)
+
+
+@given(tree_run(), st.integers(1, 3))
+@settings(max_examples=60, deadline=None)
+def test_push_back_never_exceeds_capacity(run, cap):
+    """Under push-back no non-sink node is ever driven above capacity —
+    refusals must cascade away from the sink through sibling groups."""
+    topo, steps, sched, policy_cls, policy_args, timing = run
+    fast, slow = _engines(topo, policy_cls, policy_args, sched, timing,
+                          buffer_capacity=cap, overflow=Overflow.PUSH_BACK)
+    non_sink = np.array(
+        [v for v in range(topo.n) if v != topo.sink]
+    )
+    for _ in range(steps):
+        fast.step()
+        slow.step()
+        assert (fast.heights[non_sink] <= cap).all()
+        assert (fast.heights == slow.heights).all()
+        fast.assert_capacity()
+
+
+# ---------------------------------------------------------------------
+# run() fast-path parity: batched == stepped, bit for bit
+
+
+class _ScriptedBatch(Adversary):
+    """A script that also publishes itself via the batched protocol."""
+
+    name = "scripted-batch"
+
+    def __init__(self, batches):
+        self.batches = [tuple(b) for b in batches]
+
+    def inject(self, step, heights, topology):
+        return self.batches[step % len(self.batches)]
+
+    def inject_schedule(self, start, steps, topology):
+        m = len(self.batches)
+        return [self.batches[(start + i) % m] for i in range(steps)]
+
+
+@st.composite
+def batched_run(draw):
+    topo = draw(random_in_tree())
+    steps = draw(st.integers(1, 50))
+    batches = draw(
+        st.lists(
+            st.lists(st.integers(1, topo.n - 1), max_size=1),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    tie = draw(TIE_RULES)
+    timing = draw(TIMINGS)
+    # 2 forces the sparse loop to bail mid-run into the dense loop
+    limit = draw(st.sampled_from([256, 2]))
+    return topo, steps, batches, tie, timing, limit
+
+
+@given(batched_run())
+@settings(max_examples=80, deadline=None)
+def test_batched_run_matches_stepping(run):
+    topo, steps, batches, tie, timing, limit = run
+    stepped = TreeEngine(topo, TreeOddEvenPolicy(tie_rule=tie),
+                         _ScriptedBatch(batches), decision_timing=timing)
+    batched = TreeEngine(topo, TreeOddEvenPolicy(tie_rule=tie),
+                         _ScriptedBatch(batches), decision_timing=timing)
+    batched._SPARSE_OCCUPANCY_LIMIT = limit
+    for _ in range(steps):
+        stepped.step()
+    batched.run(steps)
+    assert (stepped.heights == batched.heights).all()
+    assert stepped.metrics.injected == batched.metrics.injected
+    assert stepped.metrics.delivered == batched.metrics.delivered
+    ta, tb = stepped.metrics.tracker, batched.metrics.tracker
+    assert (ta.max_height, ta.argmax_node, ta.argmax_step) == (
+        tb.max_height, tb.argmax_node, tb.argmax_step
+    )
+    assert (ta.per_node_max == tb.per_node_max).all()
+    assert stepped.policy._rotation == batched.policy._rotation
+    assert stepped.result() == batched.result()

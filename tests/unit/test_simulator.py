@@ -106,6 +106,7 @@ class TestTreeForwarding:
         heads = small_spider.children[hub]
         for h in heads:
             sim.buffers[h].push(Packet(pid=99 + h, origin=h, birth_step=0))
+            sim._heights[h] += 1  # keep the incremental cache in sync
         sim.metrics.injected += len(heads)
         sim.step()
         # every head forwards at once (no arbitration in a 1-local

@@ -1,0 +1,441 @@
+"""Unit tests for :class:`repro.network.tree_engine.TreeEngine` and the
+vectorised tree-policy fast paths.
+
+The sibling-arbitration pinning tests at the top hold the vectorised
+``select_priority_children`` / ``TreeOddEvenPolicy.send_mask`` (both the
+sparse dict sweep and the dense scatter branch) to a deliberately naive
+per-parent loop reference, for all three tie rules.  The engine tests
+below pin the TreeEngine's Simulator-parity surface: push-back cascades,
+checkpoint/snapshot/restore, crash-recovery, the batched ``run`` fast
+path (including the sparse inner loop and its dense fallback), and the
+``result()`` summary shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversaries import (
+    FarEndAdversary,
+    ScheduleAdversary,
+    UniformRandomAdversary,
+)
+from repro.adversaries.base import Adversary
+from repro.core.tree_certificate import certify_tree_run
+from repro.errors import (
+    BufferOverflow,
+    CertificationError,
+    ConservationViolation,
+    PolicyError,
+    SimulationError,
+)
+from repro.network.faults import FaultEvent, FaultKind, FaultPlan, run_with_recovery
+from repro.network.simulator import Simulator
+from repro.network.topology import (
+    balanced_tree,
+    caterpillar,
+    from_parent_array,
+    random_tree,
+    spider,
+)
+from repro.network.tree_engine import TreeEngine
+from repro.policies import GreedyPolicy, TreeOddEvenPolicy
+from repro.policies.tree import _SPARSE_CUTOFF, select_priority_children
+
+TIE_RULES = ("min_id", "max_id", "round_robin")
+
+
+# ---------------------------------------------------------------------
+# loop reference: the naive per-parent arbitration the vectorised code
+# must reproduce bit for bit
+
+
+def ref_priority_children(heights, topology, tie_rule, rotation=0):
+    winner = np.full(topology.n, -1, dtype=np.int64)
+    for p in range(topology.n):
+        kids = [c for c in topology.children[p] if heights[c] > 0]
+        if not kids:
+            continue
+        best = max(heights[c] for c in kids)
+        group = sorted(c for c in kids if heights[c] == best)
+        if tie_rule == "min_id":
+            winner[p] = group[0]
+        elif tie_rule == "max_id":
+            winner[p] = group[-1]
+        else:
+            winner[p] = group[rotation % len(group)]
+    return winner
+
+
+def ref_send_mask(heights, topology, tie_rule, rotation=0):
+    mask = np.zeros(topology.n, dtype=bool)
+    winner = ref_priority_children(heights, topology, tie_rule, rotation)
+    for p in range(topology.n):
+        w = winner[p]
+        if w < 0:
+            continue
+        hw, hp = int(heights[w]), int(heights[p])
+        mask[w] = (hp <= hw) if hw % 2 == 1 else (hp < hw)
+    return mask
+
+
+def _random_heights(topology, occupied, seed):
+    """Random heights with exactly ``occupied`` non-sink nodes loaded."""
+    rng = np.random.default_rng(seed)
+    h = np.zeros(topology.n, dtype=np.int64)
+    non_sink = np.array(
+        [v for v in range(topology.n) if v != topology.sink]
+    )
+    sites = rng.choice(non_sink, size=occupied, replace=False)
+    h[sites] = rng.integers(1, 9, size=occupied)
+    return h
+
+
+TOPOLOGIES = [
+    balanced_tree(2, 6),       # n = 127
+    balanced_tree(3, 4),       # wide fan-in
+    caterpillar(20, 3),
+    spider(8, 10),
+    random_tree(150, seed=11),
+]
+
+
+class TestArbitrationPinning:
+    """Sparse and dense branches both reproduce the loop reference."""
+
+    @pytest.mark.parametrize("tie_rule", TIE_RULES)
+    @pytest.mark.parametrize("topo", TOPOLOGIES, ids=lambda t: f"n{t.n}")
+    def test_select_priority_children_sparse(self, topo, tie_rule):
+        for seed in range(4):
+            occ = min(_SPARSE_CUTOFF, topo.n - 1)
+            h = _random_heights(topo, occ, seed)
+            assert (h > 0).sum() <= _SPARSE_CUTOFF  # sparse branch
+            for rot in (0, 1, 5):
+                got = select_priority_children(h, topo, tie_rule, rot)
+                want = ref_priority_children(h, topo, tie_rule, rot)
+                assert (got == want).all()
+
+    @pytest.mark.parametrize("tie_rule", TIE_RULES)
+    @pytest.mark.parametrize("topo", TOPOLOGIES, ids=lambda t: f"n{t.n}")
+    def test_select_priority_children_dense(self, topo, tie_rule):
+        for seed in range(4):
+            h = _random_heights(topo, topo.n - 1, seed)  # all loaded
+            assert (h > 0).sum() > _SPARSE_CUTOFF  # dense branch
+            for rot in (0, 1, 5):
+                got = select_priority_children(h, topo, tie_rule, rot)
+                want = ref_priority_children(h, topo, tie_rule, rot)
+                assert (got == want).all()
+
+    @pytest.mark.parametrize("tie_rule", TIE_RULES)
+    @pytest.mark.parametrize("topo", TOPOLOGIES, ids=lambda t: f"n{t.n}")
+    def test_send_mask_matches_reference(self, topo, tie_rule):
+        for occupied in (min(_SPARSE_CUTOFF, topo.n - 1), topo.n - 1):
+            policy = TreeOddEvenPolicy(tie_rule=tie_rule)
+            policy.reset(topo)
+            for seed in range(4):
+                h = _random_heights(topo, occupied, seed)
+                rot = policy._rotation  # rotation used by this call
+                got = policy.send_mask(h, topo)
+                want = ref_send_mask(h, topo, tie_rule, rot)
+                assert (got == want).all(), (
+                    f"{tie_rule} occupied={occupied} seed={seed}"
+                )
+
+    def test_round_robin_rotation_advances_once_per_call(self):
+        topo = spider(3, 2)
+        policy = TreeOddEvenPolicy(tie_rule="round_robin")
+        policy.reset(topo)
+        h = np.zeros(topo.n, dtype=np.int64)
+        hub_kids = list(topo.children[1])
+        for c in hub_kids:  # tie at the hub
+            h[c] = 2
+        picks = []
+        for _ in range(4):
+            mask = policy.send_mask(h, topo)
+            picks.append(int(np.flatnonzero(mask[hub_kids])[0]))
+        # the tied group is cycled, one advance per decision round
+        assert picks[0] != picks[1] or picks[1] != picks[2]
+        assert policy._rotation == 4
+
+    def test_unknown_tie_rule_rejected(self):
+        topo = spider(2, 2)
+        h = np.zeros(topo.n, dtype=np.int64)
+        with pytest.raises(PolicyError):
+            select_priority_children(h, topo, "coin_flip")
+        with pytest.raises(PolicyError):
+            TreeOddEvenPolicy(tie_rule="coin_flip")
+
+
+# ---------------------------------------------------------------------
+# engine construction and invariants
+
+
+class TestConstruction:
+    def test_rejects_unknown_decision_timing(self):
+        with pytest.raises(SimulationError):
+            TreeEngine(spider(2, 2), TreeOddEvenPolicy(), None,
+                       decision_timing="mid_injection")
+
+    def test_rejects_non_positive_buffer_capacity(self):
+        with pytest.raises(SimulationError):
+            TreeEngine(spider(2, 2), TreeOddEvenPolicy(), None,
+                       buffer_capacity=0)
+
+    def test_assert_capacity_and_conservation_raise(self):
+        engine = TreeEngine(spider(2, 3), GreedyPolicy(), None,
+                            buffer_capacity=2)
+        engine.heights[1] = 3
+        with pytest.raises(BufferOverflow):
+            engine.assert_capacity()
+        engine.heights[1] = 0
+        engine.metrics.injected = 5  # books no longer balance
+        with pytest.raises(ConservationViolation):
+            engine.assert_conservation()
+
+
+class TestPushBack:
+    def test_sibling_cascade_is_depth_then_id_ordered(self):
+        # sink 0 <- 1 <- {2, 3}: both leaves hand off to node 1, which
+        # vacates exactly one slot by sending to the sink, so the min-id
+        # sibling lands and the other is refused (stays put, not lost)
+        topo = from_parent_array([-1, 0, 1, 1])
+        engine = TreeEngine(topo, GreedyPolicy(), None, injection_limit=3,
+                            buffer_capacity=1, overflow="push-back")
+        engine.step(injections=(1, 2, 3))  # pre-injection: no sends yet
+        assert engine.heights.tolist() == [0, 1, 1, 1]
+        engine.step(injections=())
+        assert engine.heights.tolist() == [0, 1, 0, 1]
+        assert engine.metrics.delivered == 1
+        assert engine.metrics.ledger.total == 0  # push-back never drops
+        engine.assert_capacity()
+        engine.assert_conservation()
+
+    def test_matches_simulator_on_saturated_caterpillar(self):
+        topo = caterpillar(8, 2)
+        sites = [v for v in range(topo.n) if v != topo.sink]
+        script = {i: (sites[i % len(sites)],) for i in range(30)}
+        engine = TreeEngine(topo, GreedyPolicy(), ScheduleAdversary(script),
+                            buffer_capacity=2, overflow="push-back",
+                            validate=True)
+        sim = Simulator(topo, GreedyPolicy(), ScheduleAdversary(script),
+                        buffer_capacity=2, overflow="push-back",
+                        validate=True)
+        for _ in range(30):
+            engine.step()
+            sim.step()
+            assert (engine.heights == sim.heights).all()
+        assert engine.metrics.delivered == sim.metrics.delivered
+        assert engine.metrics.ledger.detail() == sim.metrics.ledger.detail()
+
+    def test_adversary_traffic_into_full_buffer_is_dropped(self):
+        # push-back protects forwarded packets only: an injection at an
+        # already-full node has no upstream sender to hold it
+        topo = from_parent_array([-1, 0])
+        engine = TreeEngine(topo, GreedyPolicy(), None, injection_limit=2,
+                            buffer_capacity=1, overflow="push-back",
+                            decision_timing="post_injection")
+        engine.step(injections=(1, 1))
+        assert engine.metrics.ledger.by_cause() == {"overflow": 1}
+
+
+# ---------------------------------------------------------------------
+# checkpoint / snapshot / restore / recovery
+
+
+class TestCheckpointing:
+    def test_checkpoint_restore_replays_identically(self):
+        engine = TreeEngine(balanced_tree(2, 4), TreeOddEvenPolicy(),
+                            UniformRandomAdversary(seed=7))
+        engine.run(20)
+        cp = engine.checkpoint()
+        mid = engine.heights.copy()
+        engine.run(15)
+        after = engine.result()
+        engine.restore(cp)
+        assert (engine.heights == mid).all()
+        engine.run(15)
+        assert engine.result() == after
+
+    def test_snapshot_restores_policy_rotation(self):
+        topo = spider(4, 3)
+        engine = TreeEngine(topo, TreeOddEvenPolicy(tie_rule="round_robin"),
+                            UniformRandomAdversary(seed=3))
+        for _ in range(10):
+            engine.step()
+        snap = engine.snapshot()
+        rotation = engine.policy._rotation
+        for _ in range(10):
+            engine.step()
+        assert engine.policy._rotation != rotation
+        engine.restore(snap)
+        assert engine.policy._rotation == rotation
+
+    def test_run_with_recovery_survives_halt(self):
+        plan = FaultPlan(events=(
+            FaultEvent(kind=FaultKind.HALT, start=12),
+        ))
+        engine = TreeEngine(balanced_tree(2, 4), TreeOddEvenPolicy(),
+                            UniformRandomAdversary(seed=5), faults=plan,
+                            validate=True)
+        recoveries = run_with_recovery(engine, 30, snapshot_every=5)
+        assert recoveries == 1
+        assert engine.step_index == 30
+        engine.assert_conservation()
+
+
+# ---------------------------------------------------------------------
+# batched run() fast path
+
+
+class _ScriptedBatch(Adversary):
+    """Script with the batched protocol, for run()-vs-step() pinning."""
+
+    name = "scripted-batch"
+
+    def __init__(self, batches):
+        self.batches = [tuple(b) for b in batches]
+
+    def inject(self, step, heights, topology):
+        return self.batches[step % len(self.batches)]
+
+    def inject_schedule(self, start, steps, topology):
+        m = len(self.batches)
+        return [self.batches[(start + i) % m] for i in range(steps)]
+
+
+def _deep_leaf(topo):
+    return int(np.argmax(topo.depth))
+
+
+class TestBatchedRun:
+    STEPS = 60
+
+    def _pair(self, topo, tie_rule, adversary_batches, timing):
+        stepped = TreeEngine(
+            topo, TreeOddEvenPolicy(tie_rule=tie_rule),
+            _ScriptedBatch(adversary_batches), decision_timing=timing,
+        )
+        batched = TreeEngine(
+            topo, TreeOddEvenPolicy(tie_rule=tie_rule),
+            _ScriptedBatch(adversary_batches), decision_timing=timing,
+        )
+        return stepped, batched
+
+    def _assert_identical(self, stepped, batched):
+        assert (stepped.heights == batched.heights).all()
+        assert stepped.metrics.injected == batched.metrics.injected
+        assert stepped.metrics.delivered == batched.metrics.delivered
+        ta, tb = stepped.metrics.tracker, batched.metrics.tracker
+        assert ta.max_height == tb.max_height
+        assert ta.argmax_node == tb.argmax_node
+        assert ta.argmax_step == tb.argmax_step
+        assert (ta.per_node_max == tb.per_node_max).all()
+        assert stepped.policy._rotation == batched.policy._rotation
+
+    @pytest.mark.parametrize("tie_rule", TIE_RULES)
+    @pytest.mark.parametrize("timing", ["pre_injection", "post_injection"])
+    def test_sparse_loop_matches_stepping(self, tie_rule, timing):
+        topo = balanced_tree(2, 5)
+        batches = [(_deep_leaf(topo),), (), (5,), (topo.n - 1,)]
+        stepped, batched = self._pair(topo, tie_rule, batches, timing)
+        for _ in range(self.STEPS):
+            stepped.step()
+        batched.run(self.STEPS)
+        self._assert_identical(stepped, batched)
+
+    @pytest.mark.parametrize("tie_rule", TIE_RULES)
+    def test_dense_fallback_matches_stepping(self, tie_rule):
+        # an occupancy limit of 2 forces the sparse loop to bail out
+        # mid-run and hand the remaining steps to the numpy loop
+        topo = balanced_tree(2, 5)
+        batches = [(_deep_leaf(topo),), (7,), (11,)]
+        stepped, batched = self._pair(
+            topo, tie_rule, batches, "pre_injection"
+        )
+        batched._SPARSE_OCCUPANCY_LIMIT = 2
+        for _ in range(self.STEPS):
+            stepped.step()
+        batched.run(self.STEPS)
+        self._assert_identical(stepped, batched)
+
+    def test_resumed_runs_continue_the_schedule(self):
+        topo = balanced_tree(2, 4)
+        a = TreeEngine(topo, TreeOddEvenPolicy(), FarEndAdversary())
+        b = TreeEngine(topo, TreeOddEvenPolicy(), FarEndAdversary())
+        a.run(50)
+        b.run(20).run(30)
+        assert (a.heights == b.heights).all()
+        assert a.result() == b.result()
+
+    def test_matches_reference_simulator(self):
+        topo = random_tree(200, seed=2)
+        engine = TreeEngine(topo, TreeOddEvenPolicy(), FarEndAdversary())
+        sim = Simulator(topo, TreeOddEvenPolicy(), FarEndAdversary(),
+                        validate=False)
+        engine.run(300)
+        sim.run(300)
+        assert (engine.heights == sim.heights).all()
+        assert engine.metrics.delivered == sim.metrics.delivered
+        assert engine.max_height == sim.max_height
+
+
+# ---------------------------------------------------------------------
+# result() and the certifier backend switch
+
+
+class TestResultAndCertifier:
+    def test_result_shape(self):
+        engine = TreeEngine(spider(3, 4), TreeOddEvenPolicy(),
+                            FarEndAdversary())
+        res = engine.run(40).result()
+        assert res.steps == 40
+        assert res.injected == 40
+        assert res.injected == res.delivered + res.in_flight
+        assert res.dropped == 0
+        assert res.delay_summary["count"] == 0
+        assert np.isnan(res.delay_summary["mean"])  # unobservable here
+
+    def test_certify_tree_run_backends_agree(self):
+        topo = spider(4, 5)
+        reports = [
+            certify_tree_run(topo, UniformRandomAdversary(seed=9), 120,
+                             validate_every=4, engine=name)
+            for name in ("tree", "simulator")
+        ]
+        assert reports[0] == reports[1]
+        assert reports[0].rounds == 120
+        assert reports[0].certified
+
+    def test_certify_tree_run_rejects_unknown_engine(self):
+        with pytest.raises(CertificationError):
+            certify_tree_run(spider(2, 2), UniformRandomAdversary(seed=1),
+                             5, engine="dag")
+
+
+# ---------------------------------------------------------------------
+# the Simulator's incremental height cache (kept in sync on every
+# push/pop/drop so `heights` is O(1) instead of a buffer scan)
+
+
+class TestSimulatorHeightCache:
+    def test_cache_matches_derived_after_mixed_run(self):
+        plan = FaultPlan(events=(
+            FaultEvent(kind=FaultKind.CRASH, start=5, node=3, duration=2,
+                       wipe=True),
+            FaultEvent(kind=FaultKind.LINK_DOWN, start=9, node=1),
+        ))
+        sim = Simulator(caterpillar(6, 2), GreedyPolicy(),
+                        UniformRandomAdversary(seed=13), faults=plan,
+                        buffer_capacity=2, overflow="drop-oldest",
+                        validate=True)  # validate asserts cache == derived
+        sim.run(40)
+        assert (sim.heights == sim._derived_heights()).all()
+
+    def test_validate_detects_corrupted_cache(self):
+        sim = Simulator(spider(2, 3), GreedyPolicy(),
+                        UniformRandomAdversary(seed=1), validate=True)
+        sim.run(5)
+        sim._heights[2] += 1  # corrupt the cache behind the buffers
+        with pytest.raises(SimulationError):
+            sim.step()

@@ -14,11 +14,12 @@ Usage::
         BENCH_before.json BENCH_after.json
 
 ``record`` writes ``BENCH_<label>.json`` (format documented in
-``benchmarks/README.md``): engine steps/second for the per-step and
-batched paths, per-experiment wall-clock, preset and git revision —
-one comparable perf data point per run.  ``compare`` prints the deltas
-and exits 1 when the new record is slower than ``--max-regression``
-(default 25%) on engine throughput or total sweep wall-clock.
+``benchmarks/README.md``): path-engine steps/second (per-step and
+batched), TreeEngine-vs-Simulator tree throughput, per-experiment
+wall-clock, preset and git revision — one comparable perf data point
+per run.  ``compare`` prints the deltas and exits 1 when the new
+record is slower than ``--max-regression`` (default 25%) on any
+engine throughput figure or on total sweep wall-clock.
 """
 
 from __future__ import annotations
@@ -34,6 +35,7 @@ from repro.runner import (  # noqa: E402  (path bootstrap above)
     engine_throughput,
     load_bench,
     run_experiments,
+    tree_engine_throughput,
     write_bench,
 )
 
@@ -44,6 +46,14 @@ def _cmd_record(args: argparse.Namespace) -> int:
         f"engine n={engine['n']}: per-step {engine['per_step_sps']} "
         f"steps/s, batched {engine['batched_sps']} steps/s "
         f"({engine['speedup']}x)"
+    )
+    tree = tree_engine_throughput(
+        depth=args.tree_depth, steps=args.tree_steps
+    )
+    print(
+        f"tree {tree['family']} (n={tree['n']}): simulator "
+        f"{tree['simulator_sps']} steps/s, tree engine "
+        f"{tree['tree_engine_sps']} steps/s ({tree['speedup']}x)"
     )
     manifest = None
     if not args.no_sweep:
@@ -56,7 +66,8 @@ def _cmd_record(args: argparse.Namespace) -> int:
         print(f"sweep: {len(manifest.records)} experiments in "
               f"{manifest.wall_s:.2f}s with --jobs {args.jobs}")
     path = write_bench(
-        bench_record(args.label, manifest=manifest, engine=engine),
+        bench_record(args.label, manifest=manifest, engine=engine,
+                     tree=tree),
         args.out,
     )
     print(f"wrote {path}")
@@ -87,8 +98,16 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         for key in ("per_step_sps", "batched_sps"):
             print(f"engine {key}: {eo[key]} -> {en[key]} "
                   f"({_fmt_delta(eo[key], en[key], True)})")
-        if en["batched_sps"] < eo["batched_sps"] * (1 - tol):
-            regressed = True
+            if en[key] < eo[key] * (1 - tol):
+                regressed = True
+
+    to, tn = old.get("tree"), new.get("tree")
+    if to and tn:
+        for key in ("simulator_sps", "tree_engine_sps"):
+            print(f"tree {key}: {to[key]} -> {tn[key]} "
+                  f"({_fmt_delta(to[key], tn[key], True)})")
+            if tn[key] < to[key] * (1 - tol):
+                regressed = True
 
     so, sn = old.get("sweep"), new.get("sweep")
     if so and sn:
@@ -125,6 +144,10 @@ def main(argv: list[str] | None = None) -> int:
                    help="engine microbench only (skip the experiments)")
     r.add_argument("--engine-n", type=int, default=256)
     r.add_argument("--engine-steps", type=int, default=4000)
+    r.add_argument("--tree-depth", type=int, default=10,
+                   help="balanced binary tree depth for the tree "
+                        "engine microbench (n = 2^(depth+1) - 1)")
+    r.add_argument("--tree-steps", type=int, default=2000)
 
     c = sub.add_parser("compare", help="diff two bench records")
     c.add_argument("old")
