@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench soak experiments experiments-full docs clean
+.PHONY: install test bench soak chaos experiments experiments-full docs clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -19,6 +19,11 @@ bench:
 # long fault-injection burn-ins (excluded from the default pytest run)
 soak:
 	$(PYTHON) -m pytest tests/integration/test_soak.py -m soak -q
+
+# point the runner's failure handling at itself: crashed workers,
+# hangs, timeouts, retry accounting and run-dir resume
+chaos:
+	$(PYTHON) tools/chaos_sweep.py
 
 experiments:
 	$(PYTHON) -m repro run all --preset quick

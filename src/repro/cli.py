@@ -50,7 +50,9 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--preset", choices=("quick", "full"), default="quick")
     r.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="worker processes for the sweep (default 1 = "
-                        "serial; results print in id order either way)")
+                        "serial; 0 = auto, one worker per CPU via "
+                        "os.cpu_count(); results print in id order "
+                        "either way)")
     r.add_argument("--out", default=None,
                    help="directory for JSON/TXT artefacts")
     r.add_argument("--no-artifacts", action="store_true",
@@ -62,6 +64,30 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--faults", default=None, metavar="PLAN.json",
                    help="fault plan JSON threaded into simulating "
                         "experiments (see docs/robustness.md)")
+    r.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="per-experiment wall-clock timeout in seconds; "
+                        "a hung worker is replaced, the experiment is "
+                        "retried (--retries) and recorded as 'timeout' "
+                        "if it never finishes (forces pool mode)")
+    r.add_argument("--retries", type=int, default=0, metavar="N",
+                   help="extra attempts after a timeout or worker death "
+                        "(default 0), with exponential backoff")
+    r.add_argument("--backoff", type=float, default=0.5, metavar="S",
+                   help="base retry backoff in seconds; attempt k waits "
+                        "S * 2^(k-1) plus deterministic jitter "
+                        "(default 0.5)")
+    r.add_argument("--label", default=None, metavar="LABEL",
+                   help="persist a durable run directory "
+                        "results/runs/<LABEL>/ (one checksummed "
+                        "artifact per completed experiment + the "
+                        "manifest, flushed as each record lands)")
+    r.add_argument("--resume", default=None, metavar="LABEL",
+                   help="resume the run directory results/runs/<LABEL>/: "
+                        "experiments whose stored artifacts verify are "
+                        "reused, the rest are (re)run")
+    r.add_argument("--runs-root", default="results/runs", metavar="DIR",
+                   help="root for durable run directories "
+                        "(default results/runs)")
 
     c = sub.add_parser(
         "certify",
@@ -102,6 +128,12 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--snapshot-every", type=int, default=50,
                    help="snapshot stride for crash/resume when a fault "
                         "plan is given")
+    s.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   help="persist periodic checkpoints to DIR/latest.ckpt "
+                        "(atomic + checksummed) and resume from an "
+                        "existing one — a killed simulate can be re-run "
+                        "with the same arguments and pick up where it "
+                        "left off")
     return p
 
 
@@ -156,8 +188,14 @@ def _load_fault_plan(path: str | None):
 
 def _cmd_run(ids: Sequence[str], preset: str, out: str | None,
              no_artifacts: bool, faults: str | None = None,
-             jobs: int = 1, bench: str | None = None) -> int:
+             jobs: int = 1, bench: str | None = None,
+             timeout: float | None = None, retries: int = 0,
+             backoff: float = 0.5, label: str | None = None,
+             resume_label: str | None = None,
+             runs_root: str = "results/runs") -> int:
+    from .errors import ExperimentError
     from .runner import (
+        RunStore,
         bench_record,
         engine_throughput,
         run_experiments,
@@ -167,18 +205,55 @@ def _cmd_run(ids: Sequence[str], preset: str, out: str | None,
 
     plan = _load_fault_plan(faults)
 
+    if resume_label is not None and label is not None \
+            and resume_label != label:
+        raise ExperimentError(
+            f"--label {label!r} and --resume {resume_label!r} disagree; "
+            f"pass only --resume to continue an existing run"
+        )
+    resume = resume_label is not None
+    store_label = resume_label or label
+    store = (
+        RunStore.at(store_label, runs_root)
+        if store_label is not None else None
+    )
+    if resume and store is not None:
+        from .experiments import all_experiment_ids
+
+        scan_ids = (
+            all_experiment_ids()
+            if len(ids) == 1 and str(ids[0]).lower() == "all"
+            else [i.upper() for i in ids]
+        )
+        completed, rejected = store.scan(scan_ids)
+        print(f"resuming {store.directory}: {len(completed)} verified "
+              f"artifact(s) reused, {len(scan_ids) - len(completed)} to "
+              f"run" + (f", {len(rejected)} untrusted artifact(s) "
+                        f"re-run" if rejected else ""))
+
     def report(rec) -> None:
         if rec.result is not None:
             print(rec.result.to_text(include_artifacts=not no_artifacts))
             if out:
                 print(f"saved {save_result(rec.result, out)}")
         else:
-            print(f"=== {rec.experiment_id}: ERROR ({rec.error}) ===")
+            print(f"=== {rec.experiment_id}: {rec.status.upper()} "
+                  f"({rec.error}) ===")
+        if rec.retried:
+            print(f"note: {rec.experiment_id} took {rec.attempts} attempts")
         print()
 
+    def on_retry(eid: str, attempt: int, delay: float, reason: str) -> None:
+        print(f"[retry] {eid}: attempt {attempt} failed ({reason}); "
+              f"retrying in {delay:.2f}s")
+
     manifest = run_experiments(
-        ids, preset, jobs=jobs, faults=plan, on_record=report
+        ids, preset, jobs=jobs, faults=plan, on_record=report,
+        timeout_s=timeout, retries=retries, backoff_s=backoff,
+        on_retry=on_retry, store=store, resume=resume,
     )
+    if store is not None:
+        print(f"run directory: {store.directory}")
     if bench is not None:
         path = write_bench(
             bench_record(bench, manifest=manifest,
@@ -202,7 +277,8 @@ def _cmd_simulate(policy: str, adversary: str, n: int,
                   faults: str | None = None,
                   buffer_capacity: int | None = None,
                   overflow: str = "drop-tail",
-                  snapshot_every: int = 50) -> int:
+                  snapshot_every: int = 50,
+                  checkpoint_dir: str | None = None) -> int:
     from .analysis.occupancy import default_step_budget
     from .core.bounds import odd_even_upper_bound
     from .network.engine_fast import PathEngine
@@ -218,9 +294,10 @@ def _cmd_simulate(policy: str, adversary: str, n: int,
         overflow=overflow,
         faults=plan,
     )
-    if plan is not None:
+    if plan is not None or checkpoint_dir is not None:
         recoveries = run_with_recovery(
-            engine, steps, snapshot_every=snapshot_every
+            engine, steps, snapshot_every=snapshot_every,
+            checkpoint_dir=checkpoint_dir,
         )
     else:
         recoveries = 0
@@ -336,7 +413,12 @@ def _cmd_certify(topology: str, adversary: str, steps: int | None,
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    from .errors import FaultError, PolicyError
+    from .errors import (
+        CheckpointError,
+        ExperimentError,
+        FaultError,
+        PolicyError,
+    )
 
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -347,8 +429,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         try:
             return _cmd_run(args.experiments, args.preset, args.out,
                             args.no_artifacts, args.faults,
-                            args.jobs, args.bench)
-        except FaultError as exc:
+                            args.jobs, args.bench,
+                            args.timeout, args.retries, args.backoff,
+                            args.label, args.resume, args.runs_root)
+        except (CheckpointError, ExperimentError, FaultError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
     if args.command == "certify":
@@ -359,8 +443,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_simulate(args.policy, args.adversary, args.n,
                                  args.steps, args.seed, args.faults,
                                  args.buffer_capacity, args.overflow,
-                                 args.snapshot_every)
-        except (FaultError, PolicyError) as exc:
+                                 args.snapshot_every, args.checkpoint_dir)
+        except (CheckpointError, FaultError, PolicyError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
     raise AssertionError("unreachable")  # pragma: no cover

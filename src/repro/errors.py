@@ -17,6 +17,7 @@ __all__ = [
     "RateViolation",
     "BufferOverflow",
     "FaultError",
+    "CheckpointError",
     "PolicyError",
     "LocalityViolation",
     "CertificationError",
@@ -68,6 +69,18 @@ class FaultError(SimulationError):
     ``halt`` fault fires.  Callers that want crash-resilient runs catch
     it and resume from the last snapshot (see
     :func:`repro.network.faults.run_with_recovery`).
+    """
+
+
+class CheckpointError(ReproError):
+    """A durable checkpoint file cannot be trusted or restored.
+
+    Raised by :mod:`repro.io.checkpoint` when a checkpoint file is
+    missing, truncated, fails its payload checksum, announces an
+    unknown format or schema version, or was written by a different
+    engine class than the one restoring it.  The message always names
+    the offending file and the specific diagnosis — a corrupt
+    checkpoint must never be silently unpickled or silently ignored.
     """
 
 

@@ -1,5 +1,12 @@
-"""Result records, trace files and serialisation."""
+"""Result records, trace files, durable checkpoints and serialisation."""
 
+from .checkpoint import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+    load_checkpoint,
+    read_checkpoint_header,
+    save_checkpoint,
+)
 from .report import load_results_dir, markdown_table, render_markdown_report
 from .results import (
     ExperimentResult,
@@ -11,6 +18,11 @@ from .results import (
 from .tracefile import load_trace, save_trace, trace_to_replay_tape
 
 __all__ = [
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+    "save_checkpoint",
+    "load_checkpoint",
+    "read_checkpoint_header",
     "ExperimentResult",
     "save_result",
     "load_result",

@@ -13,6 +13,7 @@ return for every node either the chosen out-neighbour or -1 (hold).
 
 from __future__ import annotations
 
+import copy
 from abc import ABC, abstractmethod
 from typing import Any
 
@@ -163,10 +164,47 @@ class DagEngine:
             "metrics": self.metrics.snapshot(),
         }
 
+    def snapshot(self) -> dict[str, Any]:
+        """Full state for checkpoint/resume across an induced crash.
+
+        Extends :meth:`checkpoint` with deep copies of the policy and
+        adversary, matching the other engines' snapshot contract.
+        """
+        return {
+            "engine": self.checkpoint(),
+            "policy": copy.deepcopy(self.policy),
+            "adversary": copy.deepcopy(self.adversary),
+        }
+
     def restore(self, cp: dict[str, Any]) -> None:
+        if "engine" in cp:  # full snapshot()
+            self.policy = copy.deepcopy(cp["policy"])
+            self.adversary = copy.deepcopy(cp["adversary"])
+            cp = cp["engine"]
         self.heights = cp["heights"].copy()
         self.step_index = cp["step"]
         self.metrics.restore(cp["metrics"])
+
+    def save_checkpoint(self, path):
+        """Persist :meth:`snapshot` to a durable, checksummed file.
+
+        Atomic write (temp + fsync + rename); see
+        :mod:`repro.io.checkpoint` for the format and failure modes.
+        """
+        from ..io.checkpoint import save_checkpoint
+
+        return save_checkpoint(self, path)
+
+    def load_checkpoint(self, path) -> dict[str, Any]:
+        """Restore state saved by :meth:`save_checkpoint`.
+
+        Raises :class:`~repro.errors.CheckpointError` (naming the file
+        and the diagnosis) on corruption, truncation, schema-version or
+        engine-class mismatch; the engine is untouched on failure.
+        """
+        from ..io.checkpoint import load_checkpoint
+
+        return load_checkpoint(self, path)
 
     def assert_conservation(self) -> None:
         in_flight = int(self.heights.sum())

@@ -463,6 +463,7 @@ def run_with_recovery(
     *,
     snapshot_every: int = 50,
     max_recoveries: int = 16,
+    checkpoint_dir: str | Path | None = None,
 ) -> int:
     """Drive ``engine`` for ``steps`` rounds, surviving injected halts.
 
@@ -470,6 +471,19 @@ def run_with_recovery(
     :class:`~repro.errors.FaultError` kills the run, restores the most
     recent snapshot and resumes (the injector remembers fired halts, so
     the same kill does not recur).  Returns the number of recoveries.
+
+    With ``checkpoint_dir`` the harness is durable across *real*
+    process deaths too: every in-memory snapshot is also persisted to
+    ``<checkpoint_dir>/latest.ckpt`` (atomic + checksummed, see
+    :mod:`repro.io.checkpoint`), and on entry an existing checkpoint is
+    restored before stepping — so a fresh process pointed at the same
+    directory resumes where the dead one left off.  ``steps`` then
+    counts from the engine's state *before* the resume (i.e. the total
+    run length as the first process saw it), so re-invoking with the
+    same arguments converges on the same target step.  A corrupt or
+    foreign checkpoint file raises
+    :class:`~repro.errors.CheckpointError` — the run is never silently
+    restarted from zero.
 
     Raises
     ------
@@ -482,6 +496,11 @@ def run_with_recovery(
             f"snapshot_every must be >= 1, got {snapshot_every}"
         )
     target = engine.step_index + steps
+    ckpt_path: Path | None = None
+    if checkpoint_dir is not None:
+        ckpt_path = Path(checkpoint_dir) / "latest.ckpt"
+        if ckpt_path.exists():
+            engine.load_checkpoint(ckpt_path)  # CheckpointError if corrupt
     snap = engine.snapshot()
     recoveries = 0
     while engine.step_index < target:
@@ -490,6 +509,8 @@ def run_with_recovery(
                 engine.step()
                 if engine.step_index % snapshot_every == 0:
                     snap = engine.snapshot()
+                    if ckpt_path is not None:
+                        engine.save_checkpoint(ckpt_path)
         except FaultError as err:
             recoveries += 1
             if recoveries > max_recoveries:
@@ -498,4 +519,6 @@ def run_with_recovery(
                     f"{engine.step_index}"
                 ) from err
             engine.restore(snap)
+    if ckpt_path is not None:
+        engine.save_checkpoint(ckpt_path)  # final state, for auditability
     return recoveries

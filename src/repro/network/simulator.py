@@ -51,6 +51,8 @@ from .validation import validate_injections
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from pathlib import Path
+
     from ..adversaries.base import Adversary
 from ..errors import BufferOverflow, ConservationViolation, SimulationError
 from ..policies.base import ForwardingPolicy
@@ -515,3 +517,24 @@ class Simulator:
             self.policy = copy.deepcopy(cp["policy"])
         if "adversary" in cp:
             self.adversary = copy.deepcopy(cp["adversary"])
+
+    def save_checkpoint(self, path) -> "Path":
+        """Persist :meth:`snapshot` to a durable, checksummed file.
+
+        Atomic write (temp + fsync + rename); see
+        :mod:`repro.io.checkpoint` for the format and failure modes.
+        """
+        from ..io.checkpoint import save_checkpoint
+
+        return save_checkpoint(self, path)
+
+    def load_checkpoint(self, path) -> dict[str, Any]:
+        """Restore state saved by :meth:`save_checkpoint`.
+
+        Raises :class:`~repro.errors.CheckpointError` (naming the file
+        and the diagnosis) on corruption, truncation, schema-version or
+        engine-class mismatch; the engine is untouched on failure.
+        """
+        from ..io.checkpoint import load_checkpoint
+
+        return load_checkpoint(self, path)

@@ -700,3 +700,24 @@ class TreeEngine:
         self.metrics.restore(cp.metrics)
         if self.faults is not None and cp.faults is not None:
             self.faults.restore(cp.faults)
+
+    def save_checkpoint(self, path):
+        """Persist :meth:`snapshot` to a durable, checksummed file.
+
+        Atomic write (temp + fsync + rename); see
+        :mod:`repro.io.checkpoint` for the format and failure modes.
+        """
+        from ..io.checkpoint import save_checkpoint
+
+        return save_checkpoint(self, path)
+
+    def load_checkpoint(self, path) -> dict[str, Any]:
+        """Restore state saved by :meth:`save_checkpoint`.
+
+        Raises :class:`~repro.errors.CheckpointError` (naming the file
+        and the diagnosis) on corruption, truncation, schema-version or
+        engine-class mismatch; the engine is untouched on failure.
+        """
+        from ..io.checkpoint import load_checkpoint
+
+        return load_checkpoint(self, path)

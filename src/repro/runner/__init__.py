@@ -10,6 +10,11 @@ the experiment registry:
   deterministic result ordering;
 * :class:`RunManifest` / :class:`ExperimentRecord` — the merged record
   of one sweep;
+* :class:`RunStore` — a durable run directory (one checksummed artifact
+  per completed experiment + the manifest, flushed atomically as each
+  record lands) that ``repro run all --resume <label>`` resumes from;
+* :mod:`repro.runner.chaos` — stub experiments that crash or hang their
+  worker, for exercising the runner's retry/timeout/self-healing paths;
 * :mod:`repro.runner.perf` — engine throughput measurement and the
   ``BENCH_<label>.json`` perf records that track the repo's performance
   trajectory (see ``benchmarks/README.md`` for the format).
@@ -25,10 +30,12 @@ from .perf import (
     write_bench,
 )
 from .runner import ExperimentRecord, RunManifest, run_experiments
+from .store import RunStore
 
 __all__ = [
     "ExperimentRecord",
     "RunManifest",
+    "RunStore",
     "run_experiments",
     "BENCH_FORMAT",
     "bench_record",

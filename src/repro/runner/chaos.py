@@ -1,0 +1,143 @@
+"""Chaos stub experiments for exercising the self-healing runner.
+
+These are *not* paper artefacts: they exist to let tests and the CI
+"chaos sweep" job point the runner's own adversary at itself — a worker
+that dies mid-experiment, an experiment that hangs past any reasonable
+timeout — without involving a real (slow) experiment.  They are kept
+out of the registry by default; :func:`install` registers them and
+:func:`uninstall` removes them again.
+
+Cross-process state (so a stub can misbehave on its *first* attempt
+and succeed on the retry, from a different worker process) travels
+through sentinel files in a scratch directory named by the
+``REPRO_CHAOS_DIR`` environment variable, which :func:`install` sets —
+worker processes inherit it.
+
+**Only run the crashing/hanging stubs through a worker pool** (``jobs``
+≥ 1 with a timeout, or ≥ 2): in the serial in-process path ``X1``
+would kill the orchestrating process itself, which is precisely the
+behaviour it exists to simulate.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from ..errors import ExperimentError
+from ..experiments.base import Experiment
+from ..experiments.registry import EXPERIMENTS
+from ..io.results import ExperimentResult
+
+__all__ = [
+    "ENV_CHAOS_DIR",
+    "ChaosOkExperiment",
+    "ChaosCrashOnceExperiment",
+    "ChaosHangOnceExperiment",
+    "ChaosHangForeverExperiment",
+    "CHAOS_EXPERIMENTS",
+    "install",
+    "uninstall",
+]
+
+ENV_CHAOS_DIR = "REPRO_CHAOS_DIR"
+
+
+class _ChaosExperiment(Experiment):
+    """Shared scaffolding: sentinel files in the chaos scratch dir."""
+
+    paper_ref = "n/a (runner chaos harness)"
+    claim = "the sweep survives this experiment's misbehaviour"
+
+    def _dir(self) -> Path:
+        d = os.environ.get(ENV_CHAOS_DIR)
+        if not d:
+            raise ExperimentError(
+                f"{ENV_CHAOS_DIR} is not set; chaos experiments need the "
+                f"scratch directory install() configures"
+            )
+        return Path(d)
+
+    def _first_time(self, name: str) -> bool:
+        """True exactly once per scratch directory (atomic create)."""
+        try:
+            fd = os.open(
+                self._dir() / name, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+            )
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+    def _pass(self, preset: str, note: str) -> ExperimentResult:
+        return self._result(
+            preset=preset, headers=["outcome"], rows=[[note]], passed=True
+        )
+
+
+class ChaosOkExperiment(_ChaosExperiment):
+    id = "X0"
+    title = "chaos: trivially passes"
+
+    def _run(self, preset: str) -> ExperimentResult:
+        return self._pass(preset, "ok")
+
+
+class ChaosCrashOnceExperiment(_ChaosExperiment):
+    id = "X1"
+    title = "chaos: kills its worker once, then passes"
+
+    def _run(self, preset: str) -> ExperimentResult:
+        if self._first_time("x1.crashed"):
+            # simulated SIGKILL: no exception, no interpreter cleanup —
+            # the parent sees a dead worker / BrokenProcessPool
+            os._exit(137)
+        return self._pass(preset, "survived the crash")
+
+
+class ChaosHangOnceExperiment(_ChaosExperiment):
+    id = "X2"
+    title = "chaos: hangs past any timeout once, then passes"
+
+    def _run(self, preset: str) -> ExperimentResult:
+        if self._first_time("x2.hung"):
+            time.sleep(3600)
+        return self._pass(preset, "survived the hang")
+
+
+class ChaosHangForeverExperiment(_ChaosExperiment):
+    id = "X3"
+    title = "chaos: hangs on every attempt"
+
+    def _run(self, preset: str) -> ExperimentResult:
+        time.sleep(3600)
+        return self._pass(preset, "unreachable")  # pragma: no cover
+
+
+CHAOS_EXPERIMENTS: tuple[type[_ChaosExperiment], ...] = (
+    ChaosOkExperiment,
+    ChaosCrashOnceExperiment,
+    ChaosHangOnceExperiment,
+    ChaosHangForeverExperiment,
+)
+
+
+def install(scratch_dir: str | Path) -> list[str]:
+    """Register the chaos experiments; returns their ids.
+
+    ``scratch_dir`` holds the cross-process sentinel files; it is
+    exported as ``REPRO_CHAOS_DIR`` so forked workers see it.
+    """
+    Path(scratch_dir).mkdir(parents=True, exist_ok=True)
+    os.environ[ENV_CHAOS_DIR] = str(scratch_dir)
+    for cls in CHAOS_EXPERIMENTS:
+        EXPERIMENTS[cls.id] = cls
+    return [cls.id for cls in CHAOS_EXPERIMENTS]
+
+
+def uninstall() -> None:
+    """Remove the chaos experiments from the registry again."""
+    for cls in CHAOS_EXPERIMENTS:
+        EXPERIMENTS.pop(cls.id, None)
+    os.environ.pop(ENV_CHAOS_DIR, None)

@@ -23,9 +23,24 @@ class TestValidation:
         with pytest.raises(ExperimentError):
             run_experiments(["E6", "E999"], "quick")
 
-    def test_jobs_must_be_positive(self):
-        with pytest.raises(ExperimentError):
-            run_experiments(["E6"], "quick", jobs=0)
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ExperimentError, match="--jobs"):
+            run_experiments(["E6"], "quick", jobs=-1)
+
+    def test_jobs_zero_means_auto(self, monkeypatch):
+        import repro.runner.runner as runner_mod
+
+        seen = {}
+
+        def fake_cpu_count():
+            seen["called"] = True
+            return 3
+
+        monkeypatch.setattr(runner_mod.os, "cpu_count", fake_cpu_count)
+        manifest = run_experiments(["E6"], "quick", jobs=0)
+        assert seen.get("called")
+        assert manifest.jobs == 3
+        assert manifest.records[0].status == "ok"
 
     def test_ids_are_case_insensitive(self):
         manifest = run_experiments(["e6"], "quick")

@@ -1,0 +1,263 @@
+"""Resume, retry and self-healing behaviour of the experiment runner.
+
+Covers the durable run store (``results/runs/<label>/`` semantics), the
+``resume=True`` contract (a resumed sweep converges to the same
+manifest as an uninterrupted one), and — through the chaos stub
+experiments — worker death, hangs, per-experiment timeouts and retry
+accounting.  The chaos stubs only ever run through a worker pool; see
+``repro.runner.chaos`` for why.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.registry import EXPERIMENTS
+from repro.io.results import ExperimentResult
+from repro.runner import RunStore, run_experiments
+from repro.runner.chaos import install as chaos_install
+from repro.runner.chaos import uninstall as chaos_uninstall
+from repro.runner.store import COMPLETED_STATUSES
+
+
+# ----------------------------------------------------------------------
+# fast deterministic stubs for the serial/store tests
+class _Stub:
+    paper_ref = "n/a (test stub)"
+    claim = "stub"
+    faults = None
+
+    def run(self, preset="quick", *, faults=None):
+        return self._run(preset)
+
+    def _result(self, passed):
+        return ExperimentResult(
+            experiment_id=self.id,
+            title=self.title,
+            paper_claim=self.claim,
+            headers=["outcome"],
+            rows=[["done"]],
+            passed=passed,
+            preset="quick",
+        )
+
+
+class _StubOk(_Stub):
+    id = "T1"
+    title = "stub: passes"
+
+    def _run(self, preset):
+        return self._result(True)
+
+
+class _StubShapeFail(_Stub):
+    id = "T2"
+    title = "stub: completes with a failed shape assertion"
+
+    def _run(self, preset):
+        return self._result(False)
+
+
+class _StubRaises(_Stub):
+    id = "T3"
+    title = "stub: raises every time"
+
+    def _run(self, preset):
+        raise RuntimeError("deterministic failure")
+
+
+@pytest.fixture
+def stub_registry():
+    for cls in (_StubOk, _StubShapeFail, _StubRaises):
+        EXPERIMENTS[cls.id] = cls
+    try:
+        yield ["T1", "T2", "T3"]
+    finally:
+        for cls in (_StubOk, _StubShapeFail, _StubRaises):
+            EXPERIMENTS.pop(cls.id, None)
+
+
+@pytest.fixture
+def chaos_registry(tmp_path):
+    ids = chaos_install(tmp_path / "chaos")
+    try:
+        yield ids
+    finally:
+        chaos_uninstall()
+
+
+# ----------------------------------------------------------------------
+class TestRunStore:
+    def test_sweep_writes_artifacts_and_manifest(self, stub_registry, tmp_path):
+        store = RunStore(tmp_path / "run")
+        manifest = run_experiments(stub_registry, "quick", store=store)
+
+        assert {p.name for p in store.directory.glob("*.json")} == {
+            "manifest.json", "t1.json", "t2.json", "t3.json"
+        }
+        doc = store.load_manifest()
+        assert doc is not None and "partial" not in doc
+        assert [e["status"] for e in doc["experiments"]] == [
+            "ok", "failed-shape", "error"
+        ]
+        assert [r.status for r in manifest.records] == [
+            "ok", "failed-shape", "error"
+        ]
+
+    def test_artifacts_survive_json_round_trip(self, stub_registry, tmp_path):
+        store = RunStore(tmp_path / "run")
+        run_experiments(stub_registry, "quick", store=store)
+        for eid in stub_registry:
+            rec = store.load_record(eid)
+            assert rec is not None and rec.experiment_id == eid
+        # checksum over the *stored* document, so a fresh process
+        # re-reading the file trusts exactly what it can verify
+        body = json.loads(store.record_path("T1").read_text())
+        assert body["format"] == "repro-run-record-v1"
+
+    def test_corrupt_artifact_is_rejected_not_trusted(
+        self, stub_registry, tmp_path
+    ):
+        store = RunStore(tmp_path / "run")
+        run_experiments(stub_registry, "quick", store=store)
+        path = store.record_path("T1")
+        path.write_text(path.read_text().replace('"ok"', '"OK"', 1))
+        assert store.load_record("T1") is None
+        completed, rejected = store.scan(stub_registry)
+        assert "T1" not in completed and path in rejected
+
+    def test_scan_only_trusts_completed_statuses(self, stub_registry, tmp_path):
+        store = RunStore(tmp_path / "run")
+        run_experiments(stub_registry, "quick", store=store)
+        completed, rejected = store.scan(stub_registry)
+        # T3 errored: its artifact exists but must be re-run on resume
+        assert set(completed) == {"T1", "T2"}
+        assert rejected == [store.record_path("T3")]
+        assert all(
+            r.status in COMPLETED_STATUSES for r in completed.values()
+        )
+
+
+class TestResume:
+    def test_interrupted_sweep_resumes_to_identical_manifest(
+        self, stub_registry, tmp_path
+    ):
+        reference = run_experiments(
+            stub_registry, "quick", store=RunStore(tmp_path / "ref")
+        )
+
+        # simulate a sweep killed after T1 landed: a truncated run dir
+        store = RunStore(tmp_path / "run")
+        run_experiments(["T1"], "quick", store=store)
+        store.record_path("T2").unlink(missing_ok=True)
+
+        seen: list = []
+        manifest = run_experiments(
+            stub_registry, "quick",
+            store=store, resume=True, on_record=seen.append,
+        )
+
+        # every id is streamed, in submission order, reused or not
+        assert [r.experiment_id for r in seen] == stub_registry
+        assert (
+            [(r.experiment_id, r.status) for r in manifest.records]
+            == [(r.experiment_id, r.status) for r in reference.records]
+        )
+        doc = store.load_manifest()
+        assert [e["status"] for e in doc["experiments"]] == [
+            "ok", "failed-shape", "error"
+        ]
+        assert "partial" not in doc
+
+    def test_resume_preserves_reused_wall_clock(self, stub_registry, tmp_path):
+        store = RunStore(tmp_path / "run")
+        run_experiments(["T1"], "quick", store=store)
+        stored = store.load_record("T1")
+
+        manifest = run_experiments(
+            ["T1", "T2"], "quick", store=store, resume=True
+        )
+        reused = manifest.records[0]
+        assert reused.experiment_id == "T1"
+        assert reused.wall_s == stored.wall_s
+
+    def test_resume_reruns_corrupt_artifacts(self, stub_registry, tmp_path):
+        store = RunStore(tmp_path / "run")
+        run_experiments(stub_registry, "quick", store=store)
+        path = store.record_path("T1")
+        raw = path.read_text()
+        path.write_text(raw.replace('"ok"', '"OK"', 1))
+
+        manifest = run_experiments(
+            stub_registry, "quick", store=store, resume=True
+        )
+        assert manifest.records[0].status == "ok"
+        # the artifact was rewritten and verifies again
+        assert store.load_record("T1") is not None
+
+    def test_resume_without_store_is_rejected(self, stub_registry):
+        with pytest.raises(ExperimentError, match="resume"):
+            run_experiments(stub_registry, "quick", resume=True)
+
+
+class TestChaos:
+    """Worker death, hangs and timeouts, via the chaos stubs."""
+
+    def test_worker_death_records_elapsed_time_not_zero(self, chaos_registry):
+        manifest = run_experiments(["X1"], "quick", jobs=2, retries=0)
+        rec = manifest.records[0]
+        assert rec.status == "error"
+        assert "worker died" in rec.error
+        assert rec.wall_s > 0.0  # elapsed since submission, not 0.0
+
+    def test_crash_once_heals_and_retries_to_success(self, chaos_registry):
+        retried = []
+        manifest = run_experiments(
+            ["X0", "X1"], "quick", jobs=2,
+            retries=2, backoff_s=0.01,
+            on_retry=lambda eid, att, delay, why: retried.append((eid, why)),
+        )
+        by_id = {r.experiment_id: r for r in manifest.records}
+        assert by_id["X0"].status == "ok" and by_id["X0"].attempts == 1
+        assert by_id["X1"].status == "ok" and by_id["X1"].attempts == 2
+        assert by_id["X1"].retried and not by_id["X0"].retried
+        assert [e for e, _ in retried] == ["X1"]
+        d = by_id["X1"].to_dict()
+        assert d["attempts"] == 2 and d["retried"] is True
+        assert "attempts" not in by_id["X0"].to_dict()
+
+    def test_hang_once_times_out_then_succeeds(self, chaos_registry):
+        manifest = run_experiments(
+            ["X2"], "quick", jobs=1,
+            timeout_s=1.0, retries=1, backoff_s=0.01,
+        )
+        rec = manifest.records[0]
+        assert rec.status == "ok"
+        assert rec.attempts == 2
+
+    def test_hang_forever_exhausts_retries_with_timeout_status(
+        self, chaos_registry
+    ):
+        manifest = run_experiments(
+            ["X3"], "quick", jobs=1,
+            timeout_s=0.5, retries=1, backoff_s=0.01,
+        )
+        rec = manifest.records[0]
+        assert rec.status == "timeout"
+        assert rec.attempts == 2
+        assert "timed out after 0.5s" in rec.error
+        assert rec.wall_s >= 0.5
+
+    def test_timeout_artifact_is_rerun_on_resume(
+        self, chaos_registry, tmp_path
+    ):
+        store = RunStore(tmp_path / "run")
+        run_experiments(
+            ["X3"], "quick", jobs=1,
+            timeout_s=0.5, retries=0, store=store,
+        )
+        completed, rejected = store.scan(["X3"])
+        assert completed == {} and rejected == [store.record_path("X3")]

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Chaos sweep: point the runner's failure handling at itself.
+
+Registers the chaos stub experiments (a worker that dies once, an
+experiment that hangs once, one that hangs forever) and runs them
+through the real pool scheduler with a 1s timeout and retries, then
+asserts the robustness contract end to end:
+
+1. the sweep *completes* — a crashing worker or a hung experiment
+   never wedges or aborts the run;
+2. retries are logged and accounted (``attempts``/``retried`` on the
+   records, ``[retry]`` lines on stderr);
+3. a truncated run directory resumes: completed artifacts are reused,
+   the rest re-run, and the resumed manifest matches the original.
+
+Exit status 0 means every assertion held.  Used by the CI
+``chaos-sweep`` job and the ``make chaos`` target.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.runner import RunStore, run_experiments  # noqa: E402
+from repro.runner.chaos import install, uninstall  # noqa: E402
+
+TIMEOUT_S = 1.0
+RETRIES = 2
+
+
+def main() -> int:
+    retry_log: list[tuple[str, int, float, str]] = []
+
+    def on_retry(eid: str, attempt: int, delay_s: float, reason: str) -> None:
+        retry_log.append((eid, attempt, delay_s, reason))
+        print(f"[retry] {eid}: attempt {attempt} {reason}; "
+              f"retrying in {delay_s:.2f}s", file=sys.stderr)
+
+    with tempfile.TemporaryDirectory(prefix="chaos-") as scratch:
+        ids = install(Path(scratch) / "sentinels")
+        store = RunStore(Path(scratch) / "run")
+        try:
+            print(f"chaos sweep: {ids} (jobs=2, timeout={TIMEOUT_S:g}s, "
+                  f"retries={RETRIES})")
+            manifest = run_experiments(
+                ids, "quick", jobs=2,
+                timeout_s=TIMEOUT_S, retries=RETRIES, backoff_s=0.1,
+                on_retry=on_retry, store=store,
+            )
+            by_id = {r.experiment_id: r for r in manifest.records}
+            for rec in manifest.records:
+                note = f" (attempts={rec.attempts})" if rec.retried else ""
+                print(f"  {rec.experiment_id}: {rec.status}{note} "
+                      f"in {rec.wall_s:.2f}s")
+
+            # 1. completion despite crash + hangs
+            assert set(by_id) == set(ids), "sweep lost experiments"
+            assert by_id["X0"].status == "ok", "healthy stub failed"
+            assert by_id["X1"].status == "ok", "crash-once not healed"
+            assert by_id["X2"].status == "ok", "hang-once not retried"
+            assert by_id["X3"].status == "timeout", "hang-forever not bounded"
+
+            # 2. retry accounting and logging
+            assert by_id["X1"].retried and by_id["X2"].retried
+            assert by_id["X3"].attempts == RETRIES + 1
+            assert not by_id["X0"].retried
+            logged = {eid for eid, *_ in retry_log}
+            assert {"X1", "X2", "X3"} <= logged, f"retry log missed: {logged}"
+            assert by_id["X1"].wall_s > 0.0, "dead worker recorded wall_s=0"
+
+            # 3. truncate the run dir and resume it
+            store.record_path("X0").unlink()
+            print("truncated run dir (removed x0.json); resuming...")
+            resumed = run_experiments(
+                ids, "quick", jobs=2,
+                timeout_s=TIMEOUT_S, retries=RETRIES, backoff_s=0.1,
+                store=store, resume=True,
+            )
+            statuses = {r.experiment_id: r.status for r in resumed.records}
+            assert statuses == {
+                r.experiment_id: r.status for r in manifest.records
+            }, f"resume diverged: {statuses}"
+            reran = {r.experiment_id for r in resumed.records
+                     if r.wall_s != by_id[r.experiment_id].wall_s
+                     or r.experiment_id == "X0"}
+            # X1/X2 artifacts verified as ok → reused; X0 (deleted) and
+            # X3 (timeout is not a completed status) ran again
+            assert "X0" in reran, "deleted artifact was not re-run"
+            doc = store.load_manifest()
+            assert doc is not None and "partial" not in doc
+            print("resume ok: completed artifacts reused, gaps re-run")
+        finally:
+            uninstall()
+    print("chaos sweep passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
