@@ -37,6 +37,7 @@ def pytest_sessionfinish(session, exitstatus):
     from repro.runner import (
         bench_record,
         engine_throughput,
+        fleet_throughput,
         tree_engine_throughput,
         write_bench,
     )
@@ -54,7 +55,8 @@ def pytest_sessionfinish(session, exitstatus):
     manifest.wall_s = sum(r.wall_s for r in manifest.records)
     path = write_bench(
         bench_record(label, manifest=manifest, engine=engine_throughput(),
-                     tree=tree_engine_throughput()),
+                     tree=tree_engine_throughput(),
+                     fleet=fleet_throughput()),
         os.environ.get("REPRO_BENCH_DIR", "."),
     )
     print(f"\nwrote perf record {path}")

@@ -23,7 +23,12 @@ from .deterministic import (
     RoundRobinAdversary,
     ScheduleAdversary,
 )
-from .lower_bound import AttackReport, RecursiveLowerBoundAttack, StageReport
+from .lower_bound import (
+    AttackReport,
+    RecursiveLowerBoundAttack,
+    StageReport,
+    kept_injection_schedule,
+)
 from .replay import RecordingAdversary, ReplayAdversary
 from .stochastic import (
     HotSpotAdversary,
@@ -63,6 +68,7 @@ __all__ = [
     "AttackReport",
     "RecursiveLowerBoundAttack",
     "StageReport",
+    "kept_injection_schedule",
     "RecordingAdversary",
     "ReplayAdversary",
     "LeafSweepAdversary",

@@ -129,6 +129,12 @@ class ScheduleAdversary(Adversary):
             self._start = step
         return self.schedule.get(step - self._start, ())
 
+    def inject_schedule(self, start, steps, topology):
+        if self._start is None:
+            self._start = start
+        rel = start - self._start
+        return [self.schedule.get(rel + i, ()) for i in range(steps)]
+
 
 class PhasedAdversary(Adversary):
     """Chain sub-adversaries: run each for a fixed number of steps.
@@ -192,6 +198,20 @@ class AmplifiedAdversary(Adversary):
         for site in proposed:
             out.extend([site] * self.factor)
         return tuple(out[: self._limit])
+
+    def inject_schedule(self, start, steps, topology):
+        # amplification is height-independent, so the wrapper is
+        # batchable exactly when the inner adversary is
+        inner = self.inner.inject_schedule(start, steps, topology)
+        if inner is None:
+            return None
+        out = []
+        for entry in inner:
+            batch: list[int] = []
+            for site in entry:
+                batch.extend([site] * self.factor)
+            out.append(tuple(batch[: self._limit]))
+        return out
 
 
 class RoundRobinAdversary(Adversary):

@@ -37,7 +37,51 @@ import numpy as np
 from ..core.bounds import theorem_3_1_lower_bound
 from ..errors import ExperimentError
 
-__all__ = ["StageReport", "AttackReport", "RecursiveLowerBoundAttack"]
+__all__ = [
+    "StageReport",
+    "AttackReport",
+    "RecursiveLowerBoundAttack",
+    "kept_injection_schedule",
+]
+
+
+def kept_injection_schedule(report: "AttackReport", topology) -> dict[int, tuple[int, ...]]:
+    """Reconstruct the kept scenario's injection script from a report.
+
+    The attack explores two scenarios per stage and rewinds the loser,
+    so the engine's final trajectory corresponds to ONE straight-line
+    injection sequence: stage 0 fills the far end, then each halving
+    stage injects at the previous block's rightmost or leftmost node
+    (whichever scenario the report says was kept).  Replaying the
+    returned ``{step: sites}`` script through a fresh engine — e.g. via
+    :class:`~repro.adversaries.deterministic.ScheduleAdversary` —
+    reproduces the kept trajectory exactly, which is what lets the E4
+    burstiness sweep run all of its δ-lanes on one
+    :class:`~repro.network.fleet_engine.FleetEngine` after a single
+    attack (the terminal δ-burst of Corollary 3.2 is appended per lane
+    by the caller; it is not part of the kept script).
+    """
+    order = (
+        topology.path_order() if topology.is_path else topology.spine_order()
+    )
+    c = report.capacity
+    schedule: dict[int, tuple[int, ...]] = {}
+    t = 0
+    far = int(order[0])
+    for _ in range(report.stages[0].steps):
+        schedule[t] = (far,) * c
+        t += 1
+    prev = report.stages[0]
+    for stage in report.stages[1:]:
+        if stage.scenario == "right":
+            site = int(order[prev.block_start + prev.block_size - 1])
+        else:
+            site = int(order[prev.block_start])
+        for _ in range(stage.steps):
+            schedule[t] = (site,) * c
+            t += 1
+        prev = stage
+    return schedule
 
 
 @dataclass(frozen=True)

@@ -52,6 +52,19 @@ class UniformRandomAdversary(Adversary):
             return ()
         return (int(self._rng.choice(self._candidates)),)
 
+    def inject_schedule(self, start, steps, topology):
+        # replayable: the draws below consume the generator in exactly
+        # the per-step order of inject(), so batched and per-step runs
+        # interleave freely and a fixed seed yields a fixed schedule
+        rng = self._rng
+        out: list[tuple[int, ...]] = []
+        for _ in range(steps):
+            if rng.random() >= self.p:
+                out.append(())
+            else:
+                out.append((int(rng.choice(self._candidates)),))
+        return out
+
 
 class HotSpotAdversary(Adversary):
     """Zipf-weighted injections concentrated near one node.
@@ -102,6 +115,15 @@ class HotSpotAdversary(Adversary):
 
     def inject(self, step, heights, topology):
         return (int(self._rng.choice(self._nodes, p=self._weights)),)
+
+    def inject_schedule(self, start, steps, topology):
+        # same generator consumption order as steps sequential inject()
+        # calls — see UniformRandomAdversary.inject_schedule
+        rng = self._rng
+        return [
+            (int(rng.choice(self._nodes, p=self._weights)),)
+            for _ in range(steps)
+        ]
 
 
 class OnOffAdversary(Adversary):

@@ -21,7 +21,7 @@ from .scaling import (
     fit_log,
     fit_power,
 )
-from .stability import StabilityVerdict, probe_stability
+from .stability import StabilityVerdict, probe_stability, probe_stability_suite
 from .sweeps import SweepGrid, SweepRecord, SweepResult
 from .tables import format_kv, format_table, rows_to_csv
 
@@ -44,6 +44,7 @@ __all__ = [
     "fit_power",
     "StabilityVerdict",
     "probe_stability",
+    "probe_stability_suite",
     "SweepGrid",
     "SweepRecord",
     "SweepResult",

@@ -123,13 +123,37 @@ def worst_case_over_suite(
 
     Returns the single worst :class:`OccupancyResult` — the empirical
     lower envelope of the policy's worst-case buffer requirement.
+
+    The whole suite advances in lockstep on one
+    :class:`~repro.network.fleet_engine.FleetEngine` (one ``(runs, n)``
+    matrix, one set of numpy ops per step); adaptive adversaries fall
+    back to dedicated per-run engines inside the fleet, so results are
+    bit-identical to measuring each adversary alone — first-listed
+    adversary still wins height ties.
     """
+    from ..network.fleet_engine import FleetEngine
+
     if not adversaries:
         raise ValueError("need at least one adversary")
+    steps = default_step_budget(n) if steps is None else steps
+    policy = policy_factory()
+    fleet = FleetEngine(
+        n, policy, list(adversaries), decision_timing=decision_timing
+    )
+    fleet.run(steps)
     best: OccupancyResult | None = None
-    for adv in adversaries:
-        res = measure_path(
-            n, policy_factory(), adv, steps, decision_timing=decision_timing
+    for r, adv in enumerate(adversaries):
+        rr = fleet.result(r)
+        res = OccupancyResult(
+            policy=policy.name,
+            adversary=adv.name,
+            n=n,
+            steps=steps,
+            max_height=rr.max_height,
+            argmax_node=rr.argmax_node,
+            argmax_step=rr.argmax_step,
+            injected=rr.injected,
+            delivered=rr.delivered,
         )
         if best is None or res.max_height > best.max_height:
             best = res

@@ -198,6 +198,7 @@ def _cmd_run(ids: Sequence[str], preset: str, out: str | None,
         RunStore,
         bench_record,
         engine_throughput,
+        fleet_throughput,
         run_experiments,
         tree_engine_throughput,
         write_bench,
@@ -258,7 +259,8 @@ def _cmd_run(ids: Sequence[str], preset: str, out: str | None,
         path = write_bench(
             bench_record(bench, manifest=manifest,
                          engine=engine_throughput(),
-                         tree=tree_engine_throughput()),
+                         tree=tree_engine_throughput(),
+                         fleet=fleet_throughput()),
             out or ".",
         )
         print(f"wrote perf record {path}")

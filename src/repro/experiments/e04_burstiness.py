@@ -4,13 +4,29 @@ The same recursive attack, finished with a one-step δ-burst at the
 tallest node of the final block.  The forced height must track
 ``(Theorem 3.1 value) + δ`` as δ grows — i.e. each unit of burstiness
 buys the adversary one more packet of forced buffer.
+
+The attack's scenario choices depend only on heights, never on the
+injection limit, so every δ-lane shares one kept trajectory and one
+burst site.  The sweep therefore runs the recursive attack **once**
+(δ = 0), reconstructs the kept injection script with
+:func:`~repro.adversaries.lower_bound.kept_injection_schedule`, and
+replays all δ > 0 lanes — script plus a terminal δ-burst — in lockstep
+on a single :class:`~repro.network.fleet_engine.FleetEngine` (results
+pinned bit-identical to per-δ attacks by the unit suite).
 """
 
 from __future__ import annotations
 
-from ..adversaries import RecursiveLowerBoundAttack
+import numpy as np
+
+from ..adversaries import (
+    RecursiveLowerBoundAttack,
+    ScheduleAdversary,
+    kept_injection_schedule,
+)
 from ..io.results import ExperimentResult
 from ..network.engine_fast import PathEngine
+from ..network.fleet_engine import FleetEngine
 from ..policies import OddEvenPolicy
 from .base import Experiment
 
@@ -30,27 +46,49 @@ class BurstinessExperiment(Experiment):
         n = 256 if preset == "quick" else 4096
         deltas = [0, 1, 2, 4, 8] if preset == "quick" else [0, 1, 2, 4, 8, 16, 32]
 
+        # one recursive attack (delta = 0) yields the shared kept
+        # trajectory, the burst site and the base forced height ...
+        engine = PathEngine(n, OddEvenPolicy(), None, injection_limit=1)
+        rep0 = RecursiveLowerBoundAttack(ell=1).run(engine)
+        base_forced = rep0.forced_height
+        script = kept_injection_schedule(rep0, engine.topology)
+        horizon = len(script)
+        order = engine.topology.path_order()
+        final = rep0.stages[-1]
+        block = order[final.block_start : final.block_start + final.block_size]
+        burst_site = int(block[int(np.argmax(engine.heights[block]))])
+
+        # ... and every delta > 0 lane replays it on one fleet, each
+        # with its own terminal burst and injection limit
+        bursty = [d for d in deltas if d > 0]
+        lanes = []
+        for delta in bursty:
+            lane_script = dict(script)
+            lane_script[horizon] = (burst_site,) * (1 + delta)
+            lanes.append(ScheduleAdversary(lane_script))
+        fleet = FleetEngine(
+            n,
+            OddEvenPolicy(),
+            lanes,
+            injection_limit=[1 + d for d in bursty],
+        )
+        fleet.run(horizon + 1)
+        forced = {0: base_forced}
+        forced.update(zip(bursty, (int(m) for m in fleet.max_heights)))
+
         rows = []
         ok = True
-        base_forced: int | None = None
         for delta in deltas:
-            engine = PathEngine(
-                n, OddEvenPolicy(), None, injection_limit=1 + delta
-            )
-            rep = RecursiveLowerBoundAttack(ell=1, burst_delta=delta).run(
-                engine
-            )
-            if delta == 0:
-                base_forced = rep.forced_height
-            meets = rep.forced_height >= rep.predicted
-            additive = rep.forced_height >= base_forced + delta
+            predicted = rep0.predicted + delta
+            meets = forced[delta] >= predicted
+            additive = forced[delta] >= base_forced + delta
             ok &= meets and additive
             rows.append(
                 [
                     n,
                     delta,
-                    rep.forced_height,
-                    round(rep.predicted, 2),
+                    forced[delta],
+                    round(predicted, 2),
                     "yes" if meets else "NO",
                     "yes" if additive else "NO",
                 ]

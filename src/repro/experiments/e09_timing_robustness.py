@@ -6,6 +6,11 @@ pre-injection decisions; this experiment verifies the *measured* bound
 also holds under post-injection decisions, and that the queueing
 discipline (FIFO vs LIFO) — which the height bounds ignore — indeed
 leaves heights untouched while changing delays.
+
+Each timing's adversary-suite sweep runs as one lockstep
+:class:`~repro.network.fleet_engine.FleetEngine` pass (via the
+fleet-backed :func:`~repro.analysis.worst_case_over_suite`); the
+timing itself is threaded through to every lane of the fleet.
 """
 
 from __future__ import annotations

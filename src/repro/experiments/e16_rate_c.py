@@ -24,6 +24,7 @@ from ..analysis import classify_growth
 from ..core.bounds import odd_even_upper_bound
 from ..io.results import ExperimentResult
 from ..network.engine_fast import PathEngine
+from ..network.fleet_engine import FleetEngine
 from ..policies import GreedyPolicy
 from ..policies.rate_c import ScaledOddEvenPolicy
 from .base import Experiment, standard_suite
@@ -59,16 +60,17 @@ class RateCExperiment(Experiment):
                 )
                 attack = RecursiveLowerBoundAttack(ell=1).run(engine)
                 m = attack.forced_height
-                # rate-c amplified suite (a subset keeps runtime sane)
-                for adv in standard_suite()[:5]:
-                    eng = PathEngine(
-                        n,
-                        ScaledOddEvenPolicy(c),
-                        AmplifiedAdversary(adv, c),
-                        capacity=c,
-                    )
-                    eng.run(8 * n)
-                    m = max(m, eng.max_height)
+                # rate-c amplified suite (a subset keeps runtime
+                # sane), all lanes in lockstep on one fleet —
+                # adaptive members fall back inside the engine
+                fleet = FleetEngine(
+                    n,
+                    ScaledOddEvenPolicy(c),
+                    [AmplifiedAdversary(adv, c) for adv in standard_suite()[:5]],
+                    capacity=c,
+                )
+                fleet.run(8 * n)
+                m = max(m, int(fleet.max_heights.max()))
                 measured.append(m)
                 conj = c * odd_even_upper_bound(n)
                 within = m <= conj

@@ -20,7 +20,7 @@ Expected shape:
 from __future__ import annotations
 
 from ..adversaries import FarEndAdversary, SeesawAdversary, UniformRandomAdversary
-from ..analysis import probe_stability
+from ..analysis import probe_stability_suite
 from ..io.results import ExperimentResult
 from ..policies import (
     CentralizedTrainPolicy,
@@ -70,18 +70,15 @@ class StabilityExperiment(Experiment):
             # Theta(n^2) steps to saturate at its (large but constant)
             # n-1 bound, and the tolerance of 2 absorbs the slow
             # running-max creep of stationary stochastic traffic.
-            worst_rate = 0.0
-            final_max = 0
-            verdicts = []
-            for adv in adversaries:
-                v = probe_stability(
-                    n, policy_cls(), adv, base_horizon=2 * n * n,
-                    doublings=doublings, tolerance=2,
-                )
-                verdicts.append(v.stable)
-                worst_rate = max(worst_rate, v.growth_rate)
-                final_max = max(final_max, v.final_max)
-            stable = all(verdicts)
+            # the whole adversary suite probes in lockstep on one
+            # FleetEngine (see probe_stability_suite)
+            verdicts = probe_stability_suite(
+                n, policy_cls, adversaries, base_horizon=2 * n * n,
+                doublings=doublings, tolerance=2,
+            )
+            worst_rate = max(v.growth_rate for v in verdicts)
+            final_max = max(v.final_max for v in verdicts)
+            stable = all(v.stable for v in verdicts)
             good = stable == expect_stable
             ok &= good
             rows.append(

@@ -34,6 +34,7 @@ from .metrics import (
     SeriesRecorder,
 )
 from .packet import Packet
+from .fleet_engine import FleetEngine
 from .simulator import RunResult, Simulator
 from .tree_engine import TreeEngine
 from .topology import (
@@ -84,6 +85,7 @@ __all__ = [
     "RunResult",
     "Simulator",
     "TreeEngine",
+    "FleetEngine",
     "SINK_SUCC",
     "Topology",
     "balanced_tree",

@@ -50,6 +50,14 @@ __all__ = ["DecisionTiming", "PathEngine", "UndirectedPathEngine"]
 
 DecisionTiming = Literal["pre_injection", "post_injection"]
 
+#: delay summary of a height-only run: per-packet delays are
+#: unobservable without packet identity, so the summary is the empty
+#: DelayRecorder's NaN shape (shared with TreeEngine and FleetEngine)
+_NO_DELAYS = {
+    "count": 0, "mean": float("nan"), "p50": float("nan"),
+    "p95": float("nan"), "p99": float("nan"), "max": float("nan"),
+}
+
 
 @dataclass
 class _Checkpoint:
@@ -424,6 +432,32 @@ class PathEngine:
         self.metrics.injected += injected
         self.metrics.delivered += delivered
         return self
+
+    def result(self):
+        """Summary of the run so far (Simulator-compatible shape).
+
+        Per-packet delays are unobservable in a height-only engine, so
+        ``delay_summary`` is the empty recorder's NaN summary.  This is
+        what lets :class:`~repro.network.fleet_engine.FleetEngine`
+        report per-run results uniformly whether a run was vectorised
+        or fell back to a dedicated :class:`PathEngine`.
+        """
+        from .simulator import RunResult
+
+        ledger = self.metrics.ledger
+        return RunResult(
+            steps=self.step_index,
+            max_height=self.metrics.max_height,
+            argmax_node=self.metrics.tracker.argmax_node,
+            argmax_step=self.metrics.tracker.argmax_step,
+            injected=self.metrics.injected,
+            delivered=self.metrics.delivered,
+            in_flight=int(self.heights.sum()),
+            delay_summary=dict(_NO_DELAYS),
+            dropped=ledger.total,
+            drops_by_cause=ledger.by_cause(),
+            drops_by_node=ledger.by_node(),
+        )
 
     # ------------------------------------------------------------------
     def assert_capacity(self) -> None:

@@ -46,7 +46,7 @@ Fault semantics (the *fail-stop, persistent-queue* model; see
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterable

@@ -67,6 +67,7 @@ class Topology:
     depth: np.ndarray = field(init=False)
     children: tuple[tuple[int, ...], ...] = field(init=False)
     bottom_up: np.ndarray = field(init=False)
+    is_canonical_path: bool = field(init=False)
 
     def __post_init__(self) -> None:
         succ = np.asarray(self.succ, dtype=np.int64)
@@ -104,6 +105,14 @@ class Topology:
             self, "children", tuple(tuple(c) for c in kids)
         )
         object.__setattr__(self, "bottom_up", order.astype(np.int64))
+        # the path() node ordering (0 = far end, v -> v+1, sink last):
+        # hot loops test this to swap fancy gathers for slice shifts
+        object.__setattr__(
+            self,
+            "is_canonical_path",
+            sink == n - 1
+            and bool((succ[:-1] == np.arange(1, n, dtype=np.int64)).all()),
+        )
 
     @staticmethod
     def _compute_depths(succ: np.ndarray, sink: int) -> np.ndarray:

@@ -45,7 +45,7 @@ from typing import Any
 import numpy as np
 
 from .buffers import Overflow, coerce_overflow
-from .engine_fast import DecisionTiming
+from .engine_fast import DecisionTiming, _NO_DELAYS
 from .events import StepRecord, TraceRecorder
 from .faults import NO_FAULTS, FaultInjector, FaultPlan
 from .metrics import MetricsBundle
@@ -60,11 +60,6 @@ from ..errors import BufferOverflow, ConservationViolation, SimulationError
 from ..policies.base import ForwardingPolicy
 
 __all__ = ["TreeEngine"]
-
-_NO_DELAYS = {
-    "count": 0, "mean": float("nan"), "p50": float("nan"),
-    "p95": float("nan"), "p99": float("nan"), "max": float("nan"),
-}
 
 
 @dataclass

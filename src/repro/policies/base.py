@@ -101,6 +101,26 @@ class ForwardingPolicy(ABC):
             )
         return self.send_mask(heights, topology).astype(np.int64)
 
+    def fleet_send_counts(
+        self, heights: np.ndarray, topology: Topology, capacity: int
+    ) -> np.ndarray | None:
+        """Cross-run decision: ``(runs, n)`` send counts, or ``None``.
+
+        ``heights`` is a ``(runs, n)`` matrix of independent
+        configurations sharing one topology; row ``r`` of the result
+        must equal what :meth:`send_counts` returns for row ``r`` alone
+        — the contract :class:`repro.network.fleet_engine.FleetEngine`
+        relies on to advance a whole sweep in lockstep.  Returning
+        ``None`` (the default) declares the policy not row-vectorisable
+        and makes the fleet fall back to per-run engines.
+
+        Stateful-but-lockstep policies (round-robin tie rotation) must
+        advance their state exactly once per call, mirroring one
+        :meth:`send_mask` call on each of ``runs`` fresh per-run policy
+        instances that all share the same clock.
+        """
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         loc = "centralized" if self.locality is None else f"{self.locality}-local"
         return f"<{type(self).__name__} {self.name!r} ({loc})>"
@@ -131,6 +151,25 @@ class PairwisePolicy(ForwardingPolicy):
         mask = (heights > 0) & self.forwards(heights, h_succ)
         mask[topology.sink] = False
         return mask
+
+    def fleet_send_counts(
+        self, heights: np.ndarray, topology: Topology, capacity: int
+    ) -> np.ndarray | None:
+        """Row-vectorised pairwise rule: the elementwise predicate
+        applies unchanged to a ``(runs, n)`` matrix."""
+        if capacity != 1:
+            return None
+        if topology.is_canonical_path:
+            # slice shift beats a fancy gather on the hot fleet path;
+            # the sink column is junk either way and masked below
+            h_succ = np.empty_like(heights)
+            h_succ[:, :-1] = heights[:, 1:]
+            h_succ[:, -1] = 0
+        else:
+            h_succ = heights[:, topology.succ]
+        mask = (heights > 0) & self.forwards(heights, h_succ)
+        mask[:, topology.sink] = False
+        return mask.astype(heights.dtype)
 
 
 def locality_respected(

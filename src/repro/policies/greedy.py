@@ -37,3 +37,10 @@ class GreedyPolicy(PairwisePolicy):
         counts = np.minimum(heights, capacity).astype(np.int64)
         counts[topology.sink] = 0
         return counts
+
+    def fleet_send_counts(
+        self, heights: np.ndarray, topology: Topology, capacity: int
+    ) -> np.ndarray:
+        counts = np.minimum(heights, capacity).astype(heights.dtype)
+        counts[:, topology.sink] = 0
+        return counts

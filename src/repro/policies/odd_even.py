@@ -40,5 +40,6 @@ class OddEvenPolicy(PairwisePolicy):
     max_capacity = 1
 
     def forwards(self, h_v: np.ndarray, h_succ: np.ndarray) -> np.ndarray:
-        odd = (h_v & 1) == 1
-        return np.where(odd, h_succ <= h_v, h_succ < h_v)
+        # odd h: forward iff h_succ <= h == h_succ < h + 1; even h:
+        # forward iff h_succ < h — one branch-free comparison
+        return h_succ < h_v + (h_v & 1)

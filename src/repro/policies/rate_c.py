@@ -71,3 +71,22 @@ class ScaledOddEvenPolicy(ForwardingPolicy):
             mask, np.minimum(heights, self.capacity), 0
         ).astype(np.int64)
         return counts
+
+    def fleet_send_counts(
+        self, heights: np.ndarray, topology: Topology, capacity: int
+    ) -> np.ndarray | None:
+        if capacity != self.capacity:
+            return None
+        H = self._blocks(heights)
+        if topology.is_canonical_path:
+            H_succ = np.empty_like(H)
+            H_succ[:, :-1] = H[:, 1:]
+            H_succ[:, -1] = 0
+        else:
+            H_succ = H[:, topology.succ]
+        # odd block parity forwards on flat: H_succ <= H == H_succ < H+1
+        mask = (heights > 0) & (H_succ < H + (H & 1))
+        mask[:, topology.sink] = False
+        return np.where(
+            mask, np.minimum(heights, self.capacity), 0
+        ).astype(heights.dtype)

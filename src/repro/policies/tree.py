@@ -181,3 +181,52 @@ class TreeOddEvenPolicy(ForwardingPolicy):
             # odd height: forward iff parent <= h; even: strictly below
             mask[w] = np.where(h & 1, h_parent <= h, h_parent < h)
         return mask
+
+    def fleet_send_counts(
+        self, heights: np.ndarray, topology: Topology, capacity: int
+    ) -> np.ndarray | None:
+        """Sibling arbitration across a whole fleet at once.
+
+        Flattens the ``(runs, n)`` matrix into one forest of ``runs``
+        disjoint trees (node ``v`` of run ``r`` becomes ``r·n + v``)
+        and runs the dense arbitration of
+        :func:`select_priority_children` over it: parents of different
+        runs never collide, and flattened ids preserve the ascending
+        within-run order the tie rules are defined over.  One rotation
+        tick per call — each run sees the rotation a fresh per-run
+        policy stepping in lockstep would.
+        """
+        if capacity != 1:
+            return None
+        runs, n = heights.shape
+        rotation = self._rotation
+        if self.tie_rule == "round_robin":
+            self._rotation += 1
+        succ = topology.succ
+        base = (np.arange(runs, dtype=np.int64) * n)[:, None]
+        succ_f = np.where(succ[None, :] >= 0, succ[None, :] + base, -1).ravel()
+        hf = heights.ravel()
+        counts = np.zeros(runs * n, dtype=heights.dtype)
+        occupied = np.flatnonzero((succ_f >= 0) & (hf > 0))
+        if occupied.size:
+            best = np.zeros(runs * n, dtype=np.int64)
+            np.maximum.at(best, succ_f[occupied], hf[occupied])
+            top = occupied[hf[occupied] == best[succ_f[occupied]]]
+            parents = succ_f[top]
+            order = np.argsort(parents, kind="stable")
+            top = top[order]
+            _group, start, size = np.unique(
+                parents[order], return_index=True, return_counts=True
+            )
+            if self.tie_rule == "min_id":
+                sel = start
+            elif self.tie_rule == "max_id":
+                sel = start + size - 1
+            else:  # round_robin
+                sel = start + rotation % size
+            w = top[sel]
+            hw = hf[w]
+            hp = hf[succ_f[w]]
+            # odd height: forward iff parent <= h; even: strictly below
+            counts[w] = np.where(hw & 1, hp <= hw, hp < hw)
+        return counts.reshape(runs, n)

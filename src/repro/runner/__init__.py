@@ -24,6 +24,7 @@ from .perf import (
     BENCH_FORMAT,
     bench_record,
     engine_throughput,
+    fleet_throughput,
     git_rev,
     load_bench,
     tree_engine_throughput,
@@ -40,6 +41,7 @@ __all__ = [
     "BENCH_FORMAT",
     "bench_record",
     "engine_throughput",
+    "fleet_throughput",
     "git_rev",
     "load_bench",
     "tree_engine_throughput",

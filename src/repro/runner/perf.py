@@ -20,6 +20,8 @@ Format (``benchmarks/README.md`` documents it for humans)::
                  "per_step_sps": ..., "batched_sps": ..., "speedup": ...},
       "tree": {"family": ..., "n": ..., "steps": ...,
                "simulator_sps": ..., "tree_engine_sps": ..., "speedup": ...},
+      "fleet": {"runs": ..., "n": ..., "steps": ..., "sampled_lanes": ...,
+                "per_run_sps": ..., "fleet_sps": ..., "speedup": ...},
       "sweep": {"preset": ..., "jobs": ..., "wall_s": ...,
                 "experiments": [{"id": ..., "status": ..., "wall_s": ...}]}
     }
@@ -41,6 +43,7 @@ __all__ = [
     "git_rev",
     "engine_throughput",
     "tree_engine_throughput",
+    "fleet_throughput",
     "bench_record",
     "write_bench",
     "load_bench",
@@ -141,12 +144,74 @@ def tree_engine_throughput(
     }
 
 
+def fleet_throughput(
+    runs: int = 256, n: int = 256, steps: int = 1024, sample: int = 8
+) -> dict[str, Any]:
+    """Measure FleetEngine lane-steps/second against per-run stepping.
+
+    The baseline is the batched :class:`PathEngine` ``run()`` fast path
+    on ``sample`` representative lanes of the same sweep (each lane is
+    a fixed-node workload at a distinct site), extrapolated to the full
+    ``runs``; the fleet then advances all ``runs`` lanes at once.  The
+    sampled lanes' trajectories are asserted identical to the fleet's
+    corresponding rows before reporting, so a perf record can never be
+    produced by a diverging fleet kernel.  Both rates count *lane*
+    steps (``runs × steps`` total work) per second.
+    """
+    from ..adversaries import FixedNodeAdversary
+    from ..network.engine_fast import PathEngine
+    from ..network.fleet_engine import FleetEngine
+    from ..policies import OddEvenPolicy
+
+    sample = min(sample, runs)
+    sites = [r % (n - 1) for r in range(runs)]
+    sampled = list(range(0, runs, max(1, runs // sample)))[:sample]
+
+    lanes = []
+    t0 = time.perf_counter()
+    for r in sampled:
+        eng = PathEngine(n, OddEvenPolicy(), FixedNodeAdversary(sites[r]))
+        eng.run(steps)
+        lanes.append(eng)
+    per_run_s = (time.perf_counter() - t0) * (runs / len(sampled))
+
+    fleet = FleetEngine(
+        n, OddEvenPolicy(), [FixedNodeAdversary(s) for s in sites]
+    )
+    t0 = time.perf_counter()
+    fleet.run(steps)
+    fleet_s = time.perf_counter() - t0
+
+    heights = fleet.heights
+    for r, eng in zip(sampled, lanes):
+        if (heights[r] != eng.heights).any():
+            raise SimulationError(
+                f"FleetEngine diverged from per-run PathEngine on lane {r}"
+            )
+    if len(fleet.vectorized_runs) != runs:
+        raise SimulationError(
+            "fleet_throughput expected every lane vectorised, got "
+            f"{len(fleet.vectorized_runs)}/{runs}"
+        )
+    lane_steps = runs * steps
+    return {
+        "runs": runs,
+        "n": n,
+        "steps": steps,
+        "sampled_lanes": len(sampled),
+        "per_run_sps": round(lane_steps / per_run_s, 1),
+        "fleet_sps": round(lane_steps / fleet_s, 1),
+        "speedup": round(per_run_s / fleet_s, 3),
+    }
+
+
 def bench_record(
     label: str,
     *,
     manifest: RunManifest | None = None,
     engine: dict[str, Any] | None = None,
     tree: dict[str, Any] | None = None,
+    fleet: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Assemble a bench record from its measured parts."""
     record: dict[str, Any] = {
@@ -159,6 +224,8 @@ def bench_record(
         record["engine"] = engine
     if tree is not None:
         record["tree"] = tree
+    if fleet is not None:
+        record["fleet"] = fleet
     if manifest is not None:
         record["sweep"] = manifest.to_dict()
     return record

@@ -15,11 +15,13 @@ Usage::
 
 ``record`` writes ``BENCH_<label>.json`` (format documented in
 ``benchmarks/README.md``): path-engine steps/second (per-step and
-batched), TreeEngine-vs-Simulator tree throughput, per-experiment
-wall-clock, preset and git revision — one comparable perf data point
-per run.  ``compare`` prints the deltas and exits 1 when the new
-record is slower than ``--max-regression`` (default 25%) on any
-engine throughput figure or on total sweep wall-clock.
+batched), TreeEngine-vs-Simulator tree throughput, FleetEngine
+cross-run throughput, per-experiment wall-clock, preset and git
+revision — one comparable perf data point per run.  ``compare``
+prints a per-engine summary table (baseline sps, current sps, delta)
+and exits 1 naming the offending metrics when the new record is
+slower than ``--max-regression`` (default 25%) on any engine
+throughput figure or on total sweep wall-clock.
 """
 
 from __future__ import annotations
@@ -33,10 +35,18 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.runner import (  # noqa: E402  (path bootstrap above)
     bench_record,
     engine_throughput,
+    fleet_throughput,
     load_bench,
     run_experiments,
     tree_engine_throughput,
     write_bench,
+)
+
+# engine blocks gated by compare: (block key, throughput metrics within it)
+ENGINE_METRICS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("engine", ("per_step_sps", "batched_sps")),
+    ("tree", ("simulator_sps", "tree_engine_sps")),
+    ("fleet", ("per_run_sps", "fleet_sps")),
 )
 
 
@@ -55,6 +65,14 @@ def _cmd_record(args: argparse.Namespace) -> int:
         f"{tree['simulator_sps']} steps/s, tree engine "
         f"{tree['tree_engine_sps']} steps/s ({tree['speedup']}x)"
     )
+    fleet = fleet_throughput(
+        runs=args.fleet_runs, n=args.fleet_n, steps=args.fleet_steps
+    )
+    print(
+        f"fleet runs={fleet['runs']} n={fleet['n']}: per-run "
+        f"{fleet['per_run_sps']} lane-steps/s, fleet "
+        f"{fleet['fleet_sps']} lane-steps/s ({fleet['speedup']}x)"
+    )
     manifest = None
     if not args.no_sweep:
         manifest = run_experiments(
@@ -67,7 +85,7 @@ def _cmd_record(args: argparse.Namespace) -> int:
               f"{manifest.wall_s:.2f}s with --jobs {args.jobs}")
     path = write_bench(
         bench_record(args.label, manifest=manifest, engine=engine,
-                     tree=tree),
+                     tree=tree, fleet=fleet),
         args.out,
     )
     print(f"wrote {path}")
@@ -90,24 +108,32 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     old, new = load_bench(args.old), load_bench(args.new)
     print(f"old: {args.old} (rev {old.get('git_rev')})")
     print(f"new: {args.new} (rev {new.get('git_rev')})")
-    regressed = False
     tol = args.max_regression
+    offenders: list[str] = []
 
-    eo, en = old.get("engine"), new.get("engine")
-    if eo and en:
-        for key in ("per_step_sps", "batched_sps"):
-            print(f"engine {key}: {eo[key]} -> {en[key]} "
-                  f"({_fmt_delta(eo[key], en[key], True)})")
-            if en[key] < eo[key] * (1 - tol):
-                regressed = True
-
-    to, tn = old.get("tree"), new.get("tree")
-    if to and tn:
-        for key in ("simulator_sps", "tree_engine_sps"):
-            print(f"tree {key}: {to[key]} -> {tn[key]} "
-                  f"({_fmt_delta(to[key], tn[key], True)})")
-            if tn[key] < to[key] * (1 - tol):
-                regressed = True
+    # one row per engine throughput metric present in both records
+    rows: list[tuple[str, float, float, str]] = []
+    for block, metrics in ENGINE_METRICS:
+        bo, bn = old.get(block), new.get(block)
+        if not (bo and bn):
+            continue
+        for key in metrics:
+            if key not in bo or key not in bn:
+                continue
+            name = f"{block}.{key}"
+            change = ((bn[key] - bo[key]) / bo[key] * 100.0
+                      if bo[key] else float("nan"))
+            delta = f"{change:+.1f}%"
+            if bn[key] < bo[key] * (1 - tol):
+                offenders.append(name)
+                delta += "  <-- regression"
+            rows.append((name, bo[key], bn[key], delta))
+    if rows:
+        wname = max(len(r[0]) for r in rows + [("metric", 0, 0, "")])
+        print(f"{'metric':<{wname}}  {'baseline sps':>14}  "
+              f"{'current sps':>14}  delta")
+        for name, b, c, delta in rows:
+            print(f"{name:<{wname}}  {b:>14.1f}  {c:>14.1f}  {delta}")
 
     so, sn = old.get("sweep"), new.get("sweep")
     if so and sn:
@@ -122,10 +148,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             print(f"  {e['id']}: {o['wall_s']}s -> {e['wall_s']}s "
                   f"({_fmt_delta(o['wall_s'], e['wall_s'], False)})")
         if sn["wall_s"] > so["wall_s"] * (1 + tol):
-            regressed = True
+            offenders.append("sweep.wall_s")
 
-    if regressed:
-        print(f"REGRESSION beyond {tol:.0%} tolerance", file=sys.stderr)
+    if offenders:
+        print(f"REGRESSION beyond {tol:.0%} tolerance: "
+              f"{', '.join(offenders)}", file=sys.stderr)
         return 1
     print("no regression beyond tolerance")
     return 0
@@ -148,6 +175,9 @@ def main(argv: list[str] | None = None) -> int:
                    help="balanced binary tree depth for the tree "
                         "engine microbench (n = 2^(depth+1) - 1)")
     r.add_argument("--tree-steps", type=int, default=2000)
+    r.add_argument("--fleet-runs", type=int, default=256)
+    r.add_argument("--fleet-n", type=int, default=256)
+    r.add_argument("--fleet-steps", type=int, default=1024)
 
     c = sub.add_parser("compare", help="diff two bench records")
     c.add_argument("old")
