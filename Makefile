@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench soak chaos experiments experiments-full docs clean
+.PHONY: install test bench soak chaos serve service-smoke experiments \
+	experiments-full docs clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -24,6 +25,14 @@ soak:
 # hangs, timeouts, retry accounting and run-dir resume
 chaos:
 	$(PYTHON) tools/chaos_sweep.py
+
+# the buffer-provisioning HTTP service (docs/robustness.md)
+serve:
+	$(PYTHON) -m repro serve
+
+# concurrent soak of the service with a chaos-killed shard mid-run
+service-smoke:
+	$(PYTHON) tools/service_smoke.py
 
 experiments:
 	$(PYTHON) -m repro run all --preset quick

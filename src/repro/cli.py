@@ -10,9 +10,14 @@ Sub-commands:
   simulate;
 * ``simulate`` — one ad-hoc (policy, adversary, n) run with a profile
   drawing — handy for exploration.  Supports the robustness extensions
-  (``--faults``, ``--buffer-capacity``, ``--overflow``); runs with a
-  fault plan go through the crash/resume harness so induced process
-  kills (``halt`` events) are survived and reported.
+  (``--faults``, ``--buffer-capacity``, ``--overflow``,
+  ``--validate``); runs with a fault plan go through the crash/resume
+  harness so induced process kills (``halt`` events) are survived and
+  reported;
+* ``serve`` — the long-running buffer-provisioning HTTP service
+  (:mod:`repro.service`): admission control, per-request deadlines,
+  circuit-broken shard pool, content-addressed result cache, graceful
+  degradation.  See docs/robustness.md ("Provisioning service").
 """
 
 from __future__ import annotations
@@ -134,6 +139,52 @@ def build_parser() -> argparse.ArgumentParser:
                         "existing one — a killed simulate can be re-run "
                         "with the same arguments and pick up where it "
                         "left off")
+    s.add_argument("--validate", action="store_true",
+                   help="run the engine's per-step invariant checks "
+                        "(legal send counts, finite-buffer capacity, "
+                        "conservation ledger) — slower, but any "
+                        "violation raises instead of corrupting the "
+                        "run silently")
+
+    v = sub.add_parser(
+        "serve",
+        help="run the buffer-provisioning HTTP service "
+             "(POST /provision, GET /healthz /readyz /stats)",
+    )
+    v.add_argument("--host", default="127.0.0.1")
+    v.add_argument("--port", type=int, default=8642,
+                   help="TCP port (0 = ephemeral; default 8642)")
+    v.add_argument("--shards", type=int, default=2, metavar="N",
+                   help="worker-process shards (default 2)")
+    v.add_argument("--queue-limit", type=int, default=32, metavar="N",
+                   help="admission bound: pending requests beyond this "
+                        "are shed with 503 + Retry-After (default 32)")
+    v.add_argument("--deadline", type=float, default=30.0, metavar="S",
+                   help="default per-request wall-clock deadline "
+                        "(default 30s; requests may set deadline_s)")
+    v.add_argument("--retries", type=int, default=1, metavar="N",
+                   help="extra attempts after a shard crash/hang "
+                        "(default 1), with deterministic backoff")
+    v.add_argument("--breaker-threshold", type=int, default=3,
+                   metavar="N",
+                   help="consecutive failures that open a shard's "
+                        "circuit breaker (default 3)")
+    v.add_argument("--breaker-reset", type=float, default=5.0,
+                   metavar="S",
+                   help="seconds an open breaker waits before a "
+                        "half-open probe (default 5)")
+    v.add_argument("--cache-dir", default="results/service-cache",
+                   help="content-addressed result cache directory")
+    v.add_argument("--cache-max-bytes", type=int,
+                   default=64 * 1024 * 1024,
+                   help="cache size bound; LRU eviction keeps the "
+                        "store under it (default 64 MiB)")
+    v.add_argument("--cache-max-entries", type=int, default=4096,
+                   help="cache entry bound (default 4096)")
+    v.add_argument("--no-degrade", action="store_true",
+                   help="fail with 504 instead of answering from the "
+                        "nearest cached result / analytic bound when "
+                        "the pool is unhealthy")
     return p
 
 
@@ -280,7 +331,8 @@ def _cmd_simulate(policy: str, adversary: str, n: int,
                   buffer_capacity: int | None = None,
                   overflow: str = "drop-tail",
                   snapshot_every: int = 50,
-                  checkpoint_dir: str | None = None) -> int:
+                  checkpoint_dir: str | None = None,
+                  validate: bool = False) -> int:
     from .analysis.occupancy import default_step_budget
     from .core.bounds import odd_even_upper_bound
     from .network.engine_fast import PathEngine
@@ -295,6 +347,7 @@ def _cmd_simulate(policy: str, adversary: str, n: int,
         buffer_capacity=buffer_capacity,
         overflow=overflow,
         faults=plan,
+        validate=validate,
     )
     if plan is not None or checkpoint_dir is not None:
         recoveries = run_with_recovery(
@@ -445,11 +498,33 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_simulate(args.policy, args.adversary, args.n,
                                  args.steps, args.seed, args.faults,
                                  args.buffer_capacity, args.overflow,
-                                 args.snapshot_every, args.checkpoint_dir)
+                                 args.snapshot_every, args.checkpoint_dir,
+                                 args.validate)
         except (CheckpointError, FaultError, PolicyError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.app import ServiceConfig, run_service
+
+    return run_service(ServiceConfig(
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        queue_limit=args.queue_limit,
+        deadline_s=args.deadline,
+        retries=args.retries,
+        failure_threshold=args.breaker_threshold,
+        breaker_reset_s=args.breaker_reset,
+        cache_dir=args.cache_dir,
+        cache_max_bytes=args.cache_max_bytes,
+        cache_max_entries=args.cache_max_entries,
+        degrade=not args.no_degrade,
+    ))
 
 
 if __name__ == "__main__":  # pragma: no cover

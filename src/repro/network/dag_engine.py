@@ -21,7 +21,7 @@ import numpy as np
 
 from .dag import DagTopology
 from .metrics import MetricsBundle
-from ..errors import RateViolation, SimulationError
+from ..errors import BufferOverflow, RateViolation, SimulationError
 
 __all__ = ["DagPolicy", "DagEngine"]
 
@@ -56,6 +56,8 @@ class DagEngine:
         decision_timing: str = "pre_injection",
         injection_limit: int = 1,
         series_every: int = 0,
+        buffer_capacity: int | None = None,
+        validate: bool = False,
     ) -> None:
         if decision_timing not in ("pre_injection", "post_injection"):
             raise SimulationError(f"unknown decision timing {decision_timing!r}")
@@ -65,6 +67,14 @@ class DagEngine:
         self.decision_timing = decision_timing
         self.capacity = 1  # per-node service rate, as on paths/trees
         self.injection_limit = int(injection_limit)
+        self.buffer_capacity = (
+            None if buffer_capacity is None else int(buffer_capacity)
+        )
+        if self.buffer_capacity is not None and self.buffer_capacity < 1:
+            raise SimulationError(
+                f"buffer_capacity must be >= 1 or None, got {buffer_capacity}"
+            )
+        self.validate = validate
         self.heights = np.zeros(dag.n, dtype=np.int64)
         self.step_index = 0
         self.metrics = MetricsBundle.for_n(dag.n, series_every)
@@ -112,14 +122,23 @@ class DagEngine:
             if not 0 <= s < self.dag.n or s == self.dag.sink:
                 raise RateViolation(f"bad injection site {s}")
 
+        cap = self.buffer_capacity
+        ledger = self.metrics.ledger
+
+        def apply_injections() -> None:
+            for s in sites:
+                if cap is not None and h[s] >= cap:
+                    # drop-tail: a full node rejects adversary traffic
+                    ledger.record(s, "overflow")
+                else:
+                    h[s] += 1
+
         if self.decision_timing == "pre_injection":
             targets = self.policy.choose(h.copy(), self.dag)
             sendable = h > 0
-            for s in sites:
-                h[s] += 1
+            apply_injections()
         else:
-            for s in sites:
-                h[s] += 1
+            apply_injections()
             targets = self.policy.choose(h.copy(), self.dag)
             sendable = h > 0
         self._validate_targets(targets)
@@ -138,7 +157,18 @@ class DagEngine:
             else:
                 recv[t] += 1
         h -= sent
-        h += recv
+        if cap is None:
+            h += recv
+        else:
+            # a node's own send frees a slot before arrivals land;
+            # excess arrivals are dropped drop-tail at the receiver
+            room = cap - h
+            room[self.dag.sink] = np.iinfo(np.int64).max
+            admitted = np.minimum(recv, np.maximum(room, 0))
+            refused = recv - admitted
+            h += admitted
+            for v in np.flatnonzero(refused):
+                ledger.record(int(v), "overflow", int(refused[v]))
         h[self.dag.sink] = 0
         if (h < 0).any():
             raise SimulationError("negative height on a DAG node")
@@ -146,6 +176,9 @@ class DagEngine:
 
         self.step_index += 1
         self.metrics.observe(self.step_index, h)
+        if self.validate:
+            self.assert_capacity()
+            self.assert_conservation()
 
     def run(self, steps: int) -> "DagEngine":
         for _ in range(steps):
@@ -206,10 +239,34 @@ class DagEngine:
 
         return load_checkpoint(self, path)
 
+    def assert_capacity(self, heights: np.ndarray | None = None) -> None:
+        """Finite-buffer invariant: no non-sink node above capacity.
+
+        Trivially true with unbounded buffers; under a finite
+        ``buffer_capacity`` the drop-tail discipline must keep every
+        non-sink height at or below the capacity (the sink consumes
+        instantly and holds nothing).  Same contract as the path, tree,
+        and fleet engines — checked every step under ``validate=True``.
+        """
+        cap = self.buffer_capacity
+        if cap is None:
+            return
+        h = self.heights if heights is None else heights
+        over = np.flatnonzero(h > cap)
+        if over.size:
+            v = int(over[0])
+            raise BufferOverflow(
+                f"step {self.step_index}: node {v} holds {int(h[v])} "
+                f"packets > buffer_capacity {cap}"
+            )
+
     def assert_conservation(self) -> None:
         in_flight = int(self.heights.sum())
-        if self.metrics.injected != self.metrics.delivered + in_flight:
+        dropped = self.metrics.ledger.total
+        if self.metrics.injected != (
+            self.metrics.delivered + in_flight + dropped
+        ):
             raise SimulationError(
                 f"conservation broken: {self.metrics.injected} != "
-                f"{self.metrics.delivered} + {in_flight}"
+                f"{self.metrics.delivered} + {in_flight} + {dropped}"
             )

@@ -30,13 +30,20 @@ from .perf import (
     tree_engine_throughput,
     write_bench,
 )
-from .runner import ExperimentRecord, RunManifest, run_experiments
-from .store import RunStore
+from .runner import (
+    ExperimentRecord,
+    RunManifest,
+    backoff_delay,
+    run_experiments,
+)
+from .store import RunStore, canonical_json
 
 __all__ = [
     "ExperimentRecord",
     "RunManifest",
     "RunStore",
+    "backoff_delay",
+    "canonical_json",
     "run_experiments",
     "BENCH_FORMAT",
     "bench_record",

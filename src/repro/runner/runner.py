@@ -56,7 +56,12 @@ from ..network.faults import FaultPlan
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .store import RunStore
 
-__all__ = ["ExperimentRecord", "RunManifest", "run_experiments"]
+__all__ = [
+    "ExperimentRecord",
+    "RunManifest",
+    "backoff_delay",
+    "run_experiments",
+]
 
 #: callback signature for retry notifications:
 #: ``(experiment_id, failed_attempt, delay_s, reason)``
@@ -175,15 +180,17 @@ def _record(
     )
 
 
-def _backoff_delay(experiment_id: str, attempt: int, backoff_s: float) -> float:
+def backoff_delay(key: str, attempt: int, backoff_s: float) -> float:
     """Exponential backoff with deterministic jitter.
 
-    The jitter term is a pure function of ``(experiment_id, attempt)``
-    (a CRC32 folded into [0, 0.25)), so retry schedules are exactly
-    reproducible run to run — no clock or RNG state involved.
+    The jitter term is a pure function of ``(key, attempt)`` (a CRC32
+    folded into [0, 0.25)), so retry schedules are exactly reproducible
+    run to run — no clock or RNG state involved.  Shared with the
+    provisioning service (:mod:`repro.service.resilience`), which keys
+    it on the request's cache key instead of an experiment id.
     """
     jitter = (
-        zlib.crc32(f"{experiment_id}:{attempt}".encode("utf-8"))
+        zlib.crc32(f"{key}:{attempt}".encode("utf-8"))
         % 1000
     ) / 4000.0
     return backoff_s * (2.0 ** (attempt - 1)) * (1.0 + jitter)
@@ -320,7 +327,7 @@ class _PoolScheduler:
         self, task: _Task, elapsed: float, reason: str, status: str
     ) -> None:
         if task.attempts <= self.retries:
-            delay = _backoff_delay(task.eid, task.attempts, self.backoff_s)
+            delay = backoff_delay(task.eid, task.attempts, self.backoff_s)
             task.not_before = time.monotonic() + delay
             self.queue.append(task)
             if self.on_retry is not None:

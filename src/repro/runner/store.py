@@ -37,10 +37,18 @@ from ..io.checkpoint import atomic_write_text
 from ..io.results import ExperimentResult
 from .runner import ExperimentRecord, RunManifest
 
-__all__ = ["RECORD_FORMAT", "MANIFEST_FORMAT", "COMPLETED_STATUSES", "RunStore"]
+__all__ = [
+    "RECORD_FORMAT",
+    "MANIFEST_FORMAT",
+    "INDEX_FORMAT",
+    "COMPLETED_STATUSES",
+    "canonical_json",
+    "RunStore",
+]
 
 RECORD_FORMAT = "repro-run-record-v1"
 MANIFEST_FORMAT = "repro-run-manifest-v1"
+INDEX_FORMAT = "repro-store-index-v1"
 
 #: statuses that mean "this experiment ran to completion" — artifacts
 #: carrying any other status are re-run on ``--resume``.
@@ -61,17 +69,23 @@ def _record_body(record: ExperimentRecord) -> dict[str, Any]:
     return body
 
 
-def _canonical(body: dict[str, Any]) -> str:
+def canonical_json(body: dict[str, Any]) -> str:
     """Canonical JSON text of ``body`` for hashing.
 
     Round-trips through JSON first so the hashed form is exactly what a
     reader of the stored file reconstructs — int dict keys become
     strings, numpy scalars take their ``default=str`` spelling — and
     the checksum verifies against the parsed document, not the live
-    Python objects that produced it.
+    Python objects that produced it.  Keys are sorted, so the text (and
+    hence any digest of it) is independent of dict insertion order and
+    of ``PYTHONHASHSEED``.  The spelling is frozen: changing it would
+    orphan every existing ``repro-run-record-v1`` artifact.
     """
     normalized = json.loads(json.dumps(body, default=str))
     return json.dumps(normalized, sort_keys=True)
+
+
+_canonical = canonical_json  # the store's historical internal spelling
 
 
 class RunStore:
@@ -190,3 +204,118 @@ class RunStore:
         if not isinstance(doc, dict) or doc.get("format") != MANIFEST_FORMAT:
             return None
         return doc
+
+    # -- index + LRU/size-bounded eviction -----------------------------
+    #
+    # The provisioning service uses a RunStore directory as its
+    # content-addressed result cache; ``index.json`` is the recency and
+    # size ledger that makes bounded eviction possible without stat'ing
+    # and re-reading every artifact.  The index is *advisory*: artifacts
+    # remain self-verifying (checksummed) whether or not they are
+    # indexed, and a lost/corrupt index simply rebuilds from the files
+    # on disk.  ``clock`` is a logical LRU counter (no wall time, so
+    # recency ordering is deterministic and replayable).
+
+    @property
+    def index_path(self) -> Path:
+        return self.directory / "index.json"
+
+    def load_index(self) -> dict[str, Any]:
+        """The current index document (a fresh empty one if untrusted)."""
+        try:
+            doc = json.loads(self.index_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            doc = None
+        if (
+            not isinstance(doc, dict)
+            or doc.get("format") != INDEX_FORMAT
+            or not isinstance(doc.get("entries"), dict)
+        ):
+            return {"format": INDEX_FORMAT, "clock": 0, "entries": {}}
+        doc.setdefault("clock", 0)
+        return doc
+
+    def write_index(self, doc: dict[str, Any]) -> Path:
+        """Atomically rewrite ``index.json``."""
+        doc = dict(doc)
+        doc["format"] = INDEX_FORMAT
+        return atomic_write_text(
+            self.index_path,
+            json.dumps(doc, indent=2, sort_keys=True) + "\n",
+        )
+
+    def touch(
+        self, name: str, *, meta: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        """Mark artifact ``<name>.json`` as just used (and (re)index it).
+
+        Bumps the logical clock, records the artifact's current size,
+        merges ``meta`` (small, queryable facts about the entry — the
+        service stores topology/policy/adversary here so degraded-mode
+        nearest-neighbour lookup never has to open artifacts), and
+        atomically rewrites the index.  Returns the updated index doc.
+        """
+        doc = self.load_index()
+        doc["clock"] = int(doc["clock"]) + 1
+        path = self.record_path(name)
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = 0
+        entry = doc["entries"].setdefault(name.lower(), {})
+        entry["bytes"] = int(size)
+        entry["last_used"] = doc["clock"]
+        if meta is not None:
+            entry["meta"] = meta
+        self.write_index(doc)
+        return doc
+
+    def indexed_bytes(self, doc: dict[str, Any] | None = None) -> int:
+        """Total artifact bytes currently accounted for by the index."""
+        doc = self.load_index() if doc is None else doc
+        return sum(
+            int(e.get("bytes", 0)) for e in doc["entries"].values()
+        )
+
+    def evict(
+        self,
+        *,
+        max_bytes: int | None = None,
+        max_entries: int | None = None,
+    ) -> list[str]:
+        """Delete least-recently-used artifacts until within bounds.
+
+        Returns the evicted entry names.  Index entries whose files
+        already vanished are pruned (and count as evicted); the index
+        is rewritten atomically once at the end.  ``None`` bounds are
+        unlimited.
+        """
+        doc = self.load_index()
+        entries: dict[str, Any] = doc["entries"]
+        evicted: list[str] = []
+        for name in list(entries):
+            if not self.record_path(name).exists():
+                del entries[name]
+                evicted.append(name)
+        # oldest first; name tie-break keeps the order deterministic
+        by_age = sorted(
+            entries, key=lambda k: (int(entries[k]["last_used"]), k)
+        )
+        total = self.indexed_bytes(doc)
+        for name in by_age:
+            over_count = (
+                max_entries is not None and len(entries) > max_entries
+            )
+            over_size = max_bytes is not None and total > max_bytes
+            if not (over_count or over_size):
+                break
+            total -= int(entries[name].get("bytes", 0))
+            del entries[name]
+            try:
+                self.record_path(name).unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+            evicted.append(name)
+        if evicted:
+            self.write_index(doc)
+        return evicted

@@ -1,0 +1,68 @@
+"""Resilient buffer-provisioning service over the engine shard pool.
+
+The repo's product question — "given topology, rate, burstiness,
+locality, and faults: how big must buffers be, and what do I lose if
+they're smaller?" — served as a long-running asyncio API
+(``repro serve``), built to stay correct and responsive while its own
+workers crash, hang, and saturate:
+
+* :mod:`repro.service.protocol` — query schemas, validation, and the
+  content-address cache key;
+* :mod:`repro.service.resilience` — admission control with explicit
+  load shedding, per-request deadlines, circuit breakers, and
+  deterministic backoff (the reusable primitives);
+* :mod:`repro.service.cache` — checksummed, LRU+size-bounded
+  content-addressed result cache over a :class:`~repro.runner.RunStore`
+  directory;
+* :mod:`repro.service.shards` — the worker-process shard pool with
+  per-shard breakers, deadline kills, and pool healing;
+* :mod:`repro.service.app` — the HTTP/1.1 front end and endpoints
+  (``/provision``, ``/healthz``, ``/readyz``, ``/stats``).
+
+See ``docs/robustness.md`` ("Provisioning service") for semantics.
+"""
+
+from .app import ProvisioningService, ServiceConfig, ServiceThread
+from .cache import ResultCache
+from .protocol import (
+    BadRequest,
+    ProvisionQuery,
+    ServiceError,
+    analytic_answer,
+    analytic_bound,
+    topology_sha,
+)
+from .resilience import (
+    AdmissionController,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    Shedding,
+    backoff_delay,
+)
+from .shards import NoHealthyShard, QueryFailed, Shard, ShardPool
+from .worker import execute_query
+
+__all__ = [
+    "AdmissionController",
+    "BadRequest",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "NoHealthyShard",
+    "ProvisionQuery",
+    "ProvisioningService",
+    "QueryFailed",
+    "ResultCache",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceThread",
+    "Shard",
+    "ShardPool",
+    "Shedding",
+    "analytic_answer",
+    "analytic_bound",
+    "backoff_delay",
+    "execute_query",
+    "topology_sha",
+]

@@ -1,0 +1,355 @@
+"""The asyncio front end: a minimal HTTP/1.1 provisioning service.
+
+Stdlib-only (``asyncio.start_server`` + a hand-rolled HTTP/1.1
+request/response cycle — the dependency set stays numpy/scipy/networkx,
+and the handler is ~an RFC paragraph of parsing, not a framework).
+
+Request flow for ``POST /provision``::
+
+    parse+validate ── 400 on bad input
+      └─ cache lookup ───────────────── hit → 200 {cached: true}
+           └─ admission control ─────── full → 503 + Retry-After
+                └─ shard pool (deadline, retries, breakers)
+                     ├─ ok ──────────── 200, response cached
+                     ├─ query error ─── 422 {error}
+                     └─ pool/deadline ─ 200 {degraded: true}  (nearest
+                        cached result, else the analytic bound) — or
+                        504 when degradation is disabled
+
+``GET /healthz`` answers while the loop is alive; ``GET /readyz``
+additionally requires a non-open shard; ``GET /stats`` exposes queue
+depth, breaker states, cache hit rate, and shard restart counts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from .cache import ResultCache
+from .protocol import (
+    BadRequest,
+    ProvisionQuery,
+    analytic_answer,
+)
+from .resilience import (
+    AdmissionController,
+    Deadline,
+    DeadlineExceeded,
+    Shedding,
+)
+from .shards import NoHealthyShard, QueryFailed, ShardPool
+
+__all__ = ["ServiceConfig", "ProvisioningService", "ServiceThread"]
+
+_MAX_HEADER_BYTES = 16 * 1024
+_MAX_BODY_BYTES = 1 * 1024 * 1024
+
+
+@dataclass
+class ServiceConfig:
+    """Everything the service needs; defaults favour a small host."""
+
+    host: str = "127.0.0.1"
+    port: int = 8642  # 0 = ephemeral (tests)
+    shards: int = 2
+    queue_limit: int = 32
+    deadline_s: float = 30.0
+    retries: int = 1
+    backoff_s: float = 0.2
+    failure_threshold: int = 3
+    breaker_reset_s: float = 5.0
+    cache_dir: str = "results/service-cache"
+    cache_max_bytes: int | None = 64 * 1024 * 1024
+    cache_max_entries: int | None = 4096
+    degrade: bool = True  # False: fail loudly instead of degrading
+    est_service_s: float = 0.5  # Retry-After scale per queued request
+
+
+@dataclass
+class _Counters:
+    served_ok: int = 0
+    served_cached: int = 0
+    served_degraded: int = 0
+    errors: int = 0
+
+
+class ProvisioningService:
+    """One service instance: front door, shard pool, and result cache."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.cache = ResultCache(
+            self.config.cache_dir,
+            max_bytes=self.config.cache_max_bytes,
+            max_entries=self.config.cache_max_entries,
+        )
+        self.pool = ShardPool(
+            self.config.shards,
+            retries=self.config.retries,
+            backoff_s=self.config.backoff_s,
+            failure_threshold=self.config.failure_threshold,
+            breaker_reset_s=self.config.breaker_reset_s,
+        )
+        self.admission = AdmissionController(
+            self.config.queue_limit,
+            est_service_s=self.config.est_service_s,
+        )
+        self.counters = _Counters()
+        self._server: asyncio.Server | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> None:
+        self.pool.warm_up()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        sock = self._server.sockets[0]
+        self.config.port = sock.getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.pool.close()
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.config.host}:{self.config.port}"
+
+    # -- HTTP plumbing -------------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            status, headers, body = await self._handle_request(reader)
+        except Exception as err:  # never let a handler kill the loop
+            status, headers, body = 500, {}, {
+                "error": f"internal error: {type(err).__name__}: {err}"
+            }
+            self.counters.errors += 1
+        payload = json.dumps(body, sort_keys=True).encode("utf-8")
+        reason = {
+            200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 422: "Unprocessable Entity",
+            500: "Internal Server Error", 503: "Service Unavailable",
+            504: "Gateway Timeout",
+        }.get(status, "OK")
+        lines = [
+            f"HTTP/1.1 {status} {reason}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(payload)}",
+            "Connection: close",
+        ]
+        lines += [f"{k}: {v}" for k, v in headers.items()]
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("ascii"))
+        writer.write(payload)
+        try:
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, dict[str, str], dict[str, Any]]:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            return 400, {}, {"error": "malformed HTTP request"}
+        if len(head) > _MAX_HEADER_BYTES:
+            return 400, {}, {"error": "headers too large"}
+        request_line, *header_lines = head.decode(
+            "latin-1"
+        ).split("\r\n")
+        parts = request_line.split(" ")
+        if len(parts) != 3:
+            return 400, {}, {"error": "malformed request line"}
+        method, path, _version = parts
+        headers = {}
+        for line in header_lines:
+            if ":" in line:
+                k, _, v = line.partition(":")
+                headers[k.strip().lower()] = v.strip()
+        length = int(headers.get("content-length", 0) or 0)
+        if length > _MAX_BODY_BYTES:
+            return 400, {}, {"error": "body too large"}
+        raw = await reader.readexactly(length) if length else b""
+
+        if method == "GET":
+            return self._get(path)
+        if method == "POST" and path == "/provision":
+            return await self._provision(raw)
+        if path == "/provision":
+            return 405, {}, {"error": "use POST /provision"}
+        return 404, {}, {"error": f"no route for {method} {path}"}
+
+    # -- GET endpoints -------------------------------------------------
+    def _get(
+        self, path: str
+    ) -> tuple[int, dict[str, str], dict[str, Any]]:
+        if path == "/healthz":
+            return 200, {}, {"ok": True}
+        if path == "/readyz":
+            if self.pool.all_open:
+                return 503, {}, {
+                    "ok": False,
+                    "reason": "all shard circuit breakers open",
+                }
+            return 200, {}, {"ok": True}
+        if path == "/stats":
+            return 200, {}, self.stats()
+        return 404, {}, {"error": f"no route for GET {path}"}
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "admission": self.admission.stats(),
+            "pool": self.pool.stats(),
+            "cache": self.cache.stats(),
+            "served": {
+                "ok": self.counters.served_ok,
+                "cached": self.counters.served_cached,
+                "degraded": self.counters.served_degraded,
+                "errors": self.counters.errors,
+            },
+        }
+
+    # -- the product endpoint ------------------------------------------
+    async def _provision(
+        self, raw: bytes
+    ) -> tuple[int, dict[str, str], dict[str, Any]]:
+        try:
+            query = ProvisionQuery.from_dict(json.loads(raw or b"{}"))
+        except json.JSONDecodeError as err:
+            return 400, {}, {"error": f"body is not JSON: {err}"}
+        except BadRequest as err:
+            return 400, {}, {"error": str(err)}
+
+        key = query.cache_key()
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.counters.served_cached += 1
+            return 200, {}, {**cached, "cached": True}
+
+        try:
+            self.admission.admit()
+        except Shedding as err:
+            return (
+                503,
+                {"Retry-After": f"{err.retry_after_s:g}"},
+                {
+                    "error": str(err),
+                    "shed": True,
+                    "retry_after_s": err.retry_after_s,
+                },
+            )
+        try:
+            deadline = Deadline.after(
+                query.deadline_s or self.config.deadline_s
+            )
+            response = await self.pool.submit(query, deadline)
+        except QueryFailed as err:
+            self.counters.errors += 1
+            return 422, {}, {"error": str(err)}
+        except (NoHealthyShard, DeadlineExceeded) as err:
+            return self._degraded(query, str(err))
+        finally:
+            self.admission.release()
+        self.cache.put(key, response, query=query)
+        self.counters.served_ok += 1
+        return 200, {}, {**response, "cached": False}
+
+    def _degraded(
+        self, query: ProvisionQuery, reason: str
+    ) -> tuple[int, dict[str, str], dict[str, Any]]:
+        """Answer *something honest* rather than timing out: the nearest
+        cached measurement if one shares the query's shape, else the
+        paper's analytic bound — always flagged ``degraded: true``."""
+        if not self.config.degrade:
+            self.counters.errors += 1
+            return 504, {}, {"error": reason}
+        near = self.cache.nearest(query)
+        if near is not None:
+            body = {
+                **near,
+                "degraded": True,
+                "degraded_reason": f"{reason}; serving nearest cached "
+                f"result for this (topology, policy, adversary)",
+            }
+        else:
+            body = analytic_answer(query, reason)
+        self.counters.served_degraded += 1
+        return 200, {}, {**body, "cached": False}
+
+
+async def _serve_forever(service: ProvisioningService) -> None:
+    await service.start()
+    assert service._server is not None
+    print(f"repro service listening on {service.address}")
+    async with service._server:
+        await service._server.serve_forever()
+
+
+def run_service(config: ServiceConfig | None = None) -> int:
+    """Blocking entry point for ``repro serve``."""
+    service = ProvisioningService(config)
+    try:
+        asyncio.run(_serve_forever(service))
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        service.pool.close()
+    return 0
+
+
+class ServiceThread:
+    """Run a service on a background thread (tests, smoke tooling).
+
+    The event loop lives on the thread; ``stop()`` is thread-safe and
+    joins it.  The bound port is available as ``.port`` after
+    construction returns (the constructor blocks until the server is
+    listening).
+    """
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.service = ProvisioningService(config)
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30):  # pragma: no cover
+            raise RuntimeError("service failed to start within 30s")
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+
+        async def boot() -> None:
+            await self.service.start()
+            self._started.set()
+
+        self._loop.run_until_complete(boot())
+        self._loop.run_forever()
+        # stop() ran: tear down inside the loop's thread
+        self._loop.run_until_complete(self.service.stop())
+        self._loop.close()
+
+    @property
+    def port(self) -> int:
+        return self.service.config.port
+
+    @property
+    def address(self) -> str:
+        return self.service.address
+
+    def stop(self) -> None:
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)

@@ -1,0 +1,166 @@
+"""Content-addressed result cache for the provisioning service.
+
+Cache entries are checksummed artifacts in a :class:`RunStore`
+directory, one file per content address (`q<sha256-prefix>.json`),
+verified on every read exactly like durable-run artifacts: a flipped
+bit yields a miss, never a wrong answer.  The store's ``index.json``
+(atomically rewritten) provides LRU recency and size accounting; the
+cache evicts through it so the directory stays under the configured
+``max_bytes`` / ``max_entries`` bounds.
+
+The index also carries each entry's query shape (topology sha, policy,
+adversary), which is what lets graceful degradation answer "the
+nearest cached result" for an unservable query without opening any
+artifact files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+from ..io.checkpoint import atomic_write_text
+from ..runner.store import RunStore, canonical_json
+from .protocol import ProvisionQuery
+
+__all__ = ["ENTRY_FORMAT", "ResultCache"]
+
+ENTRY_FORMAT = "repro-cache-entry-v1"
+
+#: artifact name for a cache key: a distinct prefix keeps cache entries
+#: from ever colliding with experiment-id artifacts in a shared root.
+def _entry_name(key: str) -> str:
+    return f"q{key[:40]}"
+
+
+class ResultCache:
+    """Checksummed, LRU+size-bounded response cache keyed by content."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        max_bytes: int | None = 64 * 1024 * 1024,
+        max_entries: int | None = 4096,
+    ) -> None:
+        self.store = RunStore(directory)
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.store.record_path(_entry_name(key))
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The cached response for ``key``, or ``None``.
+
+        Verifies the artifact's checksum and its stored key before
+        trusting it, and refreshes the entry's LRU position on a hit.
+        """
+        try:
+            doc = json.loads(self._path(key).read_text())
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        body = doc.get("body") if isinstance(doc, dict) else None
+        if (
+            not isinstance(doc, dict)
+            or doc.get("format") != ENTRY_FORMAT
+            or not isinstance(body, dict)
+            or body.get("key") != key
+            or hashlib.sha256(
+                canonical_json(body).encode("utf-8")
+            ).hexdigest()
+            != doc.get("sha256")
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        self.store.touch(_entry_name(key))
+        return body.get("response")
+
+    def put(
+        self, key: str, response: dict[str, Any], *, query: ProvisionQuery
+    ) -> Path:
+        """Store ``response`` under ``key``, then evict to the bounds."""
+        body = {"key": key, "response": response}
+        doc = {
+            "format": ENTRY_FORMAT,
+            "sha256": hashlib.sha256(
+                canonical_json(body).encode("utf-8")
+            ).hexdigest(),
+            "body": body,
+        }
+        path = atomic_write_text(
+            self._path(key),
+            json.dumps(doc, indent=2, sort_keys=True, default=str) + "\n",
+        )
+        self.store.touch(
+            _entry_name(key),
+            meta={
+                "kind": query.kind,
+                "topology_sha": query.topology_sha,
+                "policy": query.policy,
+                "adversary": query.adversary,
+                "steps": query.steps,
+            },
+        )
+        self.store.evict(
+            max_bytes=self.max_bytes, max_entries=self.max_entries
+        )
+        return path
+
+    # ------------------------------------------------------------------
+    def nearest(self, query: ProvisionQuery) -> dict[str, Any] | None:
+        """The closest cached response for a degraded answer.
+
+        "Nearest" means: same topology, policy, and adversary (the
+        shape of the provisioning question), most recently used first —
+        a stale-but-real measurement beats a purely analytic bound.
+        Returns ``None`` when nothing in the cache shares the shape.
+        """
+        if query.kind != "provision":
+            return None
+        doc = self.store.load_index()
+        candidates = [
+            (int(entry.get("last_used", 0)), name)
+            for name, entry in doc["entries"].items()
+            if (meta := entry.get("meta"))
+            and meta.get("kind") == "provision"
+            and meta.get("topology_sha") == query.topology_sha
+            and meta.get("policy") == query.policy
+            and meta.get("adversary") == query.adversary
+        ]
+        for _, name in sorted(candidates, reverse=True):
+            try:
+                doc_ = json.loads(self.store.record_path(name).read_text())
+                body = doc_["body"]
+            except (OSError, json.JSONDecodeError, KeyError, TypeError):
+                continue
+            if hashlib.sha256(
+                canonical_json(body).encode("utf-8")
+            ).hexdigest() == doc_.get("sha256"):
+                return body.get("response")
+        return None
+
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, Any]:
+        doc = self.store.load_index()
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "entries": len(doc["entries"]),
+            "bytes": self.store.indexed_bytes(doc),
+            "max_bytes": self.max_bytes,
+            "max_entries": self.max_entries,
+        }

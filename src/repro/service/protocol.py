@@ -1,0 +1,298 @@
+"""Request/response schemas for the buffer-provisioning service.
+
+A *provisioning query* is the repo's product question in data form:
+"given this topology, policy, adversary, parameters, and fault overlay
+— how big must buffers be, and what do I lose if they're smaller?"
+This module validates raw JSON into a :class:`ProvisionQuery`, computes
+the content-address the cache is keyed on, and defines the analytic
+fallback answer used by graceful degradation.
+
+Two query kinds are accepted:
+
+* ``"provision"`` (the default) — an ad-hoc simulation over a topology
+  spec, answered with the measured buffer requirement (max height),
+  the paper's analytic bound, and the loss accounting;
+* ``"experiment"`` — a registry experiment by id, which lets callers
+  (and the chaos soak, via :mod:`repro.runner.chaos`'s ``X*`` stubs)
+  route the existing experiment machinery through the shard pool.
+
+The cache key is a SHA-256 over the canonical JSON of
+``(topology_sha, policy, adversary, params, faults)``: deterministic
+across processes (no ``PYTHONHASHSEED`` dependence) and insensitive to
+dict ordering in the incoming request.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ReproError
+from ..network.buffers import Overflow, coerce_overflow
+from ..runner.store import canonical_json
+
+__all__ = [
+    "RESPONSE_SCHEMA",
+    "ServiceError",
+    "BadRequest",
+    "ProvisionQuery",
+    "topology_sha",
+    "analytic_bound",
+    "analytic_answer",
+]
+
+RESPONSE_SCHEMA = "repro-provision-v1"
+
+#: topology specs the service accepts, mirroring ``repro certify``.
+_TOPOLOGY_KINDS = ("path", "spider", "binary", "random")
+
+
+class ServiceError(ReproError):
+    """Base class for provisioning-service failures."""
+
+
+class BadRequest(ServiceError):
+    """The request is malformed; the message names the offending field."""
+
+
+def _resolve_topology(spec: str):
+    """``(succ_list, n, is_path)`` for a topology spec string."""
+    from ..network import topology as topo
+
+    kind, _, arg = str(spec).partition(":")
+    try:
+        if kind == "path":
+            n = int(arg or 256)
+            if n < 2:
+                raise ValueError
+            return list(range(1, n)) + [-1], n, True
+        if kind == "spider":
+            arms, _, length = arg.partition("x")
+            t = topo.spider(int(arms), int(length))
+        elif kind == "binary":
+            t = topo.balanced_tree(2, int(arg))
+        elif kind == "random":
+            t = topo.random_tree(int(arg), seed=0)
+        else:
+            raise ValueError
+    except (ValueError, TypeError) as err:
+        raise BadRequest(
+            f"bad topology spec {spec!r}; use path:N (N>=2), spider:AxL, "
+            f"binary:D or random:N"
+        ) from err
+    return [int(s) for s in t.succ], t.n, bool(t.is_canonical_path)
+
+
+def topology_sha(spec: str) -> str:
+    """Content address of the topology a spec resolves to.
+
+    Hashes the successor array, not the spec string, so two spellings
+    of the same tree share cache entries.
+    """
+    succ, _, _ = _resolve_topology(spec)
+    return hashlib.sha256(
+        canonical_json({"succ": succ}).encode("utf-8")
+    ).hexdigest()
+
+
+_ADVERSARIES = (
+    "far-end", "pre-sink", "seesaw", "pressure", "uniform",
+    "round-robin", "max-chaser",
+)
+
+
+@dataclass
+class ProvisionQuery:
+    """One validated provisioning request."""
+
+    kind: str = "provision"
+    topology: str = "path:64"
+    policy: str = "odd-even"
+    adversary: str = "far-end"
+    steps: int | None = None
+    seed: int = 0
+    buffer_capacity: int | None = None
+    overflow: str = Overflow.DROP_TAIL.value
+    faults: dict[str, Any] | None = None
+    deadline_s: float | None = None
+    # experiment kind only:
+    experiment: str | None = None
+    preset: str = "quick"
+    # resolved facts (not part of the wire format):
+    n: int = field(default=0, compare=False)
+    is_path: bool = field(default=True, compare=False)
+    topology_sha: str = field(default="", compare=False)
+
+    @classmethod
+    def from_dict(cls, raw: Any) -> "ProvisionQuery":
+        if not isinstance(raw, dict):
+            raise BadRequest("request body must be a JSON object")
+        known = {
+            "kind", "topology", "policy", "adversary", "steps", "seed",
+            "buffer_capacity", "overflow", "faults", "deadline_s",
+            "experiment", "preset",
+        }
+        unknown = sorted(set(raw) - known)
+        if unknown:
+            raise BadRequest(f"unknown field(s): {', '.join(unknown)}")
+        kind = raw.get("kind", "provision")
+        if kind not in ("provision", "experiment"):
+            raise BadRequest(
+                f"kind must be 'provision' or 'experiment', got {kind!r}"
+            )
+        q = cls(kind=kind)
+        if kind == "experiment":
+            exp = raw.get("experiment")
+            if not isinstance(exp, str) or not exp:
+                raise BadRequest("experiment queries need an 'experiment' id")
+            q.experiment = exp.upper()
+            preset = raw.get("preset", "quick")
+            if preset not in ("quick", "full"):
+                raise BadRequest(f"preset must be quick|full, got {preset!r}")
+            q.preset = preset
+        else:
+            q.topology = str(raw.get("topology", q.topology))
+            _, q.n, q.is_path = _resolve_topology(q.topology)
+            q.policy = str(raw.get("policy", q.policy))
+            from ..policies import available_policies
+
+            if q.is_path and q.policy == "tree-odd-even":
+                raise BadRequest("tree-odd-even needs a tree topology")
+            if not q.is_path:
+                # non-path topologies run on the TreeEngine, whose
+                # policy surface is the tree scheduler
+                q.policy = str(raw.get("policy", "tree-odd-even"))
+                if q.policy != "tree-odd-even":
+                    raise BadRequest(
+                        f"tree topologies support policy 'tree-odd-even', "
+                        f"got {q.policy!r}"
+                    )
+            elif q.policy not in available_policies():
+                raise BadRequest(
+                    f"unknown policy {q.policy!r}; known: "
+                    f"{', '.join(available_policies())}"
+                )
+            q.adversary = str(raw.get("adversary", q.adversary))
+            if q.adversary not in _ADVERSARIES:
+                raise BadRequest(
+                    f"unknown adversary {q.adversary!r}; known: "
+                    f"{', '.join(_ADVERSARIES)}"
+                )
+            steps = raw.get("steps")
+            if steps is not None:
+                if not isinstance(steps, int) or steps < 1 or steps > 200_000:
+                    raise BadRequest(
+                        "steps must be an int in [1, 200000] or omitted"
+                    )
+                q.steps = steps
+            seed = raw.get("seed", 0)
+            if not isinstance(seed, int):
+                raise BadRequest("seed must be an int")
+            q.seed = seed
+            cap = raw.get("buffer_capacity")
+            if cap is not None and (not isinstance(cap, int) or cap < 1):
+                raise BadRequest("buffer_capacity must be an int >= 1 or null")
+            q.buffer_capacity = cap
+            try:
+                q.overflow = coerce_overflow(
+                    raw.get("overflow", q.overflow)
+                ).value
+            except ReproError as err:
+                raise BadRequest(str(err)) from err
+            faults = raw.get("faults")
+            if faults is not None:
+                if not isinstance(faults, dict):
+                    raise BadRequest(
+                        "faults must be a FaultPlan JSON object or null"
+                    )
+                from ..network.faults import FaultPlan
+
+                try:  # validate now so shards never see a bad plan
+                    FaultPlan.from_dict(faults)
+                except ReproError as err:
+                    raise BadRequest(f"bad fault plan: {err}") from err
+                q.faults = faults
+            q.topology_sha = topology_sha(q.topology)
+        deadline = raw.get("deadline_s")
+        if deadline is not None:
+            if not isinstance(deadline, (int, float)) or deadline <= 0:
+                raise BadRequest("deadline_s must be a positive number")
+            q.deadline_s = float(deadline)
+        return q
+
+    # ------------------------------------------------------------------
+    def canonical(self) -> dict[str, Any]:
+        """The key-bearing content of the query (deadline excluded —
+        how long a caller is willing to wait does not change the
+        answer)."""
+        if self.kind == "experiment":
+            return {
+                "kind": "experiment",
+                "experiment": self.experiment,
+                "preset": self.preset,
+            }
+        return {
+            "kind": "provision",
+            "topology_sha": self.topology_sha,
+            "policy": self.policy,
+            "adversary": self.adversary,
+            "params": {
+                "steps": self.steps,
+                "seed": self.seed,
+                "buffer_capacity": self.buffer_capacity,
+                "overflow": self.overflow,
+            },
+            "faults": self.faults,
+        }
+
+    def cache_key(self) -> str:
+        return hashlib.sha256(
+            canonical_json(self.canonical()).encode("utf-8")
+        ).hexdigest()
+
+    def to_worker_dict(self) -> dict[str, Any]:
+        """Everything a shard worker needs, as picklable plain data."""
+        return {
+            "kind": self.kind,
+            "topology": self.topology,
+            "policy": self.policy,
+            "adversary": self.adversary,
+            "steps": self.steps,
+            "seed": self.seed,
+            "buffer_capacity": self.buffer_capacity,
+            "overflow": self.overflow,
+            "faults": self.faults,
+            "experiment": self.experiment,
+            "preset": self.preset,
+        }
+
+
+def analytic_bound(query: ProvisionQuery) -> float | None:
+    """The paper's closed-form buffer bound for this query's shape.
+
+    Paths get the Odd-Even ``log2(n) + 3`` bound (Theorem 4.13); trees
+    the Theorem 5.11 bound.  ``None`` for experiment queries.
+    """
+    from ..core.bounds import odd_even_upper_bound, tree_upper_bound
+
+    if query.kind != "provision" or query.n < 2:
+        return None
+    if query.is_path:
+        return float(odd_even_upper_bound(query.n))
+    return float(tree_upper_bound(query.n))
+
+
+def analytic_answer(query: ProvisionQuery, reason: str) -> dict[str, Any]:
+    """Graceful-degradation fallback: the O(log n)-style bound, honestly
+    flagged ``degraded`` — never a guess dressed up as a measurement."""
+    return {
+        "schema": RESPONSE_SCHEMA,
+        "kind": query.kind,
+        "query": query.canonical(),
+        "cache_key": query.cache_key(),
+        "max_height": None,
+        "bound": analytic_bound(query),
+        "degraded": True,
+        "degraded_reason": reason,
+    }

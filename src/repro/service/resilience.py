@@ -1,0 +1,210 @@
+"""Reusable resilience primitives for the provisioning service.
+
+The paper provisions buffers against an adversary that controls the
+*traffic*; a service built on those results must also survive an
+adversary that controls its *infrastructure* — crash-looping workers,
+hangs, and request floods.  The same drop-vs-buffer tradeoff applies
+at the front door: this module is the service's own buffer management.
+
+* :class:`AdmissionController` — a bounded request queue with explicit
+  load shedding.  A full queue answers a fast 503 with a
+  ``Retry-After`` computed from queue depth, instead of buffering
+  without bound (the service-level analogue of drop-tail).
+* :class:`Deadline` — a per-request wall-clock budget that propagates
+  into the shard pool, so no accepted request can hang past it.
+* :class:`CircuitBreaker` — per-shard closed → open → half-open state,
+  so a crash-looping shard can't absorb the whole retry budget.
+* :func:`backoff_delay` — re-exported from the runner: exponential
+  backoff with deterministic CRC32 jitter, keyed on the request.
+
+Everything here is synchronous and clock-injectable, so the unit tests
+need neither an event loop nor real sleeps.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..runner.runner import backoff_delay
+from .protocol import ServiceError
+
+__all__ = [
+    "backoff_delay",
+    "Deadline",
+    "DeadlineExceeded",
+    "Shedding",
+    "AdmissionController",
+    "CircuitBreaker",
+]
+
+Clock = Callable[[], float]
+
+
+class DeadlineExceeded(ServiceError):
+    """The request's wall-clock budget ran out."""
+
+
+class Shedding(ServiceError):
+    """Admission control refused the request; carries ``retry_after_s``."""
+
+    def __init__(self, message: str, retry_after_s: float) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute wall-clock deadline on an injectable monotonic clock."""
+
+    at: float
+    clock: Clock = field(default=time.monotonic, compare=False)
+
+    @classmethod
+    def after(cls, seconds: float, clock: Clock = time.monotonic) -> "Deadline":
+        if seconds <= 0:
+            raise ServiceError(f"deadline must be positive, got {seconds}")
+        return cls(at=clock() + seconds, clock=clock)
+
+    def remaining(self) -> float:
+        return self.at - self.clock()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0
+
+    def check(self, what: str) -> float:
+        """Remaining budget, or :class:`DeadlineExceeded` naming ``what``."""
+        left = self.remaining()
+        if left <= 0:
+            raise DeadlineExceeded(f"deadline exceeded while {what}")
+        return left
+
+
+class AdmissionController:
+    """Bounded admission with explicit, honest load shedding.
+
+    ``max_pending`` bounds how many requests may be past the front door
+    at once (queued or executing).  Admission beyond the bound is
+    refused immediately with a ``Retry-After`` estimate derived from
+    the current depth and the estimated per-request service time —
+    mirroring the paper's insight that a bounded buffer plus an
+    explicit drop policy beats unbounded queueing.
+    """
+
+    def __init__(
+        self, max_pending: int, *, est_service_s: float = 0.5
+    ) -> None:
+        if max_pending < 1:
+            raise ServiceError(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
+        self.max_pending = int(max_pending)
+        self.est_service_s = float(est_service_s)
+        self.pending = 0
+        self.admitted_total = 0
+        self.shed_total = 0
+
+    def retry_after_s(self) -> float:
+        """Seconds until the backlog has plausibly drained one slot."""
+        return max(1.0, round(self.pending * self.est_service_s, 1))
+
+    def admit(self) -> None:
+        """Take a slot or raise :class:`Shedding` (never blocks)."""
+        if self.pending >= self.max_pending:
+            self.shed_total += 1
+            raise Shedding(
+                f"admission queue full ({self.pending}/{self.max_pending})",
+                retry_after_s=self.retry_after_s(),
+            )
+        self.pending += 1
+        self.admitted_total += 1
+
+    def release(self) -> None:
+        if self.pending <= 0:  # pragma: no cover - double-release guard
+            raise ServiceError("release() without a matching admit()")
+        self.pending -= 1
+
+    def stats(self) -> dict[str, float | int]:
+        return {
+            "pending": self.pending,
+            "max_pending": self.max_pending,
+            "admitted_total": self.admitted_total,
+            "shed_total": self.shed_total,
+            "retry_after_s": self.retry_after_s(),
+        }
+
+
+class CircuitBreaker:
+    """Per-shard circuit breaker: closed → open → half-open.
+
+    ``failure_threshold`` consecutive failures open the circuit; while
+    open, :meth:`allow` refuses work until ``reset_after_s`` has
+    elapsed, at which point exactly one probe is let through
+    (half-open).  A successful probe closes the circuit; a failed one
+    re-opens it for another full window.
+    """
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        reset_after_s: float = 5.0,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ServiceError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = int(failure_threshold)
+        self.reset_after_s = float(reset_after_s)
+        self._clock = clock
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.opened_total = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    def allow(self) -> bool:
+        """May a request be sent through this circuit right now?
+
+        Transitions open → half-open when the reset window has passed;
+        in half-open, only the single in-flight probe is allowed.
+        """
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            if self._clock() - self._opened_at < self.reset_after_s:
+                return False
+            self.state = self.HALF_OPEN
+            self._probing = False
+        if self._probing:
+            return False
+        self._probing = True
+        return True
+
+    def record_success(self) -> None:
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self._probing = False
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if (
+            self.state == self.HALF_OPEN
+            or self.consecutive_failures >= self.failure_threshold
+        ):
+            self.state = self.OPEN
+            self._opened_at = self._clock()
+            self.opened_total += 1
+            self._probing = False
+
+    def stats(self) -> dict[str, float | int | str]:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "opened_total": self.opened_total,
+        }

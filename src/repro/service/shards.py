@@ -1,0 +1,249 @@
+"""The shard pool: worker processes behind per-shard circuit breakers.
+
+Each shard is one single-worker :class:`ProcessPoolExecutor`, so a
+hung or crashed query takes down exactly one shard — which the pool
+then kills and rebuilds, exactly as the experiment runner heals its
+pool (:mod:`repro.runner.runner`), while the shard's circuit breaker
+remembers the misbehaviour.  Deadlines are enforced here: a query's
+remaining budget bounds both the wait for a free healthy shard and the
+execution itself, and an expired execution terminates the shard's
+worker process — a dead deadline never leaves a zombie computation
+burning a slot.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from concurrent.futures import ProcessPoolExecutor
+
+from .protocol import ProvisionQuery, ServiceError
+from .resilience import CircuitBreaker, Deadline, backoff_delay
+from .worker import execute_query
+
+__all__ = ["NoHealthyShard", "QueryFailed", "Shard", "ShardPool"]
+
+
+class NoHealthyShard(ServiceError):
+    """Every shard is saturated or circuit-open for this request."""
+
+
+class QueryFailed(ServiceError):
+    """The query ran and failed deterministically (no retry)."""
+
+
+class Shard:
+    """One worker process plus its health bookkeeping."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        *,
+        failure_threshold: int = 3,
+        breaker_reset_s: float = 5.0,
+    ) -> None:
+        self.shard_id = shard_id
+        self.breaker = CircuitBreaker(
+            failure_threshold=failure_threshold,
+            reset_after_s=breaker_reset_s,
+        )
+        self.busy = False
+        self.restarts = 0
+        self.served = 0
+        self._executor: ProcessPoolExecutor | None = None
+
+    def executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=1)
+        return self._executor
+
+    def restart(self) -> None:
+        """Kill the worker process (it may be hung) and start fresh."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            for proc in list(getattr(executor, "_processes", {}).values()):
+                try:
+                    proc.terminate()
+                except Exception:  # pragma: no cover - already dead
+                    pass
+            try:
+                executor.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - broken teardown
+                pass
+        self.restarts += 1
+
+    def close(self) -> None:
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "shard": self.shard_id,
+            "busy": self.busy,
+            "restarts": self.restarts,
+            "served": self.served,
+            **self.breaker.stats(),
+        }
+
+
+class ShardPool:
+    """Multiplex queries onto shards; retry, heal, and degrade honestly."""
+
+    def __init__(
+        self,
+        shards: int = 2,
+        *,
+        retries: int = 1,
+        backoff_s: float = 0.2,
+        failure_threshold: int = 3,
+        breaker_reset_s: float = 5.0,
+    ) -> None:
+        if shards < 1:
+            raise ServiceError(f"need at least 1 shard, got {shards}")
+        if retries < 0:
+            raise ServiceError(f"retries must be >= 0, got {retries}")
+        self.shards = [
+            Shard(
+                i,
+                failure_threshold=failure_threshold,
+                breaker_reset_s=breaker_reset_s,
+            )
+            for i in range(shards)
+        ]
+        self.retries = retries
+        self.backoff_s = backoff_s
+
+    # -- shard checkout ------------------------------------------------
+    def _pick(self) -> Shard | None:
+        for shard in self.shards:
+            if not shard.busy and shard.breaker.allow():
+                return shard
+        return None
+
+    @property
+    def all_open(self) -> bool:
+        """Every breaker open: the pool is known-unhealthy right now."""
+        return all(
+            s.breaker.state == CircuitBreaker.OPEN for s in self.shards
+        )
+
+    async def _acquire(self, deadline: Deadline) -> Shard:
+        # plain polling: the event loop is single-threaded, breakers
+        # re-close on a timer (not an event), and slots turn over in
+        # tens of milliseconds — a 20ms poll is simpler and avoids the
+        # Condition-under-wait_for cancellation pitfalls entirely
+        while True:
+            shard = self._pick()
+            if shard is not None:
+                shard.busy = True
+                return shard
+            if self.all_open:
+                raise NoHealthyShard("all shard circuit breakers are open")
+            if deadline.remaining() <= 0:
+                raise NoHealthyShard("no shard freed up within the deadline")
+            await asyncio.sleep(0.02)
+
+    def _release(self, shard: Shard) -> None:
+        shard.busy = False
+
+    # -- execution -----------------------------------------------------
+    async def _run_once(
+        self, shard: Shard, worker_dict: dict[str, Any], left: float
+    ) -> dict[str, Any]:
+        fut = shard.executor().submit(execute_query, worker_dict)
+        try:
+            return await asyncio.wait_for(
+                asyncio.wrap_future(fut), timeout=left
+            )
+        except asyncio.TimeoutError:
+            # the worker is still chewing (or hung): reclaim the slot
+            shard.restart()
+            raise
+
+    async def submit(
+        self, query: ProvisionQuery, deadline: Deadline
+    ) -> dict[str, Any]:
+        """Run ``query`` on some healthy shard within ``deadline``.
+
+        Bounded retries with exponential backoff + deterministic jitter
+        on *infrastructure* failures (worker death, hang); a
+        deterministic in-query error raises :class:`QueryFailed`
+        immediately.  The remaining deadline is split across the
+        remaining attempts, so a hang on the first attempt leaves
+        budget for a retry to return a *real* answer inside the
+        original deadline instead of forcing degradation.  Raises
+        :class:`NoHealthyShard` /
+        :class:`~repro.service.resilience.DeadlineExceeded` when the
+        pool or the budget is exhausted — the app layer turns those
+        into degraded answers.
+        """
+        key = query.cache_key()
+        worker_dict = query.to_worker_dict()
+        last_reason = "unknown"
+        for attempt in range(1, self.retries + 2):
+            deadline.check("waiting for a shard")
+            shard = await self._acquire(deadline)
+            left = deadline.remaining()
+            if left <= 0:
+                self._release(shard)
+                deadline.check("executing")  # raises DeadlineExceeded
+            attempts_left = self.retries + 2 - attempt
+            try:
+                response = await self._run_once(
+                    shard, worker_dict, left / attempts_left
+                )
+            except asyncio.TimeoutError:
+                shard.breaker.record_failure()
+                last_reason = (
+                    f"shard {shard.shard_id} hit the deadline "
+                    f"(attempt {attempt})"
+                )
+            except Exception as err:
+                # BrokenProcessPool and friends: the worker died
+                shard.restart()
+                shard.breaker.record_failure()
+                last_reason = (
+                    f"shard {shard.shard_id} worker died: "
+                    f"{type(err).__name__} (attempt {attempt})"
+                )
+            else:
+                if "error" in response:
+                    # the query itself failed; the shard is healthy
+                    shard.breaker.record_success()
+                    raise QueryFailed(response["error"])
+                shard.served += 1
+                shard.breaker.record_success()
+                return response
+            finally:
+                self._release(shard)
+            if attempt <= self.retries:
+                delay = backoff_delay(key, attempt, self.backoff_s)
+                left = deadline.remaining()
+                if left <= delay:
+                    break
+                await asyncio.sleep(delay)
+        raise NoHealthyShard(f"retries exhausted: {last_reason}")
+
+    # ------------------------------------------------------------------
+    def warm_up(self) -> None:
+        """Pre-spawn every shard's worker so first requests don't pay
+        the fork cost inside their deadline."""
+        for shard in self.shards:
+            shard.executor()
+
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.close()
+
+    @property
+    def restarts_total(self) -> int:
+        return sum(s.restarts for s in self.shards)
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "shards": [s.stats() for s in self.shards],
+            "restarts_total": self.restarts_total,
+            "all_open": self.all_open,
+        }

@@ -1,0 +1,157 @@
+"""Shard worker body for the provisioning service.
+
+:func:`execute_query` is the single module-level (picklable) entry
+point a shard process runs.  It never raises for in-simulation
+failures — those come back as an ``{"error": ...}`` payload so the
+front end can distinguish "this query is bad" (no retry, don't charge
+the shard's breaker) from "this shard died/hung" (retry elsewhere,
+charge the breaker).  Crashes and hangs, of course, don't return at
+all — that's the failure surface the pool's deadlines, breakers, and
+healing exist for, and exactly what the chaos stubs
+(:mod:`repro.runner.chaos`) inject when routed through the
+``"experiment"`` query kind.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any
+
+from .protocol import RESPONSE_SCHEMA, ProvisionQuery, analytic_bound
+
+__all__ = ["execute_query"]
+
+
+def _ensure_chaos_registered(experiment_id: str) -> None:
+    """Self-install the chaos stubs in this worker process when opted in.
+
+    The parent registers them via :func:`repro.runner.chaos.install`,
+    but a spawned (rather than forked) worker would not inherit the
+    in-memory registry — the environment variable is the cross-process
+    opt-in either way.
+    """
+    from ..runner import chaos
+
+    if (
+        experiment_id in {cls.id for cls in chaos.CHAOS_EXPERIMENTS}
+        and os.environ.get(chaos.ENV_CHAOS_DIR)
+        and experiment_id not in chaos.EXPERIMENTS
+    ):
+        chaos.install(os.environ[chaos.ENV_CHAOS_DIR])
+
+
+def _run_experiment(query: ProvisionQuery) -> dict[str, Any]:
+    from ..experiments import get_experiment
+
+    assert query.experiment is not None
+    _ensure_chaos_registered(query.experiment)
+    result = get_experiment(query.experiment).run(query.preset)
+    return {
+        "schema": RESPONSE_SCHEMA,
+        "kind": "experiment",
+        "query": query.canonical(),
+        "cache_key": query.cache_key(),
+        "experiment": query.experiment,
+        "preset": query.preset,
+        "passed": bool(result.passed),
+        "headers": result.headers,
+        "rows": result.rows,
+        "degraded": False,
+    }
+
+
+def _run_provision(query: ProvisionQuery) -> dict[str, Any]:
+    from ..analysis.occupancy import default_step_budget
+    from ..cli import _make_adversary
+    from ..network.faults import FaultPlan
+
+    steps = (
+        default_step_budget(query.n) if query.steps is None else query.steps
+    )
+    plan = FaultPlan.from_dict(query.faults) if query.faults else None
+    adversary = _make_adversary(query.adversary, query.seed)
+    if query.is_path:
+        from ..network.engine_fast import PathEngine
+        from ..policies import make_policy
+
+        engine: Any = PathEngine(
+            query.n,
+            make_policy(query.policy),
+            adversary,
+            buffer_capacity=query.buffer_capacity,
+            overflow=query.overflow,
+            faults=plan,
+        )
+    else:
+        from ..network.topology import from_parent_array
+        from ..network.tree_engine import TreeEngine
+        from ..policies import TreeOddEvenPolicy
+        from .protocol import _resolve_topology
+
+        succ, _, _ = _resolve_topology(query.topology)
+        engine = TreeEngine(
+            from_parent_array(succ),
+            TreeOddEvenPolicy(),
+            adversary,
+            buffer_capacity=query.buffer_capacity,
+            overflow=query.overflow,
+            faults=plan,
+        )
+    if plan is not None:
+        from ..network.faults import run_with_recovery
+
+        run_with_recovery(engine, steps, snapshot_every=max(1, steps // 8))
+    else:
+        engine.run(steps)
+    t = engine.metrics.tracker
+    ledger = engine.metrics.ledger
+    in_flight = int(engine.heights.sum())
+    return {
+        "schema": RESPONSE_SCHEMA,
+        "kind": "provision",
+        "query": query.canonical(),
+        "cache_key": query.cache_key(),
+        "n": query.n,
+        "steps": steps,
+        # the provisioning answer: buffers of this size lose nothing
+        "max_height": int(t.max_height),
+        "argmax_node": int(t.argmax_node),
+        "bound": analytic_bound(query),
+        # ...and what a smaller buffer / faulty network actually lost
+        "injected": int(engine.metrics.injected),
+        "delivered": int(engine.metrics.delivered),
+        "in_flight": in_flight,
+        "dropped": int(ledger.total),
+        "drops_by_cause": {
+            str(c): int(k) for c, k in sorted(ledger.by_cause().items())
+        },
+        "degraded": False,
+    }
+
+
+def execute_query(worker_dict: dict[str, Any]) -> dict[str, Any]:
+    """Run one validated query to completion inside a shard process.
+
+    Returns either a response document or ``{"error": message}``;
+    deterministic failures never raise across the process boundary.
+    """
+    t0 = time.perf_counter()
+    try:
+        query = ProvisionQuery.from_dict(
+            {
+                k: v
+                for k, v in worker_dict.items()
+                if v is not None or k in ("steps", "buffer_capacity")
+            }
+        )
+        if query.kind == "experiment":
+            response = _run_experiment(query)
+        else:
+            response = _run_provision(query)
+    except BaseException as err:
+        if isinstance(err, (KeyboardInterrupt, SystemExit)):
+            raise
+        return {"error": f"{type(err).__name__}: {err}"}
+    response["compute_s"] = round(time.perf_counter() - t0, 4)
+    return response

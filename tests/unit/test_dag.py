@@ -243,3 +243,60 @@ class TestDagRender:
         h[1] = 3
         out = render_dag_profile(dag, h)
         assert "###" in out
+
+
+class TestDagFiniteBuffers:
+    """Satellite: finite buffer_capacity + validate on the DAG engine."""
+
+    def test_bad_capacity_rejected(self):
+        dag = diamond_grid(2, 3)
+        with pytest.raises(SimulationError):
+            DagEngine(dag, DagGreedyPolicy(), None, buffer_capacity=0)
+
+    def test_drop_tail_keeps_heights_at_capacity(self):
+        dag = layered_dag(3, 4, 2, seed=5)
+        src = dag.sources()[0]
+
+        class Hold(DagPolicy):
+            def choose(self, heights, d):
+                return np.full(d.n, -1, dtype=np.int64)
+
+        e = DagEngine(dag, Hold(), None, buffer_capacity=2, validate=True)
+        for _ in range(10):
+            e.step(injections=(src,))
+        assert int(e.heights[src]) == 2
+        ledger = e.metrics.ledger
+        assert ledger.total == 8
+        assert ledger.by_cause() == {"overflow": 8}
+        e.assert_capacity()
+        e.assert_conservation()
+
+    def test_arrival_overflow_dropped_at_receiver(self):
+        # two sources funnel into one sink-adjacent node of capacity 1;
+        # the receiver's surplus arrival must be dropped, not stored
+        dag = DagTopology(out_edges=((2,), (2,), (3,), ()), sink=3)
+        e = DagEngine(dag, DagGreedyPolicy(), None, buffer_capacity=1,
+                      validate=True)
+        e.heights[0] = 1
+        e.heights[1] = 1
+        e.metrics.injected += 2
+        e.step()
+        assert int(e.heights[2]) <= 1
+        e.assert_capacity()
+        e.assert_conservation()
+
+    def test_assert_capacity_raises_on_violation(self):
+        from repro.errors import BufferOverflow
+
+        dag = diamond_grid(2, 3)
+        e = DagEngine(dag, DagGreedyPolicy(), None, buffer_capacity=1)
+        e.heights[1] = 5  # corrupt state by hand
+        with pytest.raises(BufferOverflow):
+            e.assert_capacity()
+
+    def test_unbounded_validate_run_stays_clean(self):
+        dag = layered_dag(4, 3, 2, seed=2)
+        e = DagEngine(dag, DagGreedyPolicy(),
+                      UniformRandomAdversary(seed=1), validate=True)
+        e.run(200)  # validate=True checks capacity+conservation each step
+        assert e.metrics.ledger.total == 0

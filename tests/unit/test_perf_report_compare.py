@@ -1,0 +1,109 @@
+"""``tools/perf_report.py compare`` must warn-and-skip, not crash,
+when a block or metric exists in only one of the two records — e.g.
+an old baseline recorded before the fleet engine existed."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+_spec = importlib.util.spec_from_file_location(
+    "perf_report", REPO / "tools" / "perf_report.py"
+)
+assert _spec is not None and _spec.loader is not None
+perf_report = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(perf_report)
+
+
+def _record(**blocks) -> dict:
+    return {"format": "repro-bench-v1", "git_rev": "test", **blocks}
+
+
+def _write(tmp_path: Path, name: str, record: dict) -> str:
+    p = tmp_path / name
+    p.write_text(json.dumps(record))
+    return str(p)
+
+
+class TestCompareSkipsMissing:
+    def test_block_missing_from_old_warns_and_passes(
+        self, tmp_path, capsys
+    ):
+        # the old baseline predates the fleet engine entirely
+        old = _write(tmp_path, "old.json", _record(
+            engine={"per_step_sps": 100.0, "batched_sps": 1000.0},
+        ))
+        new = _write(tmp_path, "new.json", _record(
+            engine={"per_step_sps": 101.0, "batched_sps": 1010.0},
+            fleet={"per_run_sps": 5000.0, "fleet_sps": 50000.0},
+        ))
+        rc = perf_report.main(["compare", old, new])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "block 'fleet' missing from the old record" in captured.err
+        assert "fleet.per_run_sps" not in captured.out
+
+    def test_metric_missing_from_one_side_warns_and_skips(
+        self, tmp_path, capsys
+    ):
+        old = _write(tmp_path, "old.json", _record(
+            fleet={"per_run_sps": 5000.0},  # recorded before fleet_sps
+        ))
+        new = _write(tmp_path, "new.json", _record(
+            fleet={"per_run_sps": 5000.0, "fleet_sps": 50000.0},
+        ))
+        rc = perf_report.main(["compare", old, new])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert (
+            "metric fleet.fleet_sps missing from the old record"
+            in captured.err
+        )
+        assert "fleet.per_run_sps" in captured.out
+
+    def test_sweep_missing_from_new_warns_and_skips(
+        self, tmp_path, capsys
+    ):
+        old = _write(tmp_path, "old.json", _record(
+            engine={"per_step_sps": 100.0, "batched_sps": 1000.0},
+            sweep={"wall_s": 5.0, "experiments": []},
+        ))
+        new = _write(tmp_path, "new.json", _record(
+            engine={"per_step_sps": 100.0, "batched_sps": 1000.0},
+        ))
+        rc = perf_report.main(["compare", old, new])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "sweep block missing from the new record" in captured.err
+
+    def test_shared_regression_still_fails(self, tmp_path, capsys):
+        # skipping missing blocks must not blind the gate to a real
+        # regression on a metric both records do carry
+        old = _write(tmp_path, "old.json", _record(
+            engine={"per_step_sps": 100.0, "batched_sps": 1000.0},
+        ))
+        new = _write(tmp_path, "new.json", _record(
+            engine={"per_step_sps": 10.0, "batched_sps": 1000.0},
+            fleet={"per_run_sps": 5000.0, "fleet_sps": 50000.0},
+        ))
+        rc = perf_report.main(["compare", old, new])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "engine.per_step_sps" in captured.err
+
+    def test_identical_records_compare_clean(self, tmp_path, capsys):
+        rec = _record(
+            engine={"per_step_sps": 100.0, "batched_sps": 1000.0},
+            tree={"simulator_sps": 10.0, "tree_engine_sps": 100.0},
+            fleet={"per_run_sps": 5000.0, "fleet_sps": 50000.0},
+        )
+        old = _write(tmp_path, "old.json", rec)
+        new = _write(tmp_path, "new.json", rec)
+        rc = perf_report.main(["compare", old, new])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "warning" not in captured.err
+        assert "no regression beyond tolerance" in captured.out

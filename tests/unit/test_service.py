@@ -1,0 +1,430 @@
+"""Unit tests for the provisioning service's building blocks.
+
+Covers the resilience primitives (deadlines, admission control,
+circuit breakers, deterministic backoff), query validation and the
+content-address cache key (including the Hypothesis property that the
+key is insensitive to dict ordering and stable across processes), the
+RunStore index/eviction layer, and the checksummed result cache.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runner import RunStore
+from repro.service import (
+    AdmissionController,
+    BadRequest,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    ProvisionQuery,
+    ResultCache,
+    Shedding,
+    backoff_delay,
+    execute_query,
+    topology_sha,
+)
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+# ---------------------------------------------------------------------------
+class TestDeadline:
+    def test_remaining_counts_down(self):
+        clock = FakeClock()
+        d = Deadline.after(5.0, clock=clock)
+        assert d.remaining() == pytest.approx(5.0)
+        clock.now += 3.0
+        assert d.remaining() == pytest.approx(2.0)
+        assert not d.expired
+
+    def test_check_raises_after_expiry(self):
+        clock = FakeClock()
+        d = Deadline.after(1.0, clock=clock)
+        assert d.check("waiting") == pytest.approx(1.0)
+        clock.now += 1.5
+        assert d.expired
+        with pytest.raises(DeadlineExceeded, match="while executing"):
+            d.check("executing")
+
+    def test_non_positive_budget_rejected(self):
+        from repro.service import ServiceError
+
+        with pytest.raises(ServiceError):
+            Deadline.after(0.0)
+
+
+class TestAdmissionController:
+    def test_admits_until_full_then_sheds(self):
+        ac = AdmissionController(2, est_service_s=0.5)
+        ac.admit()
+        ac.admit()
+        with pytest.raises(Shedding) as exc:
+            ac.admit()
+        assert exc.value.retry_after_s >= 1.0
+        assert ac.shed_total == 1
+        assert ac.admitted_total == 2
+
+    def test_release_reopens_a_slot(self):
+        ac = AdmissionController(1)
+        ac.admit()
+        with pytest.raises(Shedding):
+            ac.admit()
+        ac.release()
+        ac.admit()  # does not raise
+        assert ac.pending == 1
+
+    def test_retry_after_scales_with_depth(self):
+        ac = AdmissionController(100, est_service_s=2.0)
+        for _ in range(10):
+            ac.admit()
+        assert ac.retry_after_s() == pytest.approx(20.0)
+
+    def test_bad_bound_rejected(self):
+        from repro.service import ServiceError
+
+        with pytest.raises(ServiceError):
+            AdmissionController(0)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        cb = CircuitBreaker(failure_threshold=3, reset_after_s=5.0,
+                            clock=clock)
+        cb.record_failure()
+        cb.record_failure()
+        assert cb.state == CircuitBreaker.CLOSED and cb.allow()
+        cb.record_failure()
+        assert cb.state == CircuitBreaker.OPEN
+        assert not cb.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        cb = CircuitBreaker(failure_threshold=2, clock=FakeClock())
+        cb.record_failure()
+        cb.record_success()
+        cb.record_failure()
+        assert cb.state == CircuitBreaker.CLOSED
+
+    def test_half_open_allows_exactly_one_probe(self):
+        clock = FakeClock()
+        cb = CircuitBreaker(failure_threshold=1, reset_after_s=5.0,
+                            clock=clock)
+        cb.record_failure()
+        assert not cb.allow()
+        clock.now += 5.1
+        assert cb.allow()  # the probe
+        assert cb.state == CircuitBreaker.HALF_OPEN
+        assert not cb.allow()  # second caller must wait for the probe
+
+    def test_probe_success_closes_probe_failure_reopens(self):
+        clock = FakeClock()
+        cb = CircuitBreaker(failure_threshold=1, reset_after_s=5.0,
+                            clock=clock)
+        cb.record_failure()
+        clock.now += 5.1
+        assert cb.allow()
+        cb.record_success()
+        assert cb.state == CircuitBreaker.CLOSED
+        # fail again, probe again, and this time the probe fails
+        cb.record_failure()
+        clock.now += 5.1
+        assert cb.allow()
+        cb.record_failure()
+        assert cb.state == CircuitBreaker.OPEN
+        # threshold=1: each failure opened the circuit (incl. the probe)
+        assert cb.opened_total == 3
+        assert not cb.allow()  # a fresh full window applies
+
+
+class TestBackoff:
+    def test_deterministic_per_key(self):
+        assert backoff_delay("k", 1, 0.5) == backoff_delay("k", 1, 0.5)
+        assert backoff_delay("k", 1, 0.5) != backoff_delay("other", 1, 0.5)
+
+    def test_exponential_growth(self):
+        d1 = backoff_delay("key", 1, 0.5)
+        d2 = backoff_delay("key", 2, 0.5)
+        d3 = backoff_delay("key", 3, 0.5)
+        assert 0.5 <= d1 < 0.625  # base * (1 + jitter<0.25)
+        assert d2 > d1 and d3 > d2
+
+
+# ---------------------------------------------------------------------------
+class TestProvisionQueryValidation:
+    def test_defaults(self):
+        q = ProvisionQuery.from_dict({})
+        assert q.kind == "provision"
+        assert q.n == 64 and q.is_path
+        assert q.topology_sha
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(BadRequest, match="unknown field"):
+            ProvisionQuery.from_dict({"topolgy": "path:64"})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(BadRequest):
+            ProvisionQuery.from_dict([1, 2])
+
+    @pytest.mark.parametrize("raw", [
+        {"kind": "nope"},
+        {"topology": "ring:9"},
+        {"topology": "path:1"},
+        {"policy": "no-such-policy"},
+        {"adversary": "no-such-adversary"},
+        {"steps": 0},
+        {"steps": 10**9},
+        {"seed": "zero"},
+        {"buffer_capacity": 0},
+        {"overflow": "explode"},
+        {"faults": "not-a-plan"},
+        {"deadline_s": -1},
+        {"kind": "experiment"},  # missing the experiment id
+        {"kind": "experiment", "experiment": "E1", "preset": "huge"},
+        {"topology": "path:8", "policy": "tree-odd-even"},
+        {"topology": "binary:3", "policy": "odd-even"},
+    ])
+    def test_bad_requests_rejected(self, raw):
+        with pytest.raises(BadRequest):
+            ProvisionQuery.from_dict(raw)
+
+    def test_tree_topology_defaults_to_tree_policy(self):
+        q = ProvisionQuery.from_dict({"topology": "binary:3"})
+        assert q.policy == "tree-odd-even"
+        assert not q.is_path
+
+    def test_bad_fault_plan_rejected_up_front(self):
+        with pytest.raises(BadRequest, match="bad fault plan"):
+            ProvisionQuery.from_dict(
+                {"faults": {"events": [{"kind": "implode"}]}}
+            )
+
+    def test_topology_sha_is_on_the_resolved_graph(self):
+        assert topology_sha("path:8") == topology_sha("path:8")
+        assert topology_sha("path:8") != topology_sha("path:9")
+        assert topology_sha("binary:2") != topology_sha("path:7")
+
+    def test_deadline_excluded_from_cache_key(self):
+        a = ProvisionQuery.from_dict({"topology": "path:16"})
+        b = ProvisionQuery.from_dict(
+            {"topology": "path:16", "deadline_s": 2.5}
+        )
+        assert a.cache_key() == b.cache_key()
+
+
+_QUERY_FIELDS = st.fixed_dictionaries({
+    "topology": st.sampled_from(["path:8", "path:16", "binary:2"]),
+    "adversary": st.sampled_from(["far-end", "pre-sink", "uniform"]),
+    "steps": st.integers(min_value=1, max_value=500),
+    "seed": st.integers(min_value=0, max_value=2**31),
+})
+
+
+class TestCacheKeyProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(raw=_QUERY_FIELDS, order=st.randoms(use_true_random=False))
+    def test_key_insensitive_to_dict_ordering(self, raw, order):
+        if raw["topology"] == "binary:2":
+            raw = dict(raw, policy="tree-odd-even")
+        else:
+            raw = dict(raw, policy="odd-even")
+        items = list(raw.items())
+        order.shuffle(items)
+        shuffled = dict(items)
+        assert (
+            ProvisionQuery.from_dict(raw).cache_key()
+            == ProvisionQuery.from_dict(shuffled).cache_key()
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(raw=_QUERY_FIELDS)
+    def test_distinct_params_get_distinct_keys(self, raw):
+        if raw["topology"] == "binary:2":
+            raw = dict(raw, policy="tree-odd-even")
+        q = ProvisionQuery.from_dict(raw)
+        bumped = ProvisionQuery.from_dict(
+            dict(raw, steps=raw["steps"] + 1)
+        )
+        assert q.cache_key() != bumped.cache_key()
+
+    def test_key_deterministic_across_processes(self):
+        """PYTHONHASHSEED must not leak into the content address."""
+        raw = {"topology": "path:32", "policy": "odd-even",
+               "adversary": "far-end", "steps": 100, "seed": 3}
+        local = ProvisionQuery.from_dict(raw).cache_key()
+        code = (
+            "import json, sys\n"
+            "from repro.service import ProvisionQuery\n"
+            "raw = json.loads(sys.argv[1])\n"
+            "print(ProvisionQuery.from_dict(raw).cache_key())\n"
+        )
+        for hashseed in ("0", "424242"):
+            out = subprocess.run(
+                [sys.executable, "-c", code, json.dumps(raw)],
+                capture_output=True, text=True, check=True,
+                env={"PYTHONPATH": str(REPO / "src"),
+                     "PYTHONHASHSEED": hashseed, "PATH": "/usr/bin:/bin"},
+            )
+            assert out.stdout.strip() == local
+
+
+# ---------------------------------------------------------------------------
+class TestRunStoreIndex:
+    def test_missing_or_corrupt_index_yields_fresh_empty(self, tmp_path):
+        store = RunStore(tmp_path)
+        assert store.load_index()["entries"] == {}
+        store.index_path.write_text("{ not json")
+        assert store.load_index()["entries"] == {}
+        store.index_path.write_text(json.dumps({"format": "other"}))
+        assert store.load_index()["entries"] == {}
+
+    def test_touch_round_trips_through_the_index(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.record_path("a").write_text("x" * 10)
+        store.touch("a", meta={"policy": "odd-even"})
+        doc = store.load_index()
+        assert doc["entries"]["a"]["bytes"] == 10
+        assert doc["entries"]["a"]["last_used"] == 1
+        assert doc["entries"]["a"]["meta"] == {"policy": "odd-even"}
+        store.touch("a")
+        assert store.load_index()["entries"]["a"]["last_used"] == 2
+
+    def test_evict_by_entry_count_is_lru(self, tmp_path):
+        store = RunStore(tmp_path)
+        for name in ("a", "b", "c"):
+            store.record_path(name).write_text("data")
+            store.touch(name)
+        store.touch("a")  # refresh a: b is now the oldest
+        evicted = store.evict(max_entries=2)
+        assert evicted == ["b"]
+        assert not store.record_path("b").exists()
+        assert store.record_path("a").exists()
+        assert sorted(store.load_index()["entries"]) == ["a", "c"]
+
+    def test_evict_by_bytes(self, tmp_path):
+        store = RunStore(tmp_path)
+        for name in ("a", "b", "c"):
+            store.record_path(name).write_text("x" * 100)
+            store.touch(name)
+        evicted = store.evict(max_bytes=250)
+        assert evicted == ["a"]  # oldest first, until under the bound
+        assert store.indexed_bytes() == 200
+
+    def test_evict_prunes_vanished_files(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.record_path("gone").write_text("data")
+        store.touch("gone")
+        store.record_path("gone").unlink()
+        assert store.evict() == ["gone"]
+        assert store.load_index()["entries"] == {}
+
+
+class TestResultCache:
+    def _query(self, **over):
+        return ProvisionQuery.from_dict(
+            {"topology": "path:16", "steps": 50, **over}
+        )
+
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        q = self._query()
+        cache.put(q.cache_key(), {"max_height": 3}, query=q)
+        assert cache.get(q.cache_key()) == {"max_height": 3}
+        assert cache.hits == 1 and cache.misses == 0
+        assert cache.hit_rate == 1.0
+
+    def test_absent_key_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("0" * 64) is None
+        assert cache.misses == 1
+
+    def test_corrupt_entry_is_a_miss_not_a_wrong_answer(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        q = self._query()
+        path = cache.put(q.cache_key(), {"max_height": 3}, query=q)
+        text = path.read_text()
+        path.write_text(text.replace('"max_height": 3', '"max_height": 9'))
+        assert cache.get(q.cache_key()) is None
+
+    def test_eviction_keeps_store_under_entry_bound(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=3)
+        keys = []
+        for steps in range(1, 7):
+            q = self._query(steps=steps)
+            keys.append(q.cache_key())
+            cache.put(keys[-1], {"max_height": steps}, query=q)
+        entries = cache.store.load_index()["entries"]
+        assert len(entries) == 3
+        assert cache.get(keys[0]) is None  # oldest evicted
+        assert cache.get(keys[-1]) == {"max_height": 6}
+
+    def test_eviction_keeps_store_under_byte_bound(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=2048, max_entries=None)
+        for steps in range(1, 20):
+            q = self._query(steps=steps)
+            cache.put(q.cache_key(), {"blob": "x" * 300}, query=q)
+        assert cache.store.indexed_bytes() <= 2048
+
+    def test_nearest_matches_query_shape_only(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        q = self._query(steps=50)
+        cache.put(q.cache_key(), {"max_height": 3}, query=q)
+        # same shape, different steps: nearest() should find the entry
+        assert self._query(steps=60).cache_key() != q.cache_key()
+        assert cache.nearest(self._query(steps=60)) == {"max_height": 3}
+        # different adversary: no match
+        assert cache.nearest(
+            self._query(steps=60, adversary="pre-sink")
+        ) is None
+
+    def test_stats_shape(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=123, max_entries=7)
+        stats = cache.stats()
+        assert stats["entries"] == 0 and stats["bytes"] == 0
+        assert stats["max_bytes"] == 123 and stats["max_entries"] == 7
+
+
+# ---------------------------------------------------------------------------
+class TestWorker:
+    def test_path_provision_is_deterministic(self):
+        wd = self._wd()
+        a, b = execute_query(wd), execute_query(wd)
+        a.pop("compute_s"), b.pop("compute_s")
+        assert a == b
+        assert a["degraded"] is False
+        assert a["max_height"] >= 1
+        assert a["bound"] == pytest.approx(7.0)  # log2(16) + 3
+
+    def test_finite_buffers_account_losses(self):
+        out = execute_query(self._wd(buffer_capacity=1))
+        assert out["injected"] == (
+            out["delivered"] + out["in_flight"] + out["dropped"]
+        )
+
+    def test_deterministic_error_is_reported_not_raised(self):
+        out = execute_query({"kind": "experiment", "experiment": "NOPE",
+                             "preset": "quick"})
+        assert "error" in out
+
+    @staticmethod
+    def _wd(**over):
+        q = ProvisionQuery.from_dict(
+            {"topology": "path:16", "steps": 200, **over}
+        )
+        return q.to_worker_dict()

@@ -111,14 +111,27 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     tol = args.max_regression
     offenders: list[str] = []
 
-    # one row per engine throughput metric present in both records
+    # one row per engine throughput metric present in both records;
+    # a block/metric present on only one side (e.g. an old baseline
+    # recorded before that engine existed) is warned about and skipped
+    # rather than crashing or silently vanishing from the report
     rows: list[tuple[str, float, float, str]] = []
     for block, metrics in ENGINE_METRICS:
         bo, bn = old.get(block), new.get(block)
         if not (bo and bn):
+            if bo or bn:
+                which = "old" if bn else "new"
+                print(f"warning: block {block!r} missing from the "
+                      f"{which} record; skipping its metrics",
+                      file=sys.stderr)
             continue
         for key in metrics:
             if key not in bo or key not in bn:
+                if key in bo or key in bn:
+                    which = "old" if key in bn else "new"
+                    print(f"warning: metric {block}.{key} missing "
+                          f"from the {which} record; skipping",
+                          file=sys.stderr)
                 continue
             name = f"{block}.{key}"
             change = ((bn[key] - bo[key]) / bo[key] * 100.0
@@ -136,6 +149,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             print(f"{name:<{wname}}  {b:>14.1f}  {c:>14.1f}  {delta}")
 
     so, sn = old.get("sweep"), new.get("sweep")
+    if bool(so) != bool(sn):
+        which = "old" if sn else "new"
+        print(f"warning: sweep block missing from the {which} record; "
+              "skipping the wall-clock comparison", file=sys.stderr)
     if so and sn:
         print(f"sweep wall: {so['wall_s']}s -> {sn['wall_s']}s "
               f"({_fmt_delta(so['wall_s'], sn['wall_s'], False)})")
