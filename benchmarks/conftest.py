@@ -36,6 +36,7 @@ def pytest_sessionfinish(session, exitstatus):
         return
     from repro.runner import (
         bench_record,
+        dag_engine_throughput,
         engine_throughput,
         fleet_throughput,
         tree_engine_throughput,
@@ -56,6 +57,7 @@ def pytest_sessionfinish(session, exitstatus):
     path = write_bench(
         bench_record(label, manifest=manifest, engine=engine_throughput(),
                      tree=tree_engine_throughput(),
+                     dag=dag_engine_throughput(),
                      fleet=fleet_throughput()),
         os.environ.get("REPRO_BENCH_DIR", "."),
     )

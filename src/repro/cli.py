@@ -112,6 +112,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="render the tallest node's attachments (Fig 1)")
 
     s = sub.add_parser("simulate", help="one ad-hoc run")
+    s.add_argument("--engine", default="path",
+                   choices=("path", "tree", "dag"),
+                   help="simulation backend; all three satisfy the "
+                        "unified engine contract "
+                        "(repro.network.engine_base), so faults, "
+                        "checkpoints and crash/resume work on each")
+    s.add_argument("--topology", default=None, metavar="SPEC",
+                   help="path:N | spider:AxL | binary:D | random:N "
+                        "(tree engine; viewed as a degenerate DAG under "
+                        "--engine dag) | layered:LxW | diamond:WxL "
+                        "(dag engine only); default: a size--n topology "
+                        "for the chosen engine")
     s.add_argument("--policy", default="odd-even",
                    choices=available_policies())
     s.add_argument("--adversary", default="seesaw",
@@ -248,6 +260,7 @@ def _cmd_run(ids: Sequence[str], preset: str, out: str | None,
     from .runner import (
         RunStore,
         bench_record,
+        dag_engine_throughput,
         engine_throughput,
         fleet_throughput,
         run_experiments,
@@ -311,6 +324,7 @@ def _cmd_run(ids: Sequence[str], preset: str, out: str | None,
             bench_record(bench, manifest=manifest,
                          engine=engine_throughput(),
                          tree=tree_engine_throughput(),
+                         dag=dag_engine_throughput(),
                          fleet=fleet_throughput()),
             out or ".",
         )
@@ -325,6 +339,126 @@ def _cmd_run(ids: Sequence[str], preset: str, out: str | None,
     return 1 if failures else 0
 
 
+def _parse_sim_topology(engine: str, spec: str | None, n: int):
+    """Resolve ``--topology`` for ``--engine``; ``None`` → size-n default.
+
+    Returns what the engine class constructor expects as its first
+    argument: a node count for ``path``, a :class:`Topology` for
+    ``tree``, a :class:`DagTopology` for ``dag``.  Raises
+    :class:`~repro.errors.ExperimentError` on an engine/topology
+    mismatch, naming the engine that can run the spec.
+    """
+    from .errors import ExperimentError, TopologyError
+
+    kind = spec.partition(":")[0] if spec is not None else None
+    if engine == "path":
+        if spec is None:
+            return n
+        if kind != "path":
+            raise ExperimentError(
+                f"engine 'path' only runs path topologies, not {spec!r}; "
+                "use --engine tree (or --engine dag) for it"
+            )
+        try:
+            return int(spec.partition(":")[2] or n)
+        except ValueError as err:
+            raise ExperimentError(f"bad topology spec {spec!r}") from err
+    if engine == "tree":
+        if kind in ("layered", "diamond"):
+            raise ExperimentError(
+                f"engine 'tree' cannot run the DAG topology {spec!r}; "
+                "use --engine dag"
+            )
+        tree, pn = _parse_topology(spec if spec is not None
+                                   else f"random:{n}")
+        if tree is None:  # path:N parses to a node count
+            from .network.topology import path as path_topo
+
+            tree = path_topo(pn)
+        return tree
+    # engine == "dag"
+    from .network import dag as dag_mod
+
+    if spec is None:
+        spec = f"layered:{max(1, (n - 1) // 8)}x8"
+        kind = "layered"
+    arg = spec.partition(":")[2]
+    try:
+        if kind == "layered":
+            layers, _, width = arg.partition("x")
+            return dag_mod.layered_dag(int(layers), int(width), seed=0)
+        if kind == "diamond":
+            width, _, length = arg.partition("x")
+            return dag_mod.diamond_grid(int(width), int(length))
+    except (ValueError, TopologyError) as err:
+        raise ExperimentError(
+            f"bad topology spec {spec!r}; engine 'dag' takes "
+            "layered:LxW, diamond:WxL or any tree spec"
+        ) from err
+    tree, pn = _parse_topology(spec)
+    if tree is None:
+        from .network.topology import path as path_topo
+
+        tree = path_topo(pn)
+    return dag_mod.from_tree(tree)
+
+
+# adversaries each engine's topology can support: pressure walks a
+# path order, pre-sink/seesaw walk the tree's child lists — neither
+# structure exists on a general DAG
+_ENGINE_ADVERSARIES = {
+    "path": ("far-end", "pre-sink", "seesaw", "pressure", "uniform",
+             "round-robin", "max-chaser"),
+    "tree": ("far-end", "pre-sink", "seesaw", "uniform", "round-robin",
+             "max-chaser"),
+    "dag": ("far-end", "uniform", "round-robin", "max-chaser"),
+}
+
+
+def _make_sim_adversary(engine: str, name: str, seed: int):
+    from .errors import ExperimentError
+
+    allowed = _ENGINE_ADVERSARIES[engine]
+    if name not in allowed:
+        reason = (
+            "needs a path topology"
+            if name == "pressure"
+            else "walks the tree's child lists, which this engine's "
+                 "topology does not have"
+        )
+        raise ExperimentError(
+            f"adversary {name!r} {reason}; engine {engine!r} supports: "
+            + ", ".join(allowed)
+        )
+    return _make_adversary(name, seed)
+
+
+def _make_sim_policy(engine: str, policy: str):
+    from .errors import PolicyError
+
+    if engine == "path":
+        return make_policy(policy)
+    if engine == "tree":
+        if policy in ("odd-even", "tree-odd-even"):
+            return make_policy("tree-odd-even")
+        if policy == "greedy":
+            return make_policy("greedy")
+        raise PolicyError(
+            f"policy {policy!r} has no tree variant; engine 'tree' "
+            "supports odd-even and greedy"
+        )
+    from .policies.dag import DagGreedyPolicy, DagOddEvenPolicy
+
+    if policy in ("odd-even", "dag-odd-even"):
+        return DagOddEvenPolicy()
+    if policy == "greedy":
+        return DagGreedyPolicy()
+    raise PolicyError(
+        f"policy {policy!r} has no DAG variant; engine 'dag' supports "
+        "odd-even and greedy"
+    )
+
+
 def _cmd_simulate(policy: str, adversary: str, n: int,
                   steps: int | None, seed: int,
                   faults: str | None = None,
@@ -332,17 +466,25 @@ def _cmd_simulate(policy: str, adversary: str, n: int,
                   overflow: str = "drop-tail",
                   snapshot_every: int = 50,
                   checkpoint_dir: str | None = None,
-                  validate: bool = False) -> int:
+                  validate: bool = False,
+                  engine: str = "path",
+                  topology: str | None = None) -> int:
     from .analysis.occupancy import default_step_budget
     from .core.bounds import odd_even_upper_bound
-    from .network.engine_fast import PathEngine
+    from .network.engine_base import resolve_engine
     from .network.faults import run_with_recovery
     from .viz.ascii import height_profile, sparkline
 
     plan = _load_fault_plan(faults)
-    steps = default_step_budget(n) if steps is None else steps
-    engine = PathEngine(
-        n, make_policy(policy), _make_adversary(adversary, seed),
+    topo = _parse_sim_topology(engine, topology, n)
+    size = topo if isinstance(topo, int) else topo.n
+    steps = default_step_budget(size) if steps is None else steps
+    # every backend satisfies the SteppableEngine contract, so the
+    # construction, recovery driver and reporting below are shared
+    sim = resolve_engine(engine)(
+        topo,
+        _make_sim_policy(engine, policy),
+        _make_sim_adversary(engine, adversary, seed),
         series_every=max(1, steps // 64),
         buffer_capacity=buffer_capacity,
         overflow=overflow,
@@ -351,19 +493,20 @@ def _cmd_simulate(policy: str, adversary: str, n: int,
     )
     if plan is not None or checkpoint_dir is not None:
         recoveries = run_with_recovery(
-            engine, steps, snapshot_every=snapshot_every,
+            sim, steps, snapshot_every=snapshot_every,
             checkpoint_dir=checkpoint_dir,
         )
     else:
         recoveries = 0
-        engine.run(steps)
-    t = engine.metrics.tracker
-    print(f"policy={policy} adversary={adversary} n={n} steps={steps}")
+        sim.run(steps)
+    t = sim.metrics.tracker
+    print(f"engine={engine} policy={policy} adversary={adversary} "
+          f"n={size} steps={steps}")
     print(f"max height: {t.max_height} (node {t.argmax_node} at step "
-          f"{t.argmax_step}); log2(n)+3 = {odd_even_upper_bound(n):.1f}")
-    print(f"injected {engine.metrics.injected}, delivered "
-          f"{engine.metrics.delivered}, in flight {int(engine.heights.sum())}")
-    ledger = engine.metrics.ledger
+          f"{t.argmax_step}); log2(n)+3 = {odd_even_upper_bound(size):.1f}")
+    print(f"injected {sim.metrics.injected}, delivered "
+          f"{sim.metrics.delivered}, in flight {int(sim.heights.sum())}")
+    ledger = sim.metrics.ledger
     if plan is not None or buffer_capacity is not None:
         by_cause = ledger.by_cause()
         causes = (
@@ -372,14 +515,14 @@ def _cmd_simulate(policy: str, adversary: str, n: int,
         )
         print(f"dropped {ledger.total} (by cause: {causes}); "
               f"ledger balanced: "
-              f"{ledger.balanced(engine.metrics.injected, engine.metrics.delivered, int(engine.heights.sum()))}")
+              f"{ledger.balanced(sim.metrics.injected, sim.metrics.delivered, int(sim.heights.sum()))}")
         if plan is not None:
             print(f"induced process kills survived: {recoveries}")
     print()
-    print(height_profile(engine.heights, label="final height profile:"))
-    if engine.metrics.series.values:
+    print(height_profile(sim.heights, label="final height profile:"))
+    if sim.metrics.series.values:
         print()
-        print("max height over time: " + sparkline(engine.metrics.series.values))
+        print("max height over time: " + sparkline(sim.metrics.series.values))
     return 0
 
 
@@ -499,8 +642,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                                  args.steps, args.seed, args.faults,
                                  args.buffer_capacity, args.overflow,
                                  args.snapshot_every, args.checkpoint_dir,
-                                 args.validate)
-        except (CheckpointError, FaultError, PolicyError) as exc:
+                                 args.validate, args.engine,
+                                 args.topology)
+        except (CheckpointError, ExperimentError, FaultError,
+                PolicyError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
     if args.command == "serve":

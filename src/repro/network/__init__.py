@@ -13,7 +13,13 @@ from .dag import (
     layered_dag,
     tree_with_shortcuts,
 )
-from .dag_engine import DagEngine, DagPolicy
+from .dag_engine import DagEngine, DagLoopEngine, DagPolicy
+from .engine_base import (
+    ENGINE_KINDS,
+    SimulationEngine,
+    SteppableEngine,
+    resolve_engine,
+)
 from .engine_fast import DecisionTiming, PathEngine, UndirectedPathEngine
 from .events import StepRecord, TraceRecorder
 from .faults import (
@@ -58,7 +64,12 @@ __all__ = [
     "Overflow",
     "DagTopology",
     "DagEngine",
+    "DagLoopEngine",
     "DagPolicy",
+    "ENGINE_KINDS",
+    "SimulationEngine",
+    "SteppableEngine",
+    "resolve_engine",
     "diamond_grid",
     "from_tree",
     "layered_dag",

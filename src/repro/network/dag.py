@@ -137,6 +137,30 @@ class DagTopology:
             order.append(v)
         return np.asarray(order, dtype=np.int64)
 
+    def packed_out_edges(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Out-edges padded to the max out-degree, for vectorised use.
+
+        Returns ``(pad, mask, depth_pad)``: ``pad`` is ``(n, d)`` with
+        ``pad[v, :deg(v)] = out_edges[v]`` and zeros beyond, ``mask``
+        marks the real entries, and ``depth_pad = depth[pad]``.  Built
+        lazily once and cached on this (immutable) topology; the
+        vectorised engine and policies share the cached copy.
+        """
+        cached = self.__dict__.get("_packed")
+        if cached is None:
+            d = max((len(o) for o in self.out_edges), default=0) or 1
+            pad = np.zeros((self.n, d), dtype=np.int64)
+            mask = np.zeros((self.n, d), dtype=bool)
+            for v, outs in enumerate(self.out_edges):
+                k = len(outs)
+                pad[v, :k] = outs
+                mask[v, :k] = True
+            cached = (pad, mask, self.depth[pad])
+            object.__setattr__(self, "_packed", cached)
+        return cached
+
     def as_tree(self) -> Topology:
         """Shortest-path in-tree (each node keeps one min-depth edge).
 

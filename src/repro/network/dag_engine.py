@@ -1,4 +1,4 @@
-"""Height-only engine for single-sink DAGs (the §6 exploration).
+"""Height-only engines for single-sink DAGs (the §6 exploration).
 
 Model: the natural extension of §2 — each *edge* carries at most c = 1
 packet per step; a node holding packets may, per step, forward at most
@@ -9,21 +9,55 @@ pre-/post-injection timing as in the other engines.
 
 DAG policies implement :class:`DagPolicy.choose`: given the heights,
 return for every node either the chosen out-neighbour or -1 (hold).
+
+Two engines share that contract:
+
+* :class:`DagEngine` — the vectorised production engine, built the way
+  :class:`~repro.network.tree_engine.TreeEngine` was: per-step target
+  masks and scatter-add receives (``np.add.at``), receiver-first
+  finite-buffer resolution in (depth, id) priority-topological order,
+  all three overflow disciplines, fault injection, and a batched
+  :meth:`~DagEngine.run` fast path over
+  :meth:`~repro.adversaries.base.Adversary.inject_schedule` with a
+  sparse-occupancy inner loop and a dense numpy fallback.
+* :class:`DagLoopEngine` — the pinned per-node loop reference the
+  Hypothesis parity suite (``tests/property/test_dag_engine_parity``)
+  compares the vectorised engine against, trajectory for trajectory.
+
+Because decisions pick one *dynamic* out-edge per step, the DAG engine
+has no static sender/destination geometry; the scatter targets are the
+policy's per-step choices.  Everything else — injection mini-step,
+overflow disciplines, the loss-ledger conservation law, checkpoint
+formats — matches the tree engine semantics exactly.
 """
 
 from __future__ import annotations
 
 import copy
+import heapq
 from abc import ABC, abstractmethod
 from typing import Any
 
 import numpy as np
 
+from .buffers import Overflow, coerce_overflow
 from .dag import DagTopology
+from .faults import NO_FAULTS, FaultInjector, FaultPlan
 from .metrics import MetricsBundle
-from ..errors import BufferOverflow, RateViolation, SimulationError
+from .validation import validate_injections
 
-__all__ = ["DagPolicy", "DagEngine"]
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .simulator import RunResult
+from ..errors import (
+    BufferOverflow,
+    CheckpointError,
+    ConservationViolation,
+    SimulationError,
+)
+
+__all__ = ["DagPolicy", "DagEngine", "DagLoopEngine"]
 
 
 class DagPolicy(ABC):
@@ -40,12 +74,51 @@ class DagPolicy(ABC):
         """``target[v]`` = out-neighbour to send to, or -1 to hold.
 
         Nodes with empty buffers and the sink must hold; the engine
-        validates.
+        validates.  ``heights`` must not be mutated.
         """
 
 
-class DagEngine:
-    """Synchronous height-only simulator on a :class:`DagTopology`."""
+def _receiver_first_order(dag: DagTopology) -> list[int]:
+    """Push-back settle order: priority-topological by (depth, id).
+
+    Kahn's algorithm from the sink over reversed edges, always popping
+    the *ready* node (all out-neighbours already settled) with minimal
+    ``(depth, id)``.  On an in-tree every out-neighbour is strictly
+    shallower, so this reduces to plain ascending (depth, id) — exactly
+    TreeEngine's ``_pb_order``.  On a general DAG, ``depth`` alone is
+    not well-founded (an out-edge may point sideways to an equal-depth
+    node, since depth is shortest-hops-to-sink); the topological
+    constraint guarantees every receiver has settled before its sender
+    is swept.  The sink is omitted: it never sends and never refuses.
+    """
+    n = dag.n
+    rev: list[list[int]] = [[] for _ in range(n)]
+    pending = [0] * n  # out-neighbours not yet settled
+    for v, outs in enumerate(dag.out_edges):
+        pending[v] = len(outs)
+        for u in outs:
+            rev[u].append(v)
+    depth = dag.depth
+    heap: list[tuple[int, int]] = [(0, dag.sink)]
+    order: list[int] = []
+    while heap:
+        _, u = heapq.heappop(heap)
+        order.append(u)
+        for w in rev[u]:
+            pending[w] -= 1
+            if pending[w] == 0:
+                heapq.heappush(heap, (int(depth[w]), w))
+    return [v for v in order if v != dag.sink]
+
+
+class _DagEngineCore:
+    """State, checkpointing and invariants shared by both DAG engines.
+
+    Subclasses provide :meth:`step`; everything an orchestrating
+    adversary or the recovery driver touches (checkpoint / snapshot /
+    restore / save / load, the conservation and capacity asserts) lives
+    here so the loop reference and the vectorised engine cannot drift.
+    """
 
     def __init__(
         self,
@@ -57,6 +130,8 @@ class DagEngine:
         injection_limit: int = 1,
         series_every: int = 0,
         buffer_capacity: int | None = None,
+        overflow: Overflow | str = Overflow.DROP_TAIL,
+        faults: FaultPlan | FaultInjector | None = None,
         validate: bool = False,
     ) -> None:
         if decision_timing not in ("pre_injection", "post_injection"):
@@ -74,7 +149,16 @@ class DagEngine:
             raise SimulationError(
                 f"buffer_capacity must be >= 1 or None, got {buffer_capacity}"
             )
+        self.overflow = coerce_overflow(overflow)
+        if isinstance(faults, FaultInjector):
+            self.faults: FaultInjector | None = faults
+        elif faults is not None:
+            self.faults = FaultInjector(faults, dag)
+        else:
+            self.faults = None
         self.validate = validate
+        self._sink = int(dag.sink)
+        self._pb_order = _receiver_first_order(dag)
         self.heights = np.zeros(dag.n, dtype=np.int64)
         self.step_index = 0
         self.metrics = MetricsBundle.for_n(dag.n, series_every)
@@ -90,104 +174,52 @@ class DagEngine:
         return self.dag.n
 
     @property
+    def sink(self) -> int:
+        return self._sink
+
+    @property
     def topology(self) -> DagTopology:
         """Alias so orchestrating adversaries (Theorem 3.1 attack) can
         drive a DAG engine through the same interface."""
         return self.dag
 
-    def _validate_targets(self, targets: np.ndarray) -> None:
-        for v in range(self.dag.n):
-            t = int(targets[v])
-            if t < 0:
-                continue
-            if v == self.dag.sink:
-                raise SimulationError("the sink cannot forward")
-            if self.heights is not None and t not in self.dag.out_edges[v]:
-                raise SimulationError(
-                    f"policy chose a non-edge {v}->{t}"
-                )
+    @property
+    def max_height(self) -> int:
+        return self.metrics.max_height
 
     def step(self, injections: tuple[int, ...] | None = None) -> None:
-        h = self.heights
-        if injections is None and self.adversary is not None:
-            injections = tuple(
-                self.adversary.inject(self.step_index, h, self.dag)
-            )
-        sites = tuple(int(s) for s in (injections or ()))
-        if len(sites) > self.injection_limit:
-            raise RateViolation(
-                f"{len(sites)} injections > limit {self.injection_limit}"
-            )
-        for s in sites:
-            if not 0 <= s < self.dag.n or s == self.dag.sink:
-                raise RateViolation(f"bad injection site {s}")
+        raise NotImplementedError
 
-        cap = self.buffer_capacity
-        ledger = self.metrics.ledger
-
-        def apply_injections() -> None:
-            for s in sites:
-                if cap is not None and h[s] >= cap:
-                    # drop-tail: a full node rejects adversary traffic
-                    ledger.record(s, "overflow")
-                else:
-                    h[s] += 1
-
-        if self.decision_timing == "pre_injection":
-            targets = self.policy.choose(h.copy(), self.dag)
-            sendable = h > 0
-            apply_injections()
-        else:
-            apply_injections()
-            targets = self.policy.choose(h.copy(), self.dag)
-            sendable = h > 0
-        self._validate_targets(targets)
-        self.metrics.injected += len(sites)
-
-        delivered = 0
-        recv = np.zeros(self.dag.n, dtype=np.int64)
-        sent = np.zeros(self.dag.n, dtype=np.int64)
-        for v in range(self.dag.n):
-            t = int(targets[v])
-            if t < 0 or not sendable[v]:
-                continue
-            sent[v] = 1
-            if t == self.dag.sink:
-                delivered += 1
-            else:
-                recv[t] += 1
-        h -= sent
-        if cap is None:
-            h += recv
-        else:
-            # a node's own send frees a slot before arrivals land;
-            # excess arrivals are dropped drop-tail at the receiver
-            room = cap - h
-            room[self.dag.sink] = np.iinfo(np.int64).max
-            admitted = np.minimum(recv, np.maximum(room, 0))
-            refused = recv - admitted
-            h += admitted
-            for v in np.flatnonzero(refused):
-                ledger.record(int(v), "overflow", int(refused[v]))
-        h[self.dag.sink] = 0
-        if (h < 0).any():
-            raise SimulationError("negative height on a DAG node")
-        self.metrics.delivered += delivered
-
-        self.step_index += 1
-        self.metrics.observe(self.step_index, h)
-        if self.validate:
-            self.assert_capacity()
-            self.assert_conservation()
-
-    def run(self, steps: int) -> "DagEngine":
+    def run(self, steps: int) -> "_DagEngineCore":
         for _ in range(steps):
             self.step()
         return self
 
-    @property
-    def max_height(self) -> int:
-        return self.metrics.max_height
+    def result(self) -> "RunResult":
+        """Summary of the run so far (Simulator-compatible shape).
+
+        Per-packet delays are unobservable in a height-only engine, so
+        ``delay_summary`` is the empty recorder's NaN summary.
+        """
+        # lazy: simulator/engine_fast import the policy package, which
+        # imports this module for DagPolicy — a top-level import cycles
+        from .engine_fast import _NO_DELAYS
+        from .simulator import RunResult
+
+        ledger = self.metrics.ledger
+        return RunResult(
+            steps=self.step_index,
+            max_height=self.metrics.max_height,
+            argmax_node=self.metrics.tracker.argmax_node,
+            argmax_step=self.metrics.tracker.argmax_step,
+            injected=self.metrics.injected,
+            delivered=self.metrics.delivered,
+            in_flight=int(self.heights.sum()),
+            delay_summary=dict(_NO_DELAYS),
+            dropped=ledger.total,
+            drops_by_cause=ledger.by_cause(),
+            drops_by_node=ledger.by_node(),
+        )
 
     # checkpointing (for the recursive attack on a DAG spine)
     def checkpoint(self) -> dict[str, Any]:
@@ -195,6 +227,9 @@ class DagEngine:
             "heights": self.heights.copy(),
             "step": self.step_index,
             "metrics": self.metrics.snapshot(),
+            "faults": (
+                self.faults.snapshot() if self.faults is not None else None
+            ),
         }
 
     def snapshot(self) -> dict[str, Any]:
@@ -210,13 +245,47 @@ class DagEngine:
         }
 
     def restore(self, cp: dict[str, Any]) -> None:
+        """Roll back to a previous :meth:`checkpoint` / :meth:`snapshot`.
+
+        Raises
+        ------
+        CheckpointError
+            If the checkpoint's heights do not fit this engine's
+            topology (wrong shape, non-integer dtype, or negative
+            entries) — the same refusal style as the durable-checkpoint
+            loader, instead of deferring the failure to an arbitrary
+            later step.  The engine is untouched on refusal.
+        """
         if "engine" in cp:  # full snapshot()
+            self.restore(cp["engine"])
             self.policy = copy.deepcopy(cp["policy"])
             self.adversary = copy.deepcopy(cp["adversary"])
-            cp = cp["engine"]
-        self.heights = cp["heights"].copy()
-        self.step_index = cp["step"]
+            return
+        heights = cp["heights"]
+        if not isinstance(heights, np.ndarray) or heights.shape != (
+            self.dag.n,
+        ):
+            raise CheckpointError(
+                "refusing to restore: checkpoint heights shape "
+                f"{getattr(heights, 'shape', None)} does not match "
+                f"topology n={self.dag.n}"
+            )
+        if not np.issubdtype(heights.dtype, np.integer):
+            raise CheckpointError(
+                "refusing to restore: checkpoint heights dtype "
+                f"{heights.dtype} is not an integer type"
+            )
+        if (heights < 0).any():
+            v = int(np.flatnonzero(heights < 0)[0])
+            raise CheckpointError(
+                f"refusing to restore: checkpoint heights are negative "
+                f"at node {v}"
+            )
+        self.heights = heights.astype(np.int64, copy=True)
+        self.step_index = int(cp["step"])
         self.metrics.restore(cp["metrics"])
+        if self.faults is not None and cp.get("faults") is not None:
+            self.faults.restore(cp["faults"])
 
     def save_checkpoint(self, path):
         """Persist :meth:`snapshot` to a durable, checksummed file.
@@ -243,7 +312,7 @@ class DagEngine:
         """Finite-buffer invariant: no non-sink node above capacity.
 
         Trivially true with unbounded buffers; under a finite
-        ``buffer_capacity`` the drop-tail discipline must keep every
+        ``buffer_capacity`` every overflow discipline must keep every
         non-sink height at or below the capacity (the sink consumes
         instantly and holds nothing).  Same contract as the path, tree,
         and fleet engines — checked every step under ``validate=True``.
@@ -261,12 +330,575 @@ class DagEngine:
             )
 
     def assert_conservation(self) -> None:
+        """injected == delivered + in flight + dropped (ledger law)."""
         in_flight = int(self.heights.sum())
         dropped = self.metrics.ledger.total
         if self.metrics.injected != (
             self.metrics.delivered + in_flight + dropped
         ):
-            raise SimulationError(
+            raise ConservationViolation(
                 f"conservation broken: {self.metrics.injected} != "
                 f"{self.metrics.delivered} + {in_flight} + {dropped}"
             )
+
+    # ------------------------------------------------------------------
+    def _gather_injections(
+        self, injections: tuple[int, ...] | None, fault
+    ) -> tuple[int, ...]:
+        """Validated injection sites for this step, faults applied."""
+        if injections is not None:
+            batch = validate_injections(
+                injections, self.dag, self.injection_limit,
+                step=self.step_index,
+            )
+        elif self.adversary is not None:
+            batch = validate_injections(
+                self.adversary.inject(self.step_index, self.heights, self.dag),
+                self.dag,
+                self.injection_limit,
+                step=self.step_index,
+            )
+        else:
+            batch = ()
+        if fault.defer and batch:
+            self.faults.defer_injections(  # type: ignore[union-attr]
+                self.step_index, batch, fault.defer
+            )
+            batch = ()
+        return fault.released + batch
+
+
+class DagEngine(_DagEngineCore):
+    """Vectorised height-only simulator on a :class:`DagTopology`.
+
+    Semantics are pinned against :class:`DagLoopEngine` by the
+    Hypothesis parity suite: identical height trajectories, delivered
+    counts and loss ledgers across random DAGs, overflow disciplines,
+    fault plans and decision timings, and batched == stepped runs.
+    """
+
+    def _validate_targets(
+        self, targets: np.ndarray, sendable: np.ndarray
+    ) -> None:
+        """Reject illegal policy output.
+
+        The structural checks (the sink cannot forward; a target must
+        be a real out-edge) are always on — a misroute would silently
+        corrupt the height dynamics.  The documented "nodes with empty
+        buffers must hold" contract is enforced under ``validate=True``
+        only, keeping the hot path free of the extra comparison.
+        """
+        if targets[self._sink] >= 0:
+            raise SimulationError("the sink cannot forward")
+        active = np.flatnonzero(targets >= 0)
+        if not active.size:
+            return
+        pad, mask, _ = self.dag.packed_out_edges()
+        ok = ((pad[active] == targets[active, None]) & mask[active]).any(
+            axis=1
+        )
+        if not ok.all():
+            v = int(active[int(np.flatnonzero(~ok)[0])])
+            raise SimulationError(
+                f"policy chose a non-edge {v}->{int(targets[v])}"
+            )
+        if self.validate:
+            empty = active[~sendable[active]]
+            if empty.size:
+                v = int(empty[0])
+                raise SimulationError(
+                    f"step {self.step_index}: policy chose a target for "
+                    f"node {v} with an empty buffer (nodes with empty "
+                    "buffers must hold)"
+                )
+
+    def step(self, injections: tuple[int, ...] | None = None) -> None:
+        """Advance one round (injection mini-step, then forwarding).
+
+        Raises
+        ------
+        FaultError
+            If the fault plan kills the run at this step (before any
+            state is mutated, so a snapshot-resume is clean).
+        """
+        fault = (
+            self.faults.begin_step(self.step_index)
+            if self.faults is not None
+            else NO_FAULTS
+        )
+        h = self.heights
+        ledger = self.metrics.ledger
+        for v in fault.wiped:
+            k = int(h[v])
+            if k:
+                ledger.record(v, "wipe", k)
+                h[v] = 0
+        sites = self._gather_injections(injections, fault)
+        cap = self.buffer_capacity
+
+        def apply_injections() -> None:
+            for s in sites:
+                if s in fault.crashed:
+                    ledger.record(s, "crash")
+                elif cap is not None and h[s] >= cap:
+                    # push-back buffers drop-tail adversary traffic too:
+                    # there is no upstream sender to hold the packet
+                    ledger.record(s, "overflow")
+                else:
+                    h[s] += 1
+
+        if self.decision_timing == "pre_injection":
+            targets = np.asarray(
+                self.policy.choose(h.copy(), self.dag), dtype=np.int64
+            )
+            sendable = h > 0
+            apply_injections()
+        else:
+            apply_injections()
+            targets = np.asarray(
+                self.policy.choose(h.copy(), self.dag), dtype=np.int64
+            )
+            sendable = h > 0
+        self._validate_targets(targets, sendable)
+        if fault.blocked:
+            targets = targets.copy()
+            targets[list(fault.blocked)] = -1
+        self.metrics.injected += len(sites)
+
+        eff = (targets >= 0) & sendable
+        if cap is not None and self.overflow is Overflow.PUSH_BACK:
+            eff = self._push_back_eff(h, targets, eff, cap)
+        senders = np.flatnonzero(eff)
+        tgt = targets[senders]
+        to_sink = tgt == self._sink
+        delivered = int(np.count_nonzero(to_sink))
+        h -= eff
+        if cap is None or self.overflow is Overflow.PUSH_BACK:
+            np.add.at(h, tgt[~to_sink], 1)
+        else:
+            # each node's own send frees a slot before arrivals land;
+            # excess arrivals are dropped drop-tail at the receiver
+            incoming = np.zeros_like(h)
+            np.add.at(incoming, tgt[~to_sink], 1)
+            room = cap - h
+            room[self._sink] = np.iinfo(np.int64).max  # never fills
+            admitted = np.minimum(incoming, np.maximum(room, 0))
+            refused = incoming - admitted
+            h += admitted
+            if refused.any():
+                # drop-tail / drop-oldest: same height dynamics
+                for v in np.flatnonzero(refused):
+                    ledger.record(int(v), "overflow", int(refused[v]))
+        h[self._sink] = 0
+        if (h < 0).any():
+            raise SimulationError("negative height on a DAG node")
+        self.metrics.delivered += delivered
+
+        self.step_index += 1
+        self.metrics.observe(self.step_index, h)
+        if self.validate:
+            self.assert_capacity()
+            self.assert_conservation()
+
+    def _push_back_eff(
+        self,
+        h: np.ndarray,
+        targets: np.ndarray,
+        eff: np.ndarray,
+        cap: int,
+    ) -> np.ndarray:
+        """Effective send mask under :attr:`Overflow.PUSH_BACK`.
+
+        A send into a full buffer is refused and the packet stays with
+        its sender, shrinking the sender's own room for arrivals — so
+        refusals cascade away from the sink.  Transfers settle
+        receiver-first in the (depth, id) priority-topological order of
+        :func:`_receiver_first_order` (the sink never refuses).  When
+        the vectorised pre-check shows no buffer can refuse, ``eff`` is
+        returned unchanged, keeping the common case as fast as the drop
+        disciplines.
+        """
+        sends = eff.astype(np.int64)
+        senders = np.flatnonzero(eff)
+        tgt = targets[senders]
+        nonsink = tgt != self._sink
+        incoming = np.zeros_like(h)
+        np.add.at(incoming, tgt[nonsink], 1)
+        room = cap - (h - sends)
+        room[self._sink] = np.iinfo(np.int64).max
+        if (incoming <= np.maximum(room, 0)).all():
+            return eff  # no buffer can refuse: all sends succeed
+        # room after each node popped its own send; refusals put the
+        # packet back and shrink it again as the sweep proceeds
+        eff_l = eff.tolist()
+        t_l = targets.tolist()
+        room_l = (cap - h + sends).tolist()
+        sink = self._sink
+        for v in self._pb_order:
+            if not eff_l[v]:
+                continue
+            t = t_l[v]
+            if t == sink:
+                continue  # the sink always admits
+            if room_l[t] >= 1:
+                room_l[t] -= 1
+            else:
+                eff_l[v] = False
+                room_l[v] -= 1  # the requeued packet occupies its slot
+        return np.asarray(eff_l, dtype=bool)
+
+    # ------------------------------------------------------------------
+    def run(self, steps: int) -> "DagEngine":
+        """Advance ``steps`` rounds; returns self for chaining.
+
+        When the adversary publishes its injection schedule up front
+        (:meth:`~repro.adversaries.base.Adversary.inject_schedule`) and
+        no per-step instrumentation is active (fault plan, validation,
+        finite buffers), the rounds run through a batched inner loop
+        that skips per-step adversary dispatch and rate re-validation —
+        bit-identical to stepping (pinned by tests), purely a
+        throughput optimisation.
+        """
+        if steps > 0 and self._batchable():
+            schedule = self.adversary.inject_schedule(  # type: ignore[union-attr]
+                self.step_index, steps, self.dag
+            )
+            if schedule is not None:
+                return self._run_batched(schedule, steps)
+        for _ in range(steps):
+            self.step()
+        return self
+
+    def _batchable(self) -> bool:
+        """Is the batched inner loop observably identical to step()?"""
+        return (
+            self.adversary is not None
+            and self.faults is None
+            and not self.validate
+            and self.buffer_capacity is None
+        )
+
+    def _run_batched(self, schedule, steps: int) -> "DagEngine":
+        """The hot loop behind :meth:`run` for precomputed schedules."""
+        if len(schedule) != steps:
+            raise SimulationError(
+                f"adversary {self.adversary!r} returned "
+                f"{len(schedule)} schedule entries for {steps} steps"
+            )
+        from ..policies.dag import DagGreedyPolicy, DagOddEvenPolicy
+
+        if (
+            type(self.policy) in (DagOddEvenPolicy, DagGreedyPolicy)
+            and not self.metrics.series.enabled
+        ):
+            done = self._run_sparse_dag(schedule, steps)
+            if done == steps:
+                return self
+            schedule = schedule[done:]
+            steps -= done
+        h = self.heights
+        dag = self.dag
+        sink = self._sink
+        pre = self.decision_timing == "pre_injection"
+        choose = self.policy.choose
+        tracker = self.metrics.tracker
+        per_node_max = tracker.per_node_max
+        series = self.metrics.series if self.metrics.series.enabled else None
+        # deterministic schedules repeat a handful of distinct batches;
+        # validate each distinct batch once instead of every step
+        canon: dict[tuple[int, ...], tuple[int, ...]] = {}
+        injected = 0
+        delivered = 0
+        for entry in schedule:
+            sites = canon.get(entry)
+            if sites is None:
+                sites = validate_injections(
+                    entry, dag, self.injection_limit, step=self.step_index
+                )
+                canon[entry] = sites
+            if pre:
+                targets = np.asarray(choose(h, dag), dtype=np.int64)
+                sendable = h > 0
+                for s in sites:
+                    h[s] += 1
+            else:
+                for s in sites:
+                    h[s] += 1
+                targets = np.asarray(choose(h, dag), dtype=np.int64)
+                sendable = h > 0
+            self._validate_targets(targets, sendable)
+            injected += len(sites)
+            eff = (targets >= 0) & sendable
+            senders = np.flatnonzero(eff)
+            tgt = targets[senders]
+            to_sink = tgt == sink
+            delivered += int(np.count_nonzero(to_sink))
+            h -= eff
+            np.add.at(h, tgt[~to_sink], 1)
+            h[sink] = 0
+            self.step_index += 1
+            # inlined MetricsBundle.observe (same semantics, fewer calls)
+            np.maximum(per_node_max, h, out=per_node_max)
+            m = int(h.max())
+            if m > tracker.max_height:
+                tracker.max_height = m
+                tracker.argmax_node = int(np.argmax(h))
+                tracker.argmax_step = self.step_index
+            if series is not None:
+                series.observe(self.step_index, h)
+        self.metrics.injected += injected
+        self.metrics.delivered += delivered
+        return self
+
+    # how many occupied nodes the pure-Python sparse loop tolerates
+    # before handing the remaining steps to the numpy loop: beyond
+    # this, O(occupied·degree) Python work loses to O(n) C work
+    _SPARSE_OCCUPANCY_LIMIT = 256
+
+    def _run_sparse_dag(self, schedule, steps: int) -> int:
+        """Sparse inner loop for the built-in policies; returns steps done.
+
+        Under a rate-1 adversary the bounded policies keep the backlog
+        at O(log n) packets, so on a large DAG almost every buffer is
+        empty almost always — the per-step cost of the numpy loop is
+        pure call overhead.  This loop keeps plain-Python mirrors of
+        the heights and the occupied set and does O(occupied · degree)
+        work per step: the (height, depth, id)-argmin edge choice and
+        parity rule are re-implemented exactly (pinned by the
+        batched-run parity tests; DAG decisions are per-node
+        independent, so no sibling arbitration is needed), decisions
+        are taken from the decision-time snapshot before any move
+        lands, and max tracking is incremental — a node can only set a
+        height record in a step that increased it.  Delivered packets
+        are recovered at the end from conservation (no drops are
+        possible here: unbounded buffers, no faults).
+
+        If occupancy ever exceeds :attr:`_SPARSE_OCCUPANCY_LIMIT` the
+        loop stops early and reports how many steps it completed; the
+        caller finishes the rest in the dense loop.
+        """
+        from ..policies.dag import DagOddEvenPolicy
+
+        h = self.heights
+        dag = self.dag
+        sink = self._sink
+        out_l = [list(outs) for outs in dag.out_edges]
+        depth_l = dag.depth.tolist()
+        hl = h.tolist()
+        pre = self.decision_timing == "pre_injection"
+        odd_even = type(self.policy) is DagOddEvenPolicy
+        tracker = self.metrics.tracker
+        pnm = tracker.per_node_max
+        pnm_l = pnm.tolist()
+        cur_max = tracker.max_height
+        argmax_node = tracker.argmax_node
+        argmax_step = tracker.argmax_step
+        occ = {v for v in range(dag.n) if hl[v] > 0 and v != sink}
+        limit = self._SPARSE_OCCUPANCY_LIMIT
+        canon: dict[tuple[int, ...], tuple[int, ...]] = {}
+        injected = 0
+        in_flight_start = sum(hl)
+        done = 0
+        for entry in schedule:
+            if len(occ) > limit:
+                break
+            sites = canon.get(entry)
+            if sites is None:
+                sites = validate_injections(
+                    entry, dag, self.injection_limit, step=self.step_index
+                )
+                canon[entry] = sites
+            if not pre:
+                for s in sites:
+                    hl[s] += 1
+                    occ.add(s)
+            # all decisions from the decision-time snapshot, before any
+            # move is applied (simultaneous choice semantics)
+            moves = []
+            for v in occ:
+                hv = hl[v]
+                best = -1
+                bh = bd = 0
+                for u in out_l[v]:
+                    hu = hl[u]
+                    if best >= 0:
+                        if hu > bh:
+                            continue
+                        if hu == bh:
+                            du = depth_l[u]
+                            if du > bd or (du == bd and u > best):
+                                continue
+                    best = u
+                    bh = hu
+                    bd = depth_l[u]
+                if odd_even:
+                    # odd height: forward iff best <= h; even: strictly
+                    if bh > hv if hv & 1 else bh >= hv:
+                        continue
+                moves.append((v, best))
+            if pre:
+                for s in sites:
+                    hl[s] += 1
+            injected += len(sites)
+            grew = list(sites)
+            for v, u in moves:
+                hl[v] -= 1
+                if u != sink:
+                    hl[u] += 1
+                    grew.append(u)
+            for v, _ in moves:
+                if hl[v] == 0:
+                    occ.discard(v)
+            self.step_index += 1
+            done += 1
+            m = cur_max
+            for v in grew:
+                nv = hl[v]
+                if nv > 0:
+                    occ.add(v)
+                if nv > pnm_l[v]:
+                    pnm_l[v] = nv
+                if nv > m:
+                    m = nv
+            if m > cur_max:
+                # every node at a fresh record grew this step, so the
+                # full-array argmax reduces to the touched nodes
+                cur_max = m
+                argmax_node = min(v for v in grew if hl[v] == m)
+                argmax_step = self.step_index
+        h[:] = hl
+        pnm[:] = pnm_l
+        tracker.max_height = cur_max
+        tracker.argmax_node = argmax_node
+        tracker.argmax_step = argmax_step
+        self.metrics.injected += injected
+        # conservation: nothing can be dropped here, so what was
+        # injected and is no longer buffered was delivered
+        self.metrics.delivered += injected + in_flight_start - sum(hl)
+        return done
+
+
+class DagLoopEngine(_DagEngineCore):
+    """Per-node loop reference for :class:`DagEngine` (pinned).
+
+    The original pure-Python stepper, kept at full feature parity
+    (overflow disciplines, faults, validation) as the semantic
+    reference the Hypothesis parity suite and the ``dag_sps`` perf
+    telemetry compare the vectorised engine against.  Use
+    :class:`DagEngine` for real workloads.
+    """
+
+    def _validate_targets(
+        self, targets: np.ndarray, sendable: np.ndarray
+    ) -> None:
+        for v in range(self.dag.n):
+            t = int(targets[v])
+            if t < 0:
+                continue
+            if v == self._sink:
+                raise SimulationError("the sink cannot forward")
+            if t not in self.dag.out_edges[v]:
+                raise SimulationError(f"policy chose a non-edge {v}->{t}")
+            if self.validate and not sendable[v]:
+                raise SimulationError(
+                    f"step {self.step_index}: policy chose a target for "
+                    f"node {v} with an empty buffer (nodes with empty "
+                    "buffers must hold)"
+                )
+
+    def step(self, injections: tuple[int, ...] | None = None) -> None:
+        fault = (
+            self.faults.begin_step(self.step_index)
+            if self.faults is not None
+            else NO_FAULTS
+        )
+        h = self.heights
+        ledger = self.metrics.ledger
+        for v in fault.wiped:
+            k = int(h[v])
+            if k:
+                ledger.record(v, "wipe", k)
+                h[v] = 0
+        sites = self._gather_injections(injections, fault)
+        cap = self.buffer_capacity
+
+        def apply_injections() -> None:
+            for s in sites:
+                if s in fault.crashed:
+                    ledger.record(s, "crash")
+                elif cap is not None and h[s] >= cap:
+                    ledger.record(s, "overflow")
+                else:
+                    h[s] += 1
+
+        if self.decision_timing == "pre_injection":
+            targets = self.policy.choose(h.copy(), self.dag)
+            sendable = h > 0
+            apply_injections()
+        else:
+            apply_injections()
+            targets = self.policy.choose(h.copy(), self.dag)
+            sendable = h > 0
+        self._validate_targets(targets, sendable)
+        if fault.blocked:
+            targets = np.asarray(targets, dtype=np.int64).copy()
+            targets[list(fault.blocked)] = -1
+        self.metrics.injected += len(sites)
+
+        moves = [
+            (v, int(targets[v]))
+            for v in range(self.dag.n)
+            if targets[v] >= 0 and sendable[v]
+        ]
+        sink = self._sink
+        delivered = 0
+        if cap is not None and self.overflow is Overflow.PUSH_BACK:
+            # receiver-first sweep, same arithmetic as the vectorised
+            # engine's _push_back_eff
+            intended = dict(moves)
+            room = [
+                (cap - int(h[v])) + (1 if v in intended else 0)
+                for v in range(self.dag.n)
+            ]
+            effective = []
+            for v in self._pb_order:
+                t = intended.get(v)
+                if t is None:
+                    continue
+                if t == sink:
+                    effective.append((v, t))
+                elif room[t] >= 1:
+                    effective.append((v, t))
+                    room[t] -= 1
+                else:
+                    room[v] -= 1
+            moves = effective
+        recv = np.zeros(self.dag.n, dtype=np.int64)
+        for v, t in moves:
+            h[v] -= 1
+            if t == sink:
+                delivered += 1
+            else:
+                recv[t] += 1
+        if cap is None or self.overflow is Overflow.PUSH_BACK:
+            h += recv
+        else:
+            # a node's own send frees a slot before arrivals land;
+            # excess arrivals are dropped drop-tail at the receiver
+            room_a = cap - h
+            room_a[sink] = np.iinfo(np.int64).max
+            admitted = np.minimum(recv, np.maximum(room_a, 0))
+            refused = recv - admitted
+            h += admitted
+            for v in np.flatnonzero(refused):
+                ledger.record(int(v), "overflow", int(refused[v]))
+        h[sink] = 0
+        if (h < 0).any():
+            raise SimulationError("negative height on a DAG node")
+        self.metrics.delivered += delivered
+
+        self.step_index += 1
+        self.metrics.observe(self.step_index, h)
+        if self.validate:
+            self.assert_capacity()
+            self.assert_conservation()

@@ -23,6 +23,7 @@ the experiment registry:
 from .perf import (
     BENCH_FORMAT,
     bench_record,
+    dag_engine_throughput,
     engine_throughput,
     fleet_throughput,
     git_rev,
@@ -47,6 +48,7 @@ __all__ = [
     "run_experiments",
     "BENCH_FORMAT",
     "bench_record",
+    "dag_engine_throughput",
     "engine_throughput",
     "fleet_throughput",
     "git_rev",

@@ -20,6 +20,8 @@ Format (``benchmarks/README.md`` documents it for humans)::
                  "per_step_sps": ..., "batched_sps": ..., "speedup": ...},
       "tree": {"family": ..., "n": ..., "steps": ...,
                "simulator_sps": ..., "tree_engine_sps": ..., "speedup": ...},
+      "dag": {"family": ..., "n": ..., "steps": ...,
+              "loop_sps": ..., "dag_sps": ..., "speedup": ...},
       "fleet": {"runs": ..., "n": ..., "steps": ..., "sampled_lanes": ...,
                 "per_run_sps": ..., "fleet_sps": ..., "speedup": ...},
       "sweep": {"preset": ..., "jobs": ..., "wall_s": ...,
@@ -43,6 +45,7 @@ __all__ = [
     "git_rev",
     "engine_throughput",
     "tree_engine_throughput",
+    "dag_engine_throughput",
     "fleet_throughput",
     "bench_record",
     "write_bench",
@@ -144,6 +147,50 @@ def tree_engine_throughput(
     }
 
 
+def dag_engine_throughput(
+    layers: int = 128, width: int = 8, steps: int = 400
+) -> dict[str, Any]:
+    """Measure DagEngine vs DagLoopEngine steps/second on a layered
+    DAG of ``1 + layers × width`` nodes (the defaults give n = 1025,
+    the n ≥ 2¹⁰ regime E17's bounded-behaviour sweeps live in).
+
+    Both engines run the same (DAG Odd-Even, far-end) workload; the
+    height trajectories and metric counters are asserted identical
+    before reporting, so a perf record can never come from a diverging
+    vectorised engine.
+    """
+    from ..adversaries import FarEndAdversary
+    from ..network.dag import layered_dag
+    from ..network.dag_engine import DagEngine, DagLoopEngine
+    from ..policies.dag import DagOddEvenPolicy
+
+    dag = layered_dag(layers, width, out_degree=2, seed=1)
+    loop = DagLoopEngine(dag, DagOddEvenPolicy(), FarEndAdversary())
+    t0 = time.perf_counter()
+    loop.run(steps)
+    loop_s = time.perf_counter() - t0
+
+    eng = DagEngine(dag, DagOddEvenPolicy(), FarEndAdversary())
+    t0 = time.perf_counter()
+    eng.run(steps)
+    eng_s = time.perf_counter() - t0
+
+    if (loop.heights != eng.heights).any() or (
+        loop.metrics.delivered != eng.metrics.delivered
+    ):
+        raise SimulationError(
+            "DagEngine diverged from the DagLoopEngine reference"
+        )
+    return {
+        "family": f"layered_dag({layers},{width},k=2)",
+        "n": dag.n,
+        "steps": steps,
+        "loop_sps": round(steps / loop_s, 1),
+        "dag_sps": round(steps / eng_s, 1),
+        "speedup": round(loop_s / eng_s, 3),
+    }
+
+
 def fleet_throughput(
     runs: int = 256, n: int = 256, steps: int = 1024, sample: int = 8
 ) -> dict[str, Any]:
@@ -211,6 +258,7 @@ def bench_record(
     manifest: RunManifest | None = None,
     engine: dict[str, Any] | None = None,
     tree: dict[str, Any] | None = None,
+    dag: dict[str, Any] | None = None,
     fleet: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Assemble a bench record from its measured parts."""
@@ -224,6 +272,8 @@ def bench_record(
         record["engine"] = engine
     if tree is not None:
         record["tree"] = tree
+    if dag is not None:
+        record["dag"] = dag
     if fleet is not None:
         record["fleet"] = fleet
     if manifest is not None:

@@ -1,0 +1,282 @@
+"""Cross-engine parity on random DAGs: DagEngine vs DagLoopEngine.
+
+``test_tree_engine_parity`` pins the vectorised TreeEngine to the
+Simulator on in-trees; this module does the same for the vectorised
+:class:`~repro.network.dag_engine.DagEngine` against the pinned
+per-node loop reference :class:`DagLoopEngine` on *arbitrary*
+single-sink DAGs — random layered-ish DAGs, both policies, both
+decision timings, all three overflow disciplines, and fault plans.
+The two engines must be the same model: identical height trajectories
+step by step, identical injected/delivered totals, identical loss
+ledgers.
+
+The batched-run properties at the bottom pin ``DagEngine.run`` (the
+sparse-occupancy inner loop and its dense-fallback handoff) to plain
+stepping of the *same* engine class — the fast path must be a pure
+throughput optimisation, observably bit-identical.
+
+Because both engine classes share the policy objects, engine parity
+alone cannot catch a vectorisation bug *inside* a policy; the final
+property pins the vectorised lowest-out-neighbour kernel against its
+scalar reference directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.adversaries import ScheduleAdversary
+from repro.adversaries.base import Adversary
+from repro.network.buffers import Overflow
+from repro.network.dag import DagTopology
+from repro.network.dag_engine import DagEngine, DagLoopEngine
+from repro.network.faults import FaultEvent, FaultKind, FaultPlan
+from repro.policies.dag import (
+    DagGreedyPolicy,
+    DagOddEvenPolicy,
+    _lowest_out_neighbour,
+    _lowest_out_neighbours,
+)
+
+POLICIES = st.sampled_from([DagOddEvenPolicy, DagGreedyPolicy])
+TIMINGS = st.sampled_from(["pre_injection", "post_injection"])
+
+
+@st.composite
+def random_dag(draw, min_n=2, max_n=16):
+    """A random single-sink DAG: node 0 is the sink, every node v > 0
+    gets 1-3 out-edges to strictly lower ids (acyclic and sink-reaching
+    by construction, with genuine multi-out-edge routing choices)."""
+    n = draw(st.integers(min_n, max_n))
+    out_edges: list[tuple[int, ...]] = [()]
+    for v in range(1, n):
+        k = draw(st.integers(1, min(3, v)))
+        outs = draw(
+            st.lists(
+                st.integers(0, v - 1),
+                min_size=k, max_size=k, unique=True,
+            )
+        )
+        out_edges.append(tuple(outs))
+    return DagTopology(out_edges=tuple(out_edges), sink=0)
+
+
+@st.composite
+def dag_run(draw):
+    dag = draw(random_dag())
+    steps = draw(st.integers(1, 40))
+    sched = draw(
+        st.lists(
+            st.one_of(st.none(), st.integers(1, dag.n - 1)),
+            min_size=steps,
+            max_size=steps,
+        )
+    )
+    policy_cls = draw(POLICIES)
+    timing = draw(TIMINGS)
+    return dag, steps, sched, policy_cls, timing
+
+
+def as_adversary(sched):
+    return ScheduleAdversary(
+        {i: (s,) for i, s in enumerate(sched) if s is not None}
+    )
+
+
+@st.composite
+def fault_plan(draw, n, steps):
+    """A small non-halting fault plan targeting this topology."""
+    events = draw(
+        st.lists(
+            st.builds(
+                FaultEvent,
+                kind=st.sampled_from(
+                    [FaultKind.LINK_DOWN, FaultKind.CRASH, FaultKind.JITTER]
+                ),
+                start=st.integers(0, max(steps - 1, 0)),
+                node=st.integers(1, n - 1),
+                duration=st.integers(1, 4),
+                wipe=st.booleans(),
+                delay=st.integers(1, 3),
+            ),
+            max_size=4,
+        )
+    )
+    return FaultPlan(events=tuple(events))
+
+
+def _engines(dag, policy_cls, adv_sched, timing, **kw):
+    """A (DagEngine, DagLoopEngine) pair on identical configurations."""
+    return (
+        DagEngine(dag, policy_cls(), as_adversary(adv_sched),
+                  decision_timing=timing, validate=True, **kw),
+        DagLoopEngine(dag, policy_cls(), as_adversary(adv_sched),
+                      decision_timing=timing, validate=True, **kw),
+    )
+
+
+def _assert_lockstep(fast, slow, steps):
+    for _ in range(steps):
+        fast.step()
+        slow.step()
+        assert (fast.heights == slow.heights).all()
+    assert fast.metrics.injected == slow.metrics.injected
+    assert fast.metrics.delivered == slow.metrics.delivered
+    assert fast.metrics.ledger.detail() == slow.metrics.ledger.detail()
+
+
+@given(dag_run())
+@settings(max_examples=80, deadline=None)
+def test_engines_agree_with_unbounded_buffers(run):
+    """The faithful §2 model on DAGs: same trajectory, zero loss."""
+    dag, steps, sched, policy_cls, timing = run
+    fast, slow = _engines(dag, policy_cls, sched, timing)
+    _assert_lockstep(fast, slow, steps)
+    assert fast.metrics.ledger.total == 0
+
+
+@given(dag_run(), st.integers(1, 3), st.sampled_from(list(Overflow)))
+@settings(max_examples=80, deadline=None)
+def test_engines_agree_under_finite_buffers(run, cap, overflow):
+    """Degradation model on DAGs: same heights, same losses, all three
+    overflow disciplines (validate=True makes both engines also
+    self-check conservation and capacity every step)."""
+    dag, steps, sched, policy_cls, timing = run
+    fast, slow = _engines(dag, policy_cls, sched, timing,
+                          buffer_capacity=cap, overflow=overflow)
+    _assert_lockstep(fast, slow, steps)
+
+
+@given(dag_run(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_engines_agree_under_faults(run, data):
+    """Link outages, crashes (with and without wipes) and injection
+    jitter hit both engines identically — including the loss ledger's
+    per-node per-cause attribution."""
+    dag, steps, sched, policy_cls, timing = run
+    plan = data.draw(fault_plan(dag.n, steps))
+    fast, slow = _engines(dag, policy_cls, sched, timing, faults=plan)
+    _assert_lockstep(fast, slow, steps)
+
+
+@given(dag_run(), st.integers(1, 3))
+@settings(max_examples=60, deadline=None)
+def test_push_back_never_exceeds_capacity(run, cap):
+    """Under push-back no non-sink node is ever driven above capacity —
+    refusals must cascade along the receiver-first (depth, id) order,
+    which on a general DAG is the priority topological sort."""
+    dag, steps, sched, policy_cls, timing = run
+    fast, slow = _engines(dag, policy_cls, sched, timing,
+                          buffer_capacity=cap, overflow=Overflow.PUSH_BACK)
+    non_sink = np.array([v for v in range(dag.n) if v != dag.sink])
+    for _ in range(steps):
+        fast.step()
+        slow.step()
+        assert (fast.heights[non_sink] <= cap).all()
+        assert (fast.heights == slow.heights).all()
+        fast.assert_capacity()
+
+
+# ---------------------------------------------------------------------
+# run() fast-path parity: batched == stepped, bit for bit
+
+
+class _ScriptedBatch(Adversary):
+    """A script that also publishes itself via the batched protocol."""
+
+    name = "scripted-batch"
+
+    def __init__(self, batches):
+        self.batches = [tuple(b) for b in batches]
+
+    def inject(self, step, heights, topology):
+        return self.batches[step % len(self.batches)]
+
+    def inject_schedule(self, start, steps, topology):
+        m = len(self.batches)
+        return [self.batches[(start + i) % m] for i in range(steps)]
+
+
+@st.composite
+def batched_run(draw):
+    dag = draw(random_dag())
+    steps = draw(st.integers(1, 50))
+    batches = draw(
+        st.lists(
+            st.lists(st.integers(1, dag.n - 1), max_size=1),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    policy_cls = draw(POLICIES)
+    timing = draw(TIMINGS)
+    # 2 forces the sparse loop to bail mid-run into the dense loop
+    limit = draw(st.sampled_from([256, 2]))
+    return dag, steps, batches, policy_cls, timing, limit
+
+
+@given(batched_run())
+@settings(max_examples=80, deadline=None)
+def test_batched_run_matches_stepping(run):
+    dag, steps, batches, policy_cls, timing, limit = run
+    stepped = DagEngine(dag, policy_cls(), _ScriptedBatch(batches),
+                        decision_timing=timing)
+    batched = DagEngine(dag, policy_cls(), _ScriptedBatch(batches),
+                        decision_timing=timing)
+    batched._SPARSE_OCCUPANCY_LIMIT = limit
+    for _ in range(steps):
+        stepped.step()
+    batched.run(steps)
+    assert (stepped.heights == batched.heights).all()
+    assert stepped.metrics.injected == batched.metrics.injected
+    assert stepped.metrics.delivered == batched.metrics.delivered
+    ta, tb = stepped.metrics.tracker, batched.metrics.tracker
+    assert (ta.max_height, ta.argmax_node, ta.argmax_step) == (
+        tb.max_height, tb.argmax_node, tb.argmax_step
+    )
+    assert (ta.per_node_max == tb.per_node_max).all()
+    assert stepped.result() == batched.result()
+
+
+@given(batched_run())
+@settings(max_examples=40, deadline=None)
+def test_batched_run_matches_loop_reference(run):
+    """End to end: the batched fast path of the vectorised engine lands
+    on the same state as plain stepping of the loop reference."""
+    dag, steps, batches, policy_cls, timing, limit = run
+    loop = DagLoopEngine(dag, policy_cls(), _ScriptedBatch(batches),
+                         decision_timing=timing)
+    batched = DagEngine(dag, policy_cls(), _ScriptedBatch(batches),
+                        decision_timing=timing)
+    batched._SPARSE_OCCUPANCY_LIMIT = limit
+    for _ in range(steps):
+        loop.step()
+    batched.run(steps)
+    assert (loop.heights == batched.heights).all()
+    assert loop.metrics.injected == batched.metrics.injected
+    assert loop.metrics.delivered == batched.metrics.delivered
+
+
+# ---------------------------------------------------------------------
+# policy-kernel parity: both engine classes share the policy objects,
+# so the engine properties above cannot see a bug in the vectorised
+# argmin itself — pin it against the scalar reference directly.
+
+
+@given(random_dag(), st.data())
+@settings(max_examples=100, deadline=None)
+def test_vectorised_argmin_matches_scalar(dag, data):
+    heights = np.asarray(
+        data.draw(
+            st.lists(st.integers(0, 5), min_size=dag.n, max_size=dag.n)
+        ),
+        dtype=np.int64,
+    )
+    u, hu = _lowest_out_neighbours(heights, dag)
+    for v in range(dag.n):
+        if v == dag.sink:
+            continue
+        want = _lowest_out_neighbour(v, heights, dag)
+        assert u[v] == want
+        assert hu[v] == heights[want]

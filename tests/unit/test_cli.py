@@ -66,6 +66,43 @@ class TestCommands:
         second = capsys.readouterr().out
         assert first == second
 
+    def test_simulate_tree_engine(self, capsys):
+        code = main(["simulate", "--engine", "tree",
+                     "--topology", "binary:4", "--adversary", "far-end",
+                     "--steps", "64"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine=tree" in out and "n=31" in out
+
+    def test_simulate_dag_engine(self, capsys):
+        code = main(["simulate", "--engine", "dag",
+                     "--topology", "diamond:3x8", "--adversary", "uniform",
+                     "--steps", "64", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine=dag" in out and "n=25" in out
+
+    def test_simulate_engine_topology_mismatch_is_friendly(self, capsys):
+        code = main(["simulate", "--engine", "path",
+                     "--topology", "binary:4"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "path topologies" in err
+
+    def test_simulate_engine_adversary_mismatch_is_friendly(self, capsys):
+        code = main(["simulate", "--engine", "dag",
+                     "--adversary", "seesaw"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "seesaw" in err
+
+    def test_simulate_engine_policy_mismatch_is_friendly(self, capsys):
+        code = main(["simulate", "--engine", "dag",
+                     "--policy", "downhill"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "downhill" in err
+
     def test_simulate_policy_capacity_mismatch_is_friendly(self, capsys):
         # scaled-odd-even-2 requires c = 2; the CLI runs at c = 1 and
         # must fail with a clean message, not a traceback

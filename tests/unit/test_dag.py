@@ -10,7 +10,12 @@ from repro.adversaries import (
     RecursiveLowerBoundAttack,
     UniformRandomAdversary,
 )
-from repro.errors import RateViolation, SimulationError, TopologyError
+from repro.errors import (
+    CheckpointError,
+    RateViolation,
+    SimulationError,
+    TopologyError,
+)
 from repro.network.dag import (
     DagTopology,
     diamond_grid,
@@ -18,7 +23,7 @@ from repro.network.dag import (
     layered_dag,
     tree_with_shortcuts,
 )
-from repro.network.dag_engine import DagEngine, DagPolicy
+from repro.network.dag_engine import DagEngine, DagLoopEngine, DagPolicy
 from repro.network.engine_fast import PathEngine
 from repro.network.topology import path, random_tree
 from repro.policies import OddEvenPolicy
@@ -153,6 +158,42 @@ class TestDagEngine:
         with pytest.raises(SimulationError):
             e.step()
 
+    @pytest.mark.parametrize("engine_cls", [DagEngine, DagLoopEngine])
+    def test_empty_buffer_target_rejected_under_validate(self, engine_cls):
+        class Eager(DagPolicy):
+            name = "eager"
+
+            def choose(self, heights, dag):
+                t = np.full(dag.n, -1, dtype=np.int64)
+                for v in range(dag.n):
+                    if v != dag.sink:
+                        t[v] = dag.out_edges[v][0]  # even when empty
+                return t
+
+        e = engine_cls(diamond_grid(2, 3), Eager(), None, validate=True)
+        with pytest.raises(SimulationError, match="empty buffer"):
+            e.step()
+
+    @pytest.mark.parametrize("engine_cls", [DagEngine, DagLoopEngine])
+    def test_empty_buffer_target_held_without_validate(self, engine_cls):
+        """Outside strict mode an empty-node target is silently a hold
+        (the pre-fix behaviour users' policies may rely on)."""
+
+        class Eager(DagPolicy):
+            name = "eager"
+
+            def choose(self, heights, dag):
+                t = np.full(dag.n, -1, dtype=np.int64)
+                for v in range(dag.n):
+                    if v != dag.sink:
+                        t[v] = dag.out_edges[v][0]
+                return t
+
+        e = engine_cls(diamond_grid(2, 3), Eager(), None)
+        e.step()
+        assert (e.heights == 0).all()
+        e.assert_conservation()
+
     def test_checkpoint_restore(self):
         dag = layered_dag(5, 3, 2, seed=4)
         e = DagEngine(dag, DagOddEvenPolicy(), FarEndAdversary())
@@ -162,6 +203,31 @@ class TestDagEngine:
         e.run(20)
         e.restore(cp)
         assert (e.heights == h).all()
+
+    @pytest.mark.parametrize("engine_cls", [DagEngine, DagLoopEngine])
+    def test_restore_rejects_wrong_shape(self, engine_cls):
+        e = engine_cls(diamond_grid(2, 3), DagGreedyPolicy(), None)
+        cp = e.checkpoint()
+        cp["heights"] = np.zeros(e.n + 1, dtype=np.int64)
+        with pytest.raises(CheckpointError, match="shape"):
+            e.restore(cp)
+
+    @pytest.mark.parametrize("engine_cls", [DagEngine, DagLoopEngine])
+    def test_restore_rejects_non_integer_heights(self, engine_cls):
+        e = engine_cls(diamond_grid(2, 3), DagGreedyPolicy(), None)
+        cp = e.checkpoint()
+        cp["heights"] = np.zeros(e.n, dtype=np.float64)
+        with pytest.raises(CheckpointError, match="dtype"):
+            e.restore(cp)
+
+    @pytest.mark.parametrize("engine_cls", [DagEngine, DagLoopEngine])
+    def test_restore_rejects_negative_heights(self, engine_cls):
+        e = engine_cls(diamond_grid(2, 3), DagGreedyPolicy(), None)
+        cp = e.checkpoint()
+        cp["heights"] = np.zeros(e.n, dtype=np.int64)
+        cp["heights"][2] = -1
+        with pytest.raises(CheckpointError, match="negative"):
+            e.restore(cp)
 
     def test_pre_injection_holds_fresh_packet(self):
         dag = from_tree(path(3))

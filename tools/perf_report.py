@@ -15,8 +15,9 @@ Usage::
 
 ``record`` writes ``BENCH_<label>.json`` (format documented in
 ``benchmarks/README.md``): path-engine steps/second (per-step and
-batched), TreeEngine-vs-Simulator tree throughput, FleetEngine
-cross-run throughput, per-experiment wall-clock, preset and git
+batched), TreeEngine-vs-Simulator tree throughput, DagEngine-vs-loop
+DAG throughput, FleetEngine cross-run throughput, per-experiment
+wall-clock, preset and git
 revision — one comparable perf data point per run.  ``compare``
 prints a per-engine summary table (baseline sps, current sps, delta)
 and exits 1 naming the offending metrics when the new record is
@@ -34,6 +35,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.runner import (  # noqa: E402  (path bootstrap above)
     bench_record,
+    dag_engine_throughput,
     engine_throughput,
     fleet_throughput,
     load_bench,
@@ -46,6 +48,7 @@ from repro.runner import (  # noqa: E402  (path bootstrap above)
 ENGINE_METRICS: tuple[tuple[str, tuple[str, ...]], ...] = (
     ("engine", ("per_step_sps", "batched_sps")),
     ("tree", ("simulator_sps", "tree_engine_sps")),
+    ("dag", ("loop_sps", "dag_sps")),
     ("fleet", ("per_run_sps", "fleet_sps")),
 )
 
@@ -64,6 +67,14 @@ def _cmd_record(args: argparse.Namespace) -> int:
         f"tree {tree['family']} (n={tree['n']}): simulator "
         f"{tree['simulator_sps']} steps/s, tree engine "
         f"{tree['tree_engine_sps']} steps/s ({tree['speedup']}x)"
+    )
+    dag = dag_engine_throughput(
+        layers=args.dag_layers, width=args.dag_width, steps=args.dag_steps
+    )
+    print(
+        f"dag {dag['family']} (n={dag['n']}): loop {dag['loop_sps']} "
+        f"steps/s, vectorised {dag['dag_sps']} steps/s "
+        f"({dag['speedup']}x)"
     )
     fleet = fleet_throughput(
         runs=args.fleet_runs, n=args.fleet_n, steps=args.fleet_steps
@@ -85,7 +96,7 @@ def _cmd_record(args: argparse.Namespace) -> int:
               f"{manifest.wall_s:.2f}s with --jobs {args.jobs}")
     path = write_bench(
         bench_record(args.label, manifest=manifest, engine=engine,
-                     tree=tree, fleet=fleet),
+                     tree=tree, dag=dag, fleet=fleet),
         args.out,
     )
     print(f"wrote {path}")
@@ -192,6 +203,11 @@ def main(argv: list[str] | None = None) -> int:
                    help="balanced binary tree depth for the tree "
                         "engine microbench (n = 2^(depth+1) - 1)")
     r.add_argument("--tree-steps", type=int, default=2000)
+    r.add_argument("--dag-layers", type=int, default=128,
+                   help="layered DAG depth for the DAG engine "
+                        "microbench (n = 1 + layers*width)")
+    r.add_argument("--dag-width", type=int, default=8)
+    r.add_argument("--dag-steps", type=int, default=400)
     r.add_argument("--fleet-runs", type=int, default=256)
     r.add_argument("--fleet-n", type=int, default=256)
     r.add_argument("--fleet-steps", type=int, default=1024)
