@@ -39,6 +39,7 @@ def pytest_sessionfinish(session, exitstatus):
         dag_engine_throughput,
         engine_throughput,
         fleet_throughput,
+        service_throughput,
         tree_engine_throughput,
         write_bench,
     )
@@ -58,7 +59,8 @@ def pytest_sessionfinish(session, exitstatus):
         bench_record(label, manifest=manifest, engine=engine_throughput(),
                      tree=tree_engine_throughput(),
                      dag=dag_engine_throughput(),
-                     fleet=fleet_throughput()),
+                     fleet=fleet_throughput(),
+                     service=service_throughput()),
         os.environ.get("REPRO_BENCH_DIR", "."),
     )
     print(f"\nwrote perf record {path}")

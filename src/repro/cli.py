@@ -197,6 +197,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fail with 504 instead of answering from the "
                         "nearest cached result / analytic bound when "
                         "the pool is unhealthy")
+    v.add_argument("--batch-window-ms", type=float, default=4.0,
+                   metavar="MS",
+                   help="coalescing window: cache-missing queries "
+                        "sharing a batch key wait up to this long to "
+                        "be served as one FleetEngine call "
+                        "(default 4ms; flushes early on a full batch "
+                        "or a tight member deadline)")
+    v.add_argument("--batch-max-lanes", type=int, default=64,
+                   metavar="N",
+                   help="flush a forming batch early once it holds "
+                        "this many distinct queries (default 64)")
+    v.add_argument("--no-batching", action="store_true",
+                   help="disable query coalescing: every cache miss "
+                        "takes the solo per-query worker path")
     return p
 
 
@@ -263,6 +277,7 @@ def _cmd_run(ids: Sequence[str], preset: str, out: str | None,
         dag_engine_throughput,
         engine_throughput,
         fleet_throughput,
+        service_throughput,
         run_experiments,
         tree_engine_throughput,
         write_bench,
@@ -325,7 +340,8 @@ def _cmd_run(ids: Sequence[str], preset: str, out: str | None,
                          engine=engine_throughput(),
                          tree=tree_engine_throughput(),
                          dag=dag_engine_throughput(),
-                         fleet=fleet_throughput()),
+                         fleet=fleet_throughput(),
+                         service=service_throughput()),
             out or ".",
         )
         print(f"wrote perf record {path}")
@@ -669,6 +685,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_max_bytes=args.cache_max_bytes,
         cache_max_entries=args.cache_max_entries,
         degrade=not args.no_degrade,
+        batching=not args.no_batching,
+        batch_window_ms=args.batch_window_ms,
+        batch_max_lanes=args.batch_max_lanes,
     ))
 
 

@@ -307,6 +307,42 @@ class FleetEngine:
         self.run(steps)
         return self.results()
 
+    def run_horizons(self, horizons: Sequence[int]) -> list[RunResult]:
+        """Heterogeneous sweep: run lane ``r`` to ``horizons[r]`` steps.
+
+        Lanes of a fleet are independent rows of the height matrix, so
+        a fleet can serve runs of *different lengths* in one batched
+        call: the fleet advances in lockstep through the sorted set of
+        horizons, capturing each lane's :class:`RunResult` the moment
+        its own horizon is reached (bit-identical to running that lane
+        alone for exactly ``horizons[r]`` steps), while longer lanes
+        keep advancing.  This is what lets the provisioning service
+        coalesce queries that agree on topology/policy/adversary family
+        but ask for different step budgets.
+
+        ``horizons`` are absolute step indices and must each be >= the
+        current ``step_index``.
+        """
+        if len(horizons) != self.runs:
+            raise SimulationError(
+                f"run_horizons: got {len(horizons)} horizons for "
+                f"{self.runs} runs"
+            )
+        targets = [int(h) for h in horizons]
+        low = min(targets, default=0)
+        if low < self.step_index:
+            raise SimulationError(
+                f"run_horizons: horizon {low} is behind the fleet's "
+                f"current step {self.step_index}"
+            )
+        captured: dict[int, RunResult] = {}
+        for target in sorted(set(targets)):
+            self.run(target - self.step_index)
+            for r, h in enumerate(targets):
+                if h == target:
+                    captured[r] = self.result(r)
+        return [captured[r] for r in range(self.runs)]
+
     # ------------------------------------------------------------------
     def _fetch_schedules(self, steps: int):
         """Validate every vectorised lane's schedule for the horizon.

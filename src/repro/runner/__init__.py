@@ -26,6 +26,7 @@ from .perf import (
     dag_engine_throughput,
     engine_throughput,
     fleet_throughput,
+    service_throughput,
     git_rev,
     load_bench,
     tree_engine_throughput,
@@ -51,6 +52,7 @@ __all__ = [
     "dag_engine_throughput",
     "engine_throughput",
     "fleet_throughput",
+    "service_throughput",
     "git_rev",
     "load_bench",
     "tree_engine_throughput",

@@ -24,6 +24,9 @@ Format (``benchmarks/README.md`` documents it for humans)::
               "loop_sps": ..., "dag_sps": ..., "speedup": ...},
       "fleet": {"runs": ..., "n": ..., "steps": ..., "sampled_lanes": ...,
                 "per_run_sps": ..., "fleet_sps": ..., "speedup": ...},
+      "service": {"queries": ..., "n": ..., "base_steps": ...,
+                  "batch_lanes": ..., "batch_occupancy": ...,
+                  "solo_qps": ..., "service_qps": ..., "speedup": ...},
       "sweep": {"preset": ..., "jobs": ..., "wall_s": ...,
                 "experiments": [{"id": ..., "status": ..., "wall_s": ...}]}
     }
@@ -47,6 +50,7 @@ __all__ = [
     "tree_engine_throughput",
     "dag_engine_throughput",
     "fleet_throughput",
+    "service_throughput",
     "bench_record",
     "write_bench",
     "load_bench",
@@ -252,6 +256,79 @@ def fleet_throughput(
     }
 
 
+def service_throughput(
+    queries: int = 256,
+    n: int = 64,
+    base_steps: int = 400,
+    max_lanes: int = 64,
+) -> dict[str, Any]:
+    """Measure the service's solo vs batched queries/second.
+
+    A uniform cache-missing burst of ``queries`` provisioning queries
+    sharing one batch key (far-end adversary, heterogeneous per-lane
+    step budgets so every cache key is distinct) is answered twice
+    through the real worker bodies: once per-query via
+    :func:`~repro.service.worker.execute_query` (the solo path), once
+    coalesced into batches of up to ``max_lanes`` lanes via
+    :func:`~repro.service.worker.execute_batch` (one FleetEngine call
+    per batch).  Every per-lane response is asserted identical to its
+    solo twin (``compute_s`` aside) before reporting, so a perf record
+    can never be produced by a diverging batched path.  Both rates
+    count queries per second.
+    """
+    from ..service.protocol import ProvisionQuery
+    from ..service.worker import execute_batch, execute_query
+
+    dicts = [
+        ProvisionQuery.from_dict(
+            {
+                "topology": f"path:{n}",
+                "policy": "odd-even",
+                "adversary": "far-end",
+                "steps": base_steps + i,
+                "seed": i,
+            }
+        ).to_worker_dict()
+        for i in range(queries)
+    ]
+
+    t0 = time.perf_counter()
+    solo = [execute_query(d) for d in dicts]
+    solo_s = time.perf_counter() - t0
+
+    batches = [
+        dicts[i : i + max_lanes] for i in range(0, len(dicts), max_lanes)
+    ]
+    t0 = time.perf_counter()
+    batched: list[dict[str, Any]] = []
+    for chunk in batches:
+        batched.extend(execute_batch(chunk))
+    batched_s = time.perf_counter() - t0
+
+    for i, (s, b) in enumerate(zip(solo, batched)):
+        if "error" in s or "error" in b:
+            raise SimulationError(
+                f"service_throughput query {i} errored: "
+                f"{s.get('error') or b.get('error')}"
+            )
+        ss = {k: v for k, v in s.items() if k != "compute_s"}
+        bb = {k: v for k, v in b.items() if k != "compute_s"}
+        if ss != bb:
+            raise SimulationError(
+                f"batched service answer diverged from solo on query {i}"
+            )
+    return {
+        "queries": queries,
+        "n": n,
+        "base_steps": base_steps,
+        "batch_lanes": max_lanes,
+        "batch_occupancy": round(queries / len(batches), 1),
+        "solo_qps": round(queries / solo_s, 1),
+        "service_qps": round(queries / batched_s, 1),
+        "speedup": round(solo_s / batched_s, 3),
+    }
+
+
 def bench_record(
     label: str,
     *,
@@ -260,6 +337,7 @@ def bench_record(
     tree: dict[str, Any] | None = None,
     dag: dict[str, Any] | None = None,
     fleet: dict[str, Any] | None = None,
+    service: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Assemble a bench record from its measured parts."""
     record: dict[str, Any] = {
@@ -276,6 +354,8 @@ def bench_record(
         record["dag"] = dag
     if fleet is not None:
         record["fleet"] = fleet
+    if service is not None:
+        record["service"] = service
     if manifest is not None:
         record["sweep"] = manifest.to_dict()
     return record

@@ -214,7 +214,12 @@ class RunStore:
     # remain self-verifying (checksummed) whether or not they are
     # indexed, and a lost/corrupt index simply rebuilds from the files
     # on disk.  ``clock`` is a logical LRU counter (no wall time, so
-    # recency ordering is deterministic and replayable).
+    # recency ordering is deterministic and replayable).  Entries whose
+    # meta carries a ``"bucket"`` string are additionally filed under
+    # ``doc["buckets"][bucket]`` so shape-scoped lookups (the service's
+    # degraded-mode nearest-neighbour) stay O(bucket) as the index
+    # grows; eviction keeps the two views consistent, and indexes
+    # written before buckets existed rebuild them from metas on load.
 
     @property
     def index_path(self) -> Path:
@@ -231,9 +236,53 @@ class RunStore:
             or doc.get("format") != INDEX_FORMAT
             or not isinstance(doc.get("entries"), dict)
         ):
-            return {"format": INDEX_FORMAT, "clock": 0, "entries": {}}
+            return {
+                "format": INDEX_FORMAT,
+                "clock": 0,
+                "entries": {},
+                "buckets": {},
+            }
         doc.setdefault("clock", 0)
+        if not isinstance(doc.get("buckets"), dict):
+            # legacy index (pre-bucket): rebuild membership from metas
+            doc["buckets"] = self._rebuild_buckets(doc["entries"])
         return doc
+
+    @staticmethod
+    def _rebuild_buckets(
+        entries: dict[str, Any],
+    ) -> dict[str, list[str]]:
+        buckets: dict[str, list[str]] = {}
+        for name, entry in entries.items():
+            meta = entry.get("meta")
+            if isinstance(meta, dict) and isinstance(
+                meta.get("bucket"), str
+            ):
+                buckets.setdefault(meta["bucket"], []).append(name)
+        return {b: sorted(ns) for b, ns in sorted(buckets.items())}
+
+    @staticmethod
+    def _drop_from_buckets(
+        doc: dict[str, Any], name: str, entry: Any
+    ) -> None:
+        bucket = ((entry or {}).get("meta") or {}).get("bucket")
+        buckets = doc.get("buckets")
+        if not isinstance(buckets, dict) or not isinstance(bucket, str):
+            return
+        names = buckets.get(bucket)
+        if isinstance(names, list) and name in names:
+            names.remove(name)
+            if not names:
+                del buckets[bucket]
+
+    def bucket_names(
+        self, bucket: str, doc: dict[str, Any] | None = None
+    ) -> list[str]:
+        """Index entry names filed under ``bucket`` (O(bucket), not
+        O(index): the degraded-mode nearest lookup's working set)."""
+        doc = self.load_index() if doc is None else doc
+        names = doc.get("buckets", {}).get(bucket, [])
+        return list(names) if isinstance(names, list) else []
 
     def write_index(self, doc: dict[str, Any]) -> Path:
         """Atomically rewrite ``index.json``."""
@@ -267,6 +316,11 @@ class RunStore:
         entry["last_used"] = doc["clock"]
         if meta is not None:
             entry["meta"] = meta
+        bucket = (entry.get("meta") or {}).get("bucket")
+        if isinstance(bucket, str):
+            names = doc.setdefault("buckets", {}).setdefault(bucket, [])
+            if name.lower() not in names:
+                names.append(name.lower())
         self.write_index(doc)
         return doc
 
@@ -295,6 +349,7 @@ class RunStore:
         evicted: list[str] = []
         for name in list(entries):
             if not self.record_path(name).exists():
+                self._drop_from_buckets(doc, name, entries[name])
                 del entries[name]
                 evicted.append(name)
         # oldest first; name tie-break keeps the order deterministic
@@ -310,6 +365,7 @@ class RunStore:
             if not (over_count or over_size):
                 break
             total -= int(entries[name].get("bytes", 0))
+            self._drop_from_buckets(doc, name, entries[name])
             del entries[name]
             try:
                 self.record_path(name).unlink()

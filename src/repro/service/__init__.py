@@ -16,6 +16,9 @@ workers crash, hang, and saturate:
   directory;
 * :mod:`repro.service.shards` — the worker-process shard pool with
   per-shard breakers, deadline kills, and pool healing;
+* :mod:`repro.service.batcher` — the micro-batching coalescer that
+  turns concurrent cache-missing queries sharing a batch key into one
+  :class:`~repro.network.fleet_engine.FleetEngine` call per batch;
 * :mod:`repro.service.app` — the HTTP/1.1 front end and endpoints
   (``/provision``, ``/healthz``, ``/readyz``, ``/stats``).
 
@@ -23,6 +26,7 @@ See ``docs/robustness.md`` ("Provisioning service") for semantics.
 """
 
 from .app import ProvisioningService, ServiceConfig, ServiceThread
+from .batcher import BatcherStats, QueryBatcher
 from .cache import ResultCache
 from .protocol import (
     BadRequest,
@@ -30,6 +34,7 @@ from .protocol import (
     ServiceError,
     analytic_answer,
     analytic_bound,
+    coalescible,
     topology_sha,
 )
 from .resilience import (
@@ -41,17 +46,19 @@ from .resilience import (
     backoff_delay,
 )
 from .shards import NoHealthyShard, QueryFailed, Shard, ShardPool
-from .worker import execute_query
+from .worker import execute_batch, execute_query, warm_worker
 
 __all__ = [
     "AdmissionController",
     "BadRequest",
+    "BatcherStats",
     "CircuitBreaker",
     "Deadline",
     "DeadlineExceeded",
     "NoHealthyShard",
     "ProvisionQuery",
     "ProvisioningService",
+    "QueryBatcher",
     "QueryFailed",
     "ResultCache",
     "ServiceConfig",
@@ -63,6 +70,9 @@ __all__ = [
     "analytic_answer",
     "analytic_bound",
     "backoff_delay",
+    "coalescible",
+    "execute_batch",
     "execute_query",
     "topology_sha",
+    "warm_worker",
 ]

@@ -9,16 +9,22 @@ Request flow for ``POST /provision``::
     parse+validate ── 400 on bad input
       └─ cache lookup ───────────────── hit → 200 {cached: true}
            └─ admission control ─────── full → 503 + Retry-After
-                └─ shard pool (deadline, retries, breakers)
-                     ├─ ok ──────────── 200, response cached
-                     ├─ query error ─── 422 {error}
-                     └─ pool/deadline ─ 200 {degraded: true}  (nearest
-                        cached result, else the analytic bound) — or
-                        504 when degradation is disabled
+                └─ query batcher (coalesce by batch key; adaptive /
+                   faulted queries fall through solo)
+                     └─ shard pool (deadline, retries, breakers;
+                        one FleetEngine call per flushed batch)
+                          ├─ ok ──────────── 200, response cached
+                          ├─ query error ─── 422 {error}  (a poisoned
+                             lane 422s alone — batchmates unaffected)
+                          └─ pool/deadline ─ 200 {degraded: true}
+                             (nearest cached result, else the analytic
+                             bound) — or 504 when degradation is
+                             disabled
 
 ``GET /healthz`` answers while the loop is alive; ``GET /readyz``
 additionally requires a non-open shard; ``GET /stats`` exposes queue
-depth, breaker states, cache hit rate, and shard restart counts.
+depth, breaker states, cache hit rate, shard restart counts, and the
+batcher's coalescing counters.
 """
 
 from __future__ import annotations
@@ -26,9 +32,10 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
+from .batcher import QueryBatcher
 from .cache import ResultCache
 from .protocol import (
     BadRequest,
@@ -67,6 +74,9 @@ class ServiceConfig:
     cache_max_entries: int | None = 4096
     degrade: bool = True  # False: fail loudly instead of degrading
     est_service_s: float = 0.5  # Retry-After scale per queued request
+    batching: bool = True  # False: every query takes the solo path
+    batch_window_ms: float = 4.0  # coalescing window per batch key
+    batch_max_lanes: int = 64  # flush early once a batch is this wide
 
 
 @dataclass
@@ -93,6 +103,12 @@ class ProvisioningService:
             backoff_s=self.config.backoff_s,
             failure_threshold=self.config.failure_threshold,
             breaker_reset_s=self.config.breaker_reset_s,
+        )
+        self.batcher = QueryBatcher(
+            self.pool,
+            window_s=self.config.batch_window_ms / 1e3,
+            max_lanes=self.config.batch_max_lanes,
+            enabled=self.config.batching,
         )
         self.admission = AdmissionController(
             self.config.queue_limit,
@@ -211,6 +227,7 @@ class ProvisioningService:
     def stats(self) -> dict[str, Any]:
         return {
             "admission": self.admission.stats(),
+            "batcher": self.batcher.stats_dict(),
             "pool": self.pool.stats(),
             "cache": self.cache.stats(),
             "served": {
@@ -254,7 +271,7 @@ class ProvisioningService:
             deadline = Deadline.after(
                 query.deadline_s or self.config.deadline_s
             )
-            response = await self.pool.submit(query, deadline)
+            response = await self.batcher.submit(query, deadline)
         except QueryFailed as err:
             self.counters.errors += 1
             return 422, {}, {"error": str(err)}

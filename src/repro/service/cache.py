@@ -11,7 +11,11 @@ cache evicts through it so the directory stays under the configured
 The index also carries each entry's query shape (topology sha, policy,
 adversary), which is what lets graceful degradation answer "the
 nearest cached result" for an unservable query without opening any
-artifact files.
+artifact files.  Provision entries are additionally filed under a
+*shape bucket* (topology sha + policy) in the store index, so the
+nearest lookup scans one bucket — O(bucket members), not O(cache) —
+no matter how large the cache grows; eviction prunes bucket
+membership in the same atomic index rewrite that drops the entry.
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ from ..io.checkpoint import atomic_write_text
 from ..runner.store import RunStore, canonical_json
 from .protocol import ProvisionQuery
 
-__all__ = ["ENTRY_FORMAT", "ResultCache"]
+__all__ = ["ENTRY_FORMAT", "ResultCache", "shape_bucket"]
 
 ENTRY_FORMAT = "repro-cache-entry-v1"
 
@@ -33,6 +37,19 @@ ENTRY_FORMAT = "repro-cache-entry-v1"
 #: from ever colliding with experiment-id artifacts in a shared root.
 def _entry_name(key: str) -> str:
     return f"q{key[:40]}"
+
+
+def shape_bucket(query: ProvisionQuery) -> str | None:
+    """The index bucket a provision query's cache entry is filed under.
+
+    Topology sha + policy: the coarse shape the degraded-mode nearest
+    lookup scopes its scan to (the finer adversary match happens
+    within the bucket).  ``None`` for experiment queries — they are
+    never nearest-neighbour candidates.
+    """
+    if query.kind != "provision":
+        return None
+    return f"{query.topology_sha}|{query.policy}"
 
 
 class ResultCache:
@@ -99,16 +116,17 @@ class ResultCache:
             self._path(key),
             json.dumps(doc, indent=2, sort_keys=True, default=str) + "\n",
         )
-        self.store.touch(
-            _entry_name(key),
-            meta={
-                "kind": query.kind,
-                "topology_sha": query.topology_sha,
-                "policy": query.policy,
-                "adversary": query.adversary,
-                "steps": query.steps,
-            },
-        )
+        meta: dict[str, Any] = {
+            "kind": query.kind,
+            "topology_sha": query.topology_sha,
+            "policy": query.policy,
+            "adversary": query.adversary,
+            "steps": query.steps,
+        }
+        bucket = shape_bucket(query)
+        if bucket is not None:
+            meta["bucket"] = bucket
+        self.store.touch(_entry_name(key), meta=meta)
         self.store.evict(
             max_bytes=self.max_bytes, max_entries=self.max_entries
         )
@@ -122,14 +140,20 @@ class ResultCache:
         shape of the provisioning question), most recently used first —
         a stale-but-real measurement beats a purely analytic bound.
         Returns ``None`` when nothing in the cache shares the shape.
+        The scan is scoped to the query's shape bucket in the store
+        index, so its cost tracks the bucket's population, not the
+        cache's.
         """
-        if query.kind != "provision":
+        bucket = shape_bucket(query)
+        if bucket is None:
             return None
         doc = self.store.load_index()
+        entries = doc["entries"]
         candidates = [
             (int(entry.get("last_used", 0)), name)
-            for name, entry in doc["entries"].items()
-            if (meta := entry.get("meta"))
+            for name in self.store.bucket_names(bucket, doc)
+            if (entry := entries.get(name)) is not None
+            and (meta := entry.get("meta"))
             and meta.get("kind") == "provision"
             and meta.get("topology_sha") == query.topology_sha
             and meta.get("policy") == query.policy

@@ -20,6 +20,15 @@ The cache key is a SHA-256 over the canonical JSON of
 ``(topology_sha, policy, adversary, params, faults)``: deterministic
 across processes (no ``PYTHONHASHSEED`` dependence) and insensitive to
 dict ordering in the incoming request.
+
+Next to the cache key lives the *batch key* — the coarser content
+address the service's coalescing batcher groups cache-missing queries
+by.  Two queries share a batch key iff one
+:class:`~repro.network.fleet_engine.FleetEngine` can co-schedule them
+as lanes of a single fleet: same resolved topology, policy, adversary
+family, decision timing, overflow discipline and buffer capacity.
+Per-lane facts (steps, seed, deadline) stay out of the batch key —
+the fleet advances heterogeneous horizons via ``run_horizons``.
 """
 
 from __future__ import annotations
@@ -40,6 +49,7 @@ __all__ = [
     "topology_sha",
     "analytic_bound",
     "analytic_answer",
+    "coalescible",
 ]
 
 RESPONSE_SCHEMA = "repro-provision-v1"
@@ -101,6 +111,17 @@ _ADVERSARIES = (
     "round-robin", "max-chaser",
 )
 
+#: adversary families that publish an injection schedule (see
+#: ``Adversary.inject_schedule``) and therefore ride the FleetEngine's
+#: vectorised lanes.  The adaptive families (seesaw, pressure,
+#: max-chaser) react to observed heights step by step and take the
+#: solo per-query path instead.
+_SCHEDULED_ADVERSARIES = frozenset(
+    {"far-end", "pre-sink", "uniform", "round-robin"}
+)
+
+_DECISION_TIMINGS = ("pre_injection", "post_injection")
+
 
 @dataclass
 class ProvisionQuery:
@@ -114,6 +135,7 @@ class ProvisionQuery:
     seed: int = 0
     buffer_capacity: int | None = None
     overflow: str = Overflow.DROP_TAIL.value
+    decision_timing: str = "pre_injection"
     faults: dict[str, Any] | None = None
     deadline_s: float | None = None
     # experiment kind only:
@@ -130,8 +152,8 @@ class ProvisionQuery:
             raise BadRequest("request body must be a JSON object")
         known = {
             "kind", "topology", "policy", "adversary", "steps", "seed",
-            "buffer_capacity", "overflow", "faults", "deadline_s",
-            "experiment", "preset",
+            "buffer_capacity", "overflow", "decision_timing", "faults",
+            "deadline_s", "experiment", "preset",
         }
         unknown = sorted(set(raw) - known)
         if unknown:
@@ -200,6 +222,13 @@ class ProvisionQuery:
                 ).value
             except ReproError as err:
                 raise BadRequest(str(err)) from err
+            timing = raw.get("decision_timing", q.decision_timing)
+            if timing not in _DECISION_TIMINGS:
+                raise BadRequest(
+                    f"decision_timing must be one of "
+                    f"{', '.join(_DECISION_TIMINGS)}, got {timing!r}"
+                )
+            q.decision_timing = timing
             faults = raw.get("faults")
             if faults is not None:
                 if not isinstance(faults, dict):
@@ -242,6 +271,7 @@ class ProvisionQuery:
                 "seed": self.seed,
                 "buffer_capacity": self.buffer_capacity,
                 "overflow": self.overflow,
+                "decision_timing": self.decision_timing,
             },
             "faults": self.faults,
         }
@@ -249,6 +279,30 @@ class ProvisionQuery:
     def cache_key(self) -> str:
         return hashlib.sha256(
             canonical_json(self.canonical()).encode("utf-8")
+        ).hexdigest()
+
+    def batch_key(self) -> str | None:
+        """The coalescing group this query may be co-scheduled in.
+
+        Everything one FleetEngine construction fixes for all of its
+        lanes: the resolved topology, the (shared) policy instance
+        family, the adversary family, decision timing, the overflow
+        discipline and the buffer capacity.  ``None`` for queries that
+        must not be batched (see :func:`coalescible`).
+        """
+        if not coalescible(self):
+            return None
+        return hashlib.sha256(
+            canonical_json(
+                {
+                    "topology_sha": self.topology_sha,
+                    "policy": self.policy,
+                    "adversary": self.adversary,
+                    "decision_timing": self.decision_timing,
+                    "overflow": self.overflow,
+                    "buffer_capacity": self.buffer_capacity,
+                }
+            ).encode("utf-8")
         ).hexdigest()
 
     def to_worker_dict(self) -> dict[str, Any]:
@@ -262,10 +316,28 @@ class ProvisionQuery:
             "seed": self.seed,
             "buffer_capacity": self.buffer_capacity,
             "overflow": self.overflow,
+            "decision_timing": self.decision_timing,
             "faults": self.faults,
             "experiment": self.experiment,
             "preset": self.preset,
         }
+
+
+def coalescible(query: ProvisionQuery) -> bool:
+    """May this query be answered as one lane of a batched fleet?
+
+    Provision queries whose adversary publishes an injection schedule
+    and that carry no fault plan batch; everything else (experiment
+    queries, adaptive adversaries, fault overlays — which the solo
+    worker runs under ``run_with_recovery``) transparently takes the
+    existing per-query shard path.  Batched answers are bit-identical
+    to solo ones either way (``tests/property/test_service_batch_parity``).
+    """
+    return (
+        query.kind == "provision"
+        and query.faults is None
+        and query.adversary in _SCHEDULED_ADVERSARIES
+    )
 
 
 def analytic_bound(query: ProvisionQuery) -> float | None:

@@ -14,13 +14,13 @@ burning a slot.
 from __future__ import annotations
 
 import asyncio
-from typing import Any
+from typing import Any, Callable, Sequence
 
 from concurrent.futures import ProcessPoolExecutor
 
 from .protocol import ProvisionQuery, ServiceError
 from .resilience import CircuitBreaker, Deadline, backoff_delay
-from .worker import execute_query
+from .worker import execute_batch, execute_query, warm_worker
 
 __all__ = ["NoHealthyShard", "QueryFailed", "Shard", "ShardPool"]
 
@@ -51,6 +51,7 @@ class Shard:
         self.busy = False
         self.restarts = 0
         self.served = 0
+        self.warmed_pid: int | None = None
         self._executor: ProcessPoolExecutor | None = None
 
     def executor(self) -> ProcessPoolExecutor:
@@ -61,6 +62,7 @@ class Shard:
     def restart(self) -> None:
         """Kill the worker process (it may be hung) and start fresh."""
         executor, self._executor = self._executor, None
+        self.warmed_pid = None
         if executor is not None:
             for proc in list(getattr(executor, "_processes", {}).values()):
                 try:
@@ -84,6 +86,7 @@ class Shard:
             "busy": self.busy,
             "restarts": self.restarts,
             "served": self.served,
+            "warmed": self.warmed_pid is not None,
             **self.breaker.stats(),
         }
 
@@ -150,9 +153,9 @@ class ShardPool:
 
     # -- execution -----------------------------------------------------
     async def _run_once(
-        self, shard: Shard, worker_dict: dict[str, Any], left: float
-    ) -> dict[str, Any]:
-        fut = shard.executor().submit(execute_query, worker_dict)
+        self, shard: Shard, fn: Callable[..., Any], payload: Any, left: float
+    ) -> Any:
+        fut = shard.executor().submit(fn, payload)
         try:
             return await asyncio.wait_for(
                 asyncio.wrap_future(fut), timeout=left
@@ -162,25 +165,30 @@ class ShardPool:
             shard.restart()
             raise
 
-    async def submit(
-        self, query: ProvisionQuery, deadline: Deadline
-    ) -> dict[str, Any]:
-        """Run ``query`` on some healthy shard within ``deadline``.
+    async def _execute(
+        self,
+        fn: Callable[..., Any],
+        payload: Any,
+        deadline: Deadline,
+        key: str,
+        served_of: Callable[[Any], int],
+    ) -> Any:
+        """The shared retry loop behind :meth:`submit` and
+        :meth:`submit_batch`.
 
         Bounded retries with exponential backoff + deterministic jitter
-        on *infrastructure* failures (worker death, hang); a
-        deterministic in-query error raises :class:`QueryFailed`
-        immediately.  The remaining deadline is split across the
-        remaining attempts, so a hang on the first attempt leaves
-        budget for a retry to return a *real* answer inside the
-        original deadline instead of forcing degradation.  Raises
-        :class:`NoHealthyShard` /
+        on *infrastructure* failures (worker death, hang); any returned
+        payload — including in-query ``{"error": ...}`` documents — is
+        a healthy shard, so the breaker records success and the caller
+        decides what the payload means.  The remaining deadline is
+        split across the remaining attempts, so a hang on the first
+        attempt leaves budget for a retry to return a *real* answer
+        inside the original deadline instead of forcing degradation.
+        Raises :class:`NoHealthyShard` /
         :class:`~repro.service.resilience.DeadlineExceeded` when the
         pool or the budget is exhausted — the app layer turns those
         into degraded answers.
         """
-        key = query.cache_key()
-        worker_dict = query.to_worker_dict()
         last_reason = "unknown"
         for attempt in range(1, self.retries + 2):
             deadline.check("waiting for a shard")
@@ -192,7 +200,7 @@ class ShardPool:
             attempts_left = self.retries + 2 - attempt
             try:
                 response = await self._run_once(
-                    shard, worker_dict, left / attempts_left
+                    shard, fn, payload, left / attempts_left
                 )
             except asyncio.TimeoutError:
                 shard.breaker.record_failure()
@@ -209,11 +217,7 @@ class ShardPool:
                     f"{type(err).__name__} (attempt {attempt})"
                 )
             else:
-                if "error" in response:
-                    # the query itself failed; the shard is healthy
-                    shard.breaker.record_success()
-                    raise QueryFailed(response["error"])
-                shard.served += 1
+                shard.served += served_of(response)
                 shard.breaker.record_success()
                 return response
             finally:
@@ -226,12 +230,72 @@ class ShardPool:
                 await asyncio.sleep(delay)
         raise NoHealthyShard(f"retries exhausted: {last_reason}")
 
+    async def submit(
+        self, query: ProvisionQuery, deadline: Deadline
+    ) -> dict[str, Any]:
+        """Run one ``query`` on some healthy shard within ``deadline``.
+
+        A deterministic in-query error raises :class:`QueryFailed`
+        immediately (no retry — the shard is healthy, the query is
+        not); infrastructure failures retry per :meth:`_execute`.
+        """
+        response = await self._execute(
+            execute_query,
+            query.to_worker_dict(),
+            deadline,
+            query.cache_key(),
+            lambda r: 0 if "error" in r else 1,
+        )
+        if "error" in response:
+            raise QueryFailed(response["error"])
+        return response
+
+    async def submit_batch(
+        self, queries: Sequence[ProvisionQuery], deadline: Deadline
+    ) -> list[dict[str, Any]]:
+        """Run a coalesced batch as **one** worker call on one shard.
+
+        Returns one response document per query, in order.  Per-lane
+        failures come back as ``{"error": ...}`` entries in the list —
+        a poisoned lane is the *caller's* (the batcher's) problem to
+        demultiplex into a per-request :class:`QueryFailed`, never a
+        reason to fail its batchmates or charge the shard's breaker.
+        Infrastructure failures (worker death, hang, pool exhaustion)
+        raise exactly as :meth:`submit` does, for the whole batch.
+        """
+        if not queries:
+            return []
+        payload = [q.to_worker_dict() for q in queries]
+        responses = await self._execute(
+            execute_batch,
+            payload,
+            deadline,
+            queries[0].cache_key(),
+            lambda rs: sum(1 for r in rs if "error" not in r),
+        )
+        if not isinstance(responses, list) or len(responses) != len(queries):
+            raise ServiceError(
+                f"batch protocol violation: sent {len(queries)} lanes, "
+                f"got {type(responses).__name__} back"
+            )
+        return responses
+
     # ------------------------------------------------------------------
-    def warm_up(self) -> None:
-        """Pre-spawn every shard's worker so first requests don't pay
-        the fork cost inside their deadline."""
-        for shard in self.shards:
-            shard.executor()
+    def warm_up(self, *, timeout_s: float = 60.0) -> None:
+        """Pre-spawn every shard's worker and run the warm-up body in
+        it (numpy import + a throwaway 1-lane fleet), so the first real
+        request doesn't pay the fork/import latency spike inside its
+        deadline.  Warm-ups run concurrently across shards; a shard
+        whose warm-up fails stays usable — it just starts cold."""
+        futures = [
+            (shard, shard.executor().submit(warm_worker))
+            for shard in self.shards
+        ]
+        for shard, fut in futures:
+            try:
+                shard.warmed_pid = int(fut.result(timeout=timeout_s))
+            except Exception:  # pragma: no cover - cold start is legal
+                shard.warmed_pid = None
 
     def close(self) -> None:
         for shard in self.shards:
@@ -246,4 +310,5 @@ class ShardPool:
             "shards": [s.stats() for s in self.shards],
             "restarts_total": self.restarts_total,
             "all_open": self.all_open,
+            "warmed": all(s.warmed_pid is not None for s in self.shards),
         }

@@ -1,15 +1,26 @@
-"""Shard worker body for the provisioning service.
+"""Shard worker bodies for the provisioning service.
 
-:func:`execute_query` is the single module-level (picklable) entry
-point a shard process runs.  It never raises for in-simulation
-failures — those come back as an ``{"error": ...}`` payload so the
-front end can distinguish "this query is bad" (no retry, don't charge
-the shard's breaker) from "this shard died/hung" (retry elsewhere,
-charge the breaker).  Crashes and hangs, of course, don't return at
-all — that's the failure surface the pool's deadlines, breakers, and
-healing exist for, and exactly what the chaos stubs
+:func:`execute_query` is the module-level (picklable) entry point a
+shard process runs for one solo query; :func:`execute_batch` answers a
+whole coalesced batch with **one** :class:`~repro.network.fleet_engine.
+FleetEngine` call, returning one response per lane in order.  Neither
+raises for in-simulation failures — those come back as an
+``{"error": ...}`` payload so the front end can distinguish "this
+query is bad" (no retry, don't charge the shard's breaker) from "this
+shard died/hung" (retry elsewhere, charge the breaker).  A batch adds
+one more distinction: a single *poisoned lane* yields an ``error``
+payload **for that lane alone** — its batchmates still get real
+answers (fleet construction/run failures fall back to solo per-lane
+execution, each isolated).  Crashes and hangs, of course, don't return
+at all — that's the failure surface the pool's deadlines, breakers,
+and healing exist for, and exactly what the chaos stubs
 (:mod:`repro.runner.chaos`) inject when routed through the
 ``"experiment"`` query kind.
+
+:func:`warm_worker` is the warm-up body ``ShardPool.warm_up()`` runs
+in every freshly spawned worker: it pre-imports numpy and the engine
+stack and spins a throwaway 1-lane fleet, so the first real batch
+never pays the import/allocation latency spike inside its deadline.
 """
 
 from __future__ import annotations
@@ -20,7 +31,7 @@ from typing import Any
 
 from .protocol import RESPONSE_SCHEMA, ProvisionQuery, analytic_bound
 
-__all__ = ["execute_query"]
+__all__ = ["execute_query", "execute_batch", "warm_worker"]
 
 
 def _ensure_chaos_registered(experiment_id: str) -> None:
@@ -79,6 +90,7 @@ def _run_provision(query: ProvisionQuery) -> dict[str, Any]:
             query.n,
             make_policy(query.policy),
             adversary,
+            decision_timing=query.decision_timing,  # type: ignore[arg-type]
             buffer_capacity=query.buffer_capacity,
             overflow=query.overflow,
             faults=plan,
@@ -94,6 +106,7 @@ def _run_provision(query: ProvisionQuery) -> dict[str, Any]:
             from_parent_array(succ),
             TreeOddEvenPolicy(),
             adversary,
+            decision_timing=query.decision_timing,  # type: ignore[arg-type]
             buffer_capacity=query.buffer_capacity,
             overflow=query.overflow,
             faults=plan,
@@ -130,6 +143,17 @@ def _run_provision(query: ProvisionQuery) -> dict[str, Any]:
     }
 
 
+def _parse_worker_dict(worker_dict: dict[str, Any]) -> ProvisionQuery:
+    """Re-validate a worker dict into a query (None means 'omitted')."""
+    return ProvisionQuery.from_dict(
+        {
+            k: v
+            for k, v in worker_dict.items()
+            if v is not None or k in ("steps", "buffer_capacity")
+        }
+    )
+
+
 def execute_query(worker_dict: dict[str, Any]) -> dict[str, Any]:
     """Run one validated query to completion inside a shard process.
 
@@ -138,13 +162,7 @@ def execute_query(worker_dict: dict[str, Any]) -> dict[str, Any]:
     """
     t0 = time.perf_counter()
     try:
-        query = ProvisionQuery.from_dict(
-            {
-                k: v
-                for k, v in worker_dict.items()
-                if v is not None or k in ("steps", "buffer_capacity")
-            }
-        )
+        query = _parse_worker_dict(worker_dict)
         if query.kind == "experiment":
             response = _run_experiment(query)
         else:
@@ -155,3 +173,158 @@ def execute_query(worker_dict: dict[str, Any]) -> dict[str, Any]:
         return {"error": f"{type(err).__name__}: {err}"}
     response["compute_s"] = round(time.perf_counter() - t0, 4)
     return response
+
+
+def _lane_response(
+    query: ProvisionQuery, steps: int, result: Any
+) -> dict[str, Any]:
+    """One batched lane's response, field-for-field identical to the
+    solo :func:`_run_provision` document (``compute_s`` excepted —
+    wall-clock is not part of the answer)."""
+    return {
+        "schema": RESPONSE_SCHEMA,
+        "kind": "provision",
+        "query": query.canonical(),
+        "cache_key": query.cache_key(),
+        "n": query.n,
+        "steps": steps,
+        "max_height": int(result.max_height),
+        "argmax_node": int(result.argmax_node),
+        "bound": analytic_bound(query),
+        "injected": int(result.injected),
+        "delivered": int(result.delivered),
+        "in_flight": int(result.in_flight),
+        "dropped": int(result.dropped),
+        "drops_by_cause": {
+            str(c): int(k)
+            for c, k in sorted(result.drops_by_cause.items())
+        },
+        "degraded": False,
+    }
+
+
+def _run_fleet_lanes(
+    queries: list[ProvisionQuery],
+) -> list[dict[str, Any]]:
+    """Answer coalesced provision queries with one FleetEngine call.
+
+    Every query must share the batch key's facts (topology, policy,
+    adversary family, decision timing, overflow, buffer capacity);
+    per-lane steps and seeds are heterogeneous and served through
+    :meth:`~repro.network.fleet_engine.FleetEngine.run_horizons`.
+    """
+    from ..analysis.occupancy import default_step_budget
+    from ..cli import _make_adversary
+    from ..network.fleet_engine import FleetEngine
+    from ..policies import make_policy
+    from .protocol import ServiceError, _resolve_topology
+
+    head = queries[0]
+    for q in queries[1:]:
+        if (
+            q.topology_sha != head.topology_sha
+            or q.policy != head.policy
+            or q.adversary != head.adversary
+            or q.decision_timing != head.decision_timing
+            or q.overflow != head.overflow
+            or q.buffer_capacity != head.buffer_capacity
+        ):
+            raise ServiceError(
+                "batch mixes incompatible lanes (batch keys disagree)"
+            )
+    horizons = [
+        default_step_budget(q.n) if q.steps is None else q.steps
+        for q in queries
+    ]
+    adversaries = [_make_adversary(q.adversary, q.seed) for q in queries]
+    policy = make_policy(head.policy)
+    if head.is_path:
+        topology: Any = head.n
+    else:
+        from ..network.topology import from_parent_array
+
+        succ, _, _ = _resolve_topology(head.topology)
+        topology = from_parent_array(succ)
+    fleet = FleetEngine(
+        topology,
+        policy,
+        adversaries,
+        decision_timing=head.decision_timing,  # type: ignore[arg-type]
+        buffer_capacity=head.buffer_capacity,
+        overflow=head.overflow,
+    )
+    results = fleet.run_horizons(horizons)
+    return [
+        _lane_response(q, steps, res)
+        for q, steps, res in zip(queries, horizons, results)
+    ]
+
+
+def execute_batch(
+    worker_dicts: list[dict[str, Any]],
+) -> list[dict[str, Any]]:
+    """Run one coalesced batch inside a shard process.
+
+    Returns exactly one response document (or ``{"error": message}``)
+    per input lane, in order.  Failure isolation: a lane that cannot
+    even be parsed errors alone; if the shared fleet construction or
+    run fails, every lane is re-run solo so a poisoned lane's error is
+    charged to that lane only and its batchmates still get real,
+    bit-identical answers.
+    """
+    t0 = time.perf_counter()
+    out: list[dict[str, Any] | None] = [None] * len(worker_dicts)
+    lanes: list[tuple[int, ProvisionQuery]] = []
+    solo: list[int] = []
+    for i, wd in enumerate(worker_dicts):
+        try:
+            query = _parse_worker_dict(wd)
+        except BaseException as err:
+            if isinstance(err, (KeyboardInterrupt, SystemExit)):
+                raise
+            out[i] = {"error": f"{type(err).__name__}: {err}"}
+            continue
+        # defensive: the batcher never sends experiment/fault queries,
+        # but a batch must answer whatever it was handed — solo path
+        if query.kind != "provision" or query.faults is not None:
+            solo.append(i)
+        else:
+            lanes.append((i, query))
+    if lanes:
+        try:
+            responses = _run_fleet_lanes([q for _, q in lanes])
+        except BaseException as err:
+            if isinstance(err, (KeyboardInterrupt, SystemExit)):
+                raise
+            # poisoned-lane isolation: settle every lane individually
+            solo.extend(i for i, _ in lanes)
+            solo.sort()
+        else:
+            for (i, _), response in zip(lanes, responses):
+                out[i] = response
+    for i in solo:
+        out[i] = execute_query(worker_dicts[i])
+    compute_s = round(time.perf_counter() - t0, 4)
+    done: list[dict[str, Any]] = []
+    for response in out:
+        assert response is not None  # every index settled above
+        response.setdefault("compute_s", compute_s)
+        done.append(response)
+    return done
+
+
+def warm_worker() -> int:
+    """Pre-pay the import/JIT cost in a fresh shard worker.
+
+    Imports numpy and the engine stack and advances a throwaway 1-lane
+    fleet a few steps, so the first coalesced batch a worker serves
+    starts hot.  Returns the worker's PID (handy for tests asserting
+    the warm-up actually ran in the worker process).
+    """
+    from ..adversaries import FarEndAdversary
+    from ..network.fleet_engine import FleetEngine
+    from ..policies import OddEvenPolicy
+
+    fleet = FleetEngine(8, OddEvenPolicy(), [FarEndAdversary()])
+    fleet.run_horizons([4])
+    return os.getpid()

@@ -16,7 +16,8 @@ Usage::
 ``record`` writes ``BENCH_<label>.json`` (format documented in
 ``benchmarks/README.md``): path-engine steps/second (per-step and
 batched), TreeEngine-vs-Simulator tree throughput, DagEngine-vs-loop
-DAG throughput, FleetEngine cross-run throughput, per-experiment
+DAG throughput, FleetEngine cross-run throughput, service solo-vs-
+batched queries/second, per-experiment
 wall-clock, preset and git
 revision — one comparable perf data point per run.  ``compare``
 prints a per-engine summary table (baseline sps, current sps, delta)
@@ -40,6 +41,7 @@ from repro.runner import (  # noqa: E402  (path bootstrap above)
     fleet_throughput,
     load_bench,
     run_experiments,
+    service_throughput,
     tree_engine_throughput,
     write_bench,
 )
@@ -50,6 +52,7 @@ ENGINE_METRICS: tuple[tuple[str, tuple[str, ...]], ...] = (
     ("tree", ("simulator_sps", "tree_engine_sps")),
     ("dag", ("loop_sps", "dag_sps")),
     ("fleet", ("per_run_sps", "fleet_sps")),
+    ("service", ("solo_qps", "service_qps")),
 )
 
 
@@ -84,6 +87,17 @@ def _cmd_record(args: argparse.Namespace) -> int:
         f"{fleet['per_run_sps']} lane-steps/s, fleet "
         f"{fleet['fleet_sps']} lane-steps/s ({fleet['speedup']}x)"
     )
+    service = service_throughput(
+        queries=args.service_queries,
+        n=args.service_n,
+        max_lanes=args.service_batch_lanes,
+    )
+    print(
+        f"service queries={service['queries']} n={service['n']}: solo "
+        f"{service['solo_qps']} q/s, batched {service['service_qps']} "
+        f"q/s at occupancy {service['batch_occupancy']} "
+        f"({service['speedup']}x)"
+    )
     manifest = None
     if not args.no_sweep:
         manifest = run_experiments(
@@ -96,7 +110,7 @@ def _cmd_record(args: argparse.Namespace) -> int:
               f"{manifest.wall_s:.2f}s with --jobs {args.jobs}")
     path = write_bench(
         bench_record(args.label, manifest=manifest, engine=engine,
-                     tree=tree, dag=dag, fleet=fleet),
+                     tree=tree, dag=dag, fleet=fleet, service=service),
         args.out,
     )
     print(f"wrote {path}")
@@ -211,6 +225,13 @@ def main(argv: list[str] | None = None) -> int:
     r.add_argument("--fleet-runs", type=int, default=256)
     r.add_argument("--fleet-n", type=int, default=256)
     r.add_argument("--fleet-steps", type=int, default=1024)
+    r.add_argument("--service-queries", type=int, default=256,
+                   help="burst size for the service batching "
+                        "microbench (default 256)")
+    r.add_argument("--service-n", type=int, default=64)
+    r.add_argument("--service-batch-lanes", type=int, default=64,
+                   help="max lanes per coalesced batch (default 64, "
+                        "the service's --batch-max-lanes default)")
 
     c = sub.add_parser("compare", help="diff two bench records")
     c.add_argument("old")

@@ -14,6 +14,11 @@ contract from docs/robustness.md:
 * every shed request answers 503 with a ``Retry-After`` header;
 * the cache hit rate ends above zero and a sampled response matches an
   in-process recomputation;
+* the shard pool reports a warm start (every worker pre-imported numpy
+  and built a throwaway 1-lane fleet before the first request);
+* the coalescing batcher flushed at least one batch during the soak
+  (batch hit rate > 0 — concurrent cache-missing queries really were
+  served through the FleetEngine path);
 * the crashed shard is restarted and ``/readyz`` reports ready again.
 
 Exits non-zero (with a diagnostic) on any violation — this is the CI
@@ -117,6 +122,10 @@ def main(argv: list[str] | None = None) -> int:
             print(f"service on {svc.address}")
             status, _ = get(port, "/healthz")
             check(status == 200, "healthz answers 200", failures)
+            _, boot_stats = get(port, "/stats")
+            check(boot_stats["pool"]["warmed"] is True,
+                  "shard pool reports a warm start before any request",
+                  failures)
 
             # the soak: N requests drawn round-robin from QUERIES, with
             # one chaos crash-kill injected a third of the way through
@@ -171,6 +180,11 @@ def main(argv: list[str] | None = None) -> int:
             print("stats:", json.dumps(stats, indent=2, sort_keys=True))
             hits = stats["cache"]["hits"]
             check(hits > 0, f"cache hit rate > 0 (hits={hits})", failures)
+            batches = stats["batcher"]["batches_flushed"]
+            coalesced = stats["batcher"]["requests_batched"]
+            check(batches > 0 and coalesced > 0,
+                  f"batch hit rate > 0 (batches={batches}, "
+                  f"requests_batched={coalesced})", failures)
             restarts = stats["pool"]["restarts_total"]
             check(restarts >= 1,
                   f"chaos-killed shard was restarted (restarts={restarts})",
