@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench soak chaos serve service-smoke experiments \
-	experiments-full docs clean
+.PHONY: install test bench soak chaos serve service-smoke \
+	service-abuse experiments experiments-full docs clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -33,6 +33,11 @@ serve:
 # concurrent soak of the service with a chaos-killed shard mid-run
 service-smoke:
 	$(PYTHON) tools/service_smoke.py
+
+# adversarial HTTP abuse harness: hostile clients + legit traffic +
+# chaos shard kill + graceful drain, against a live service
+service-abuse:
+	$(PYTHON) tools/hostile_client.py
 
 experiments:
 	$(PYTHON) -m repro run all --preset quick

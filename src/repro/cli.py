@@ -211,6 +211,28 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--no-batching", action="store_true",
                    help="disable query coalescing: every cache miss "
                         "takes the solo per-query worker path")
+    v.add_argument("--max-connections", type=int, default=256,
+                   metavar="N",
+                   help="concurrent-connection bound: connections "
+                        "beyond this are accept-shed with a fast "
+                        "503 + Retry-After (default 256)")
+    v.add_argument("--max-connections-per-peer", type=int, default=64,
+                   metavar="N",
+                   help="per-peer slice of the connection bound "
+                        "(default 64)")
+    v.add_argument("--io-timeout-s", type=float, default=10.0,
+                   metavar="S",
+                   help="per-phase I/O deadline (header read, body "
+                        "read, response write): a slowloris drip or "
+                        "stalled body is a 408 within this budget, "
+                        "and a client that stops reading its "
+                        "response is aborted (default 10)")
+    v.add_argument("--drain-deadline-s", type=float, default=5.0,
+                   metavar="S",
+                   help="graceful-drain budget on SIGTERM/SIGINT: "
+                        "/readyz flips to 503 immediately, in-flight "
+                        "requests get this long to finish, then are "
+                        "force-cancelled with accounting (default 5)")
     return p
 
 
@@ -688,6 +710,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batching=not args.no_batching,
         batch_window_ms=args.batch_window_ms,
         batch_max_lanes=args.batch_max_lanes,
+        max_connections=args.max_connections,
+        max_connections_per_peer=args.max_connections_per_peer,
+        io_timeout_s=args.io_timeout_s,
+        drain_deadline_s=args.drain_deadline_s,
     ))
 
 

@@ -20,11 +20,18 @@ workers crash, hang, and saturate:
   turns concurrent cache-missing queries sharing a batch key into one
   :class:`~repro.network.fleet_engine.FleetEngine` call per batch;
 * :mod:`repro.service.app` — the HTTP/1.1 front end and endpoints
-  (``/provision``, ``/healthz``, ``/readyz``, ``/stats``).
+  (``/provision``, ``/healthz``, ``/readyz``, ``/stats``), hardened
+  against hostile clients: connection governor, per-phase I/O
+  deadlines, slow-client reaping, and graceful drain;
+* :mod:`repro.service.abuse` — the adversarial client corpus
+  (slowloris, stalled bodies, oversized inputs, floods) and the
+  raw-socket driver behind ``tools/hostile_client.py``.
 
-See ``docs/robustness.md`` ("Provisioning service") for semantics.
+See ``docs/robustness.md`` ("Provisioning service" and "Hostile
+clients & graceful drain") for semantics.
 """
 
+from .abuse import Attack, AttackResult, AttackStep, corpus, flood, run_attack
 from .app import ProvisioningService, ServiceConfig, ServiceThread
 from .batcher import BatcherStats, QueryBatcher
 from .cache import ResultCache
@@ -40,6 +47,9 @@ from .protocol import (
 from .resilience import (
     AdmissionController,
     CircuitBreaker,
+    ConnectionGovernor,
+    ConnectionRefused,
+    ConnectionSlot,
     Deadline,
     DeadlineExceeded,
     Shedding,
@@ -50,9 +60,15 @@ from .worker import execute_batch, execute_query, warm_worker
 
 __all__ = [
     "AdmissionController",
+    "Attack",
+    "AttackResult",
+    "AttackStep",
     "BadRequest",
     "BatcherStats",
     "CircuitBreaker",
+    "ConnectionGovernor",
+    "ConnectionRefused",
+    "ConnectionSlot",
     "Deadline",
     "DeadlineExceeded",
     "NoHealthyShard",
@@ -71,8 +87,11 @@ __all__ = [
     "analytic_bound",
     "backoff_delay",
     "coalescible",
+    "corpus",
     "execute_batch",
     "execute_query",
+    "flood",
+    "run_attack",
     "topology_sha",
     "warm_worker",
 ]

@@ -14,6 +14,11 @@ at the front door: this module is the service's own buffer management.
   into the shard pool, so no accepted request can hang past it.
 * :class:`CircuitBreaker` — per-shard closed → open → half-open state,
   so a crash-looping shard can't absorb the whole retry budget.
+* :class:`ConnectionGovernor` — the front door's front door: a bound
+  on concurrent connections (total and per peer) with fast shedding,
+  plus the bookkeeping the slow-client reaper needs to kill
+  connections that stop making I/O progress (slowloris, stalled
+  bodies, readers that never drain their response).
 * :func:`backoff_delay` — re-exported from the runner: exponential
   backoff with deterministic CRC32 jitter, keyed on the request.
 
@@ -25,7 +30,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
 
 from ..runner.runner import backoff_delay
 from .protocol import ServiceError
@@ -37,6 +42,9 @@ __all__ = [
     "Shedding",
     "AdmissionController",
     "CircuitBreaker",
+    "ConnectionRefused",
+    "ConnectionSlot",
+    "ConnectionGovernor",
 ]
 
 Clock = Callable[[], float]
@@ -207,4 +215,205 @@ class CircuitBreaker:
             "state": self.state,
             "consecutive_failures": self.consecutive_failures,
             "opened_total": self.opened_total,
+        }
+
+
+class ConnectionRefused(ServiceError):
+    """The connection governor refused a new connection.
+
+    Carries the machine-readable ``cause`` (the ``rejects_by_cause``
+    bucket it was counted under) and a ``retry_after_s`` hint for the
+    503 the front end sends before closing.
+    """
+
+    def __init__(
+        self, message: str, *, cause: str, retry_after_s: float
+    ) -> None:
+        super().__init__(message)
+        self.cause = cause
+        self.retry_after_s = retry_after_s
+
+
+@dataclass(eq=False)  # identity semantics: slots live in a set
+class ConnectionSlot:
+    """One live connection's governor bookkeeping.
+
+    ``deadline_at`` is the reap deadline on the governor's clock: the
+    handler re-arms it (:meth:`ConnectionGovernor.touch`) at each I/O
+    phase, so a connection that stops making progress goes overdue and
+    the reaper cancels its ``handle`` (the handler's asyncio task —
+    opaque to the governor, which never awaits anything).
+    """
+
+    peer: str
+    opened_at: float
+    deadline_at: float
+    handle: Any = None
+    released: bool = False
+
+
+class ConnectionGovernor:
+    """Bound what a hostile client population can cost the service.
+
+    The paper bounds what adversarial *traffic* can do to a buffer;
+    this bounds what adversarial *connections* can do to the event
+    loop.  Three defenses, all O(1) per connection:
+
+    * **accept shedding** — at most ``max_connections`` concurrent
+      connections (and at most ``max_per_peer`` from one peer);
+      :meth:`register` beyond either bound raises
+      :class:`ConnectionRefused` so the front end can answer a fast
+      ``503 + Retry-After`` and close, instead of letting a flood
+      starve the loop;
+    * **reap deadlines** — every slot carries a deadline re-armed per
+      I/O phase; :meth:`overdue` (plus ``reap_grace_s`` so the
+      in-band ``asyncio.timeout`` machinery gets first shot at a
+      clean 408) names the slots whose handlers should be cancelled;
+    * **drain accounting** — the ``draining`` flag plus
+      ``rejects_by_cause``/``reaped``/``drain_cancelled`` counters
+      make shutdown observable and leak-checkable from ``/stats``.
+
+    Synchronous and clock-injectable like the other primitives.
+    """
+
+    def __init__(
+        self,
+        max_connections: int = 256,
+        *,
+        max_per_peer: int | None = None,
+        io_timeout_s: float = 10.0,
+        reap_grace_s: float = 1.0,
+        retry_after_s: float = 1.0,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        if max_connections < 1:
+            raise ServiceError(
+                f"max_connections must be >= 1, got {max_connections}"
+            )
+        if max_per_peer is not None and max_per_peer < 1:
+            raise ServiceError(
+                f"max_per_peer must be >= 1 or None, got {max_per_peer}"
+            )
+        self.max_connections = int(max_connections)
+        self.max_per_peer = (
+            None if max_per_peer is None else int(max_per_peer)
+        )
+        self.io_timeout_s = float(io_timeout_s)
+        self.reap_grace_s = float(reap_grace_s)
+        self.retry_after_s = float(retry_after_s)
+        self._clock = clock
+        self._slots: set[ConnectionSlot] = set()
+        self._per_peer: dict[str, int] = {}
+        self.accepted_total = 0
+        self.peak = 0
+        self.reaped_total = 0
+        self.drain_cancelled = 0
+        self.rejects_by_cause: dict[str, int] = {}
+        self.draining = False
+
+    # -- admission -----------------------------------------------------
+    @property
+    def open(self) -> int:
+        return len(self._slots)
+
+    def count_reject(self, cause: str) -> None:
+        self.rejects_by_cause[cause] = (
+            self.rejects_by_cause.get(cause, 0) + 1
+        )
+
+    def register(
+        self, peer: str, handle: Any = None
+    ) -> ConnectionSlot:
+        """Take a connection slot or raise :class:`ConnectionRefused`.
+
+        Registration stays open while ``draining`` so orchestrator
+        probes can still observe ``/readyz``; the *request* layer
+        refuses new work instead.
+        """
+        if len(self._slots) >= self.max_connections:
+            self.count_reject("max-connections")
+            raise ConnectionRefused(
+                f"connection limit reached "
+                f"({len(self._slots)}/{self.max_connections})",
+                cause="max-connections",
+                retry_after_s=self.retry_after_s,
+            )
+        held = self._per_peer.get(peer, 0)
+        if self.max_per_peer is not None and held >= self.max_per_peer:
+            self.count_reject("per-peer")
+            raise ConnectionRefused(
+                f"per-peer connection limit reached for {peer} "
+                f"({held}/{self.max_per_peer})",
+                cause="per-peer",
+                retry_after_s=self.retry_after_s,
+            )
+        now = self._clock()
+        slot = ConnectionSlot(
+            peer=peer,
+            opened_at=now,
+            deadline_at=now + self.io_timeout_s,
+            handle=handle,
+        )
+        self._slots.add(slot)
+        self._per_peer[peer] = held + 1
+        self.accepted_total += 1
+        self.peak = max(self.peak, len(self._slots))
+        return slot
+
+    def touch(
+        self, slot: ConnectionSlot, budget_s: float | None = None
+    ) -> None:
+        """Re-arm ``slot``'s reap deadline for the next I/O phase."""
+        budget = self.io_timeout_s if budget_s is None else budget_s
+        slot.deadline_at = self._clock() + budget
+
+    def release(self, slot: ConnectionSlot) -> None:
+        """Free the slot; safe to call twice (reap + handler finally)."""
+        if slot.released:
+            return
+        slot.released = True
+        self._slots.discard(slot)
+        remaining = self._per_peer.get(slot.peer, 0) - 1
+        if remaining > 0:
+            self._per_peer[slot.peer] = remaining
+        else:
+            self._per_peer.pop(slot.peer, None)
+
+    # -- the reaper's view ---------------------------------------------
+    def overdue(self) -> list[ConnectionSlot]:
+        """Slots whose handlers stopped making I/O progress."""
+        now = self._clock()
+        return [
+            slot
+            for slot in self._slots
+            if now > slot.deadline_at + self.reap_grace_s
+        ]
+
+    def note_reaped(self) -> None:
+        """Count a slow-client kill handled in-band (a phase timeout
+        that answered 408 and closed — the slot is released by the
+        normal response path, but the kill still shows in ``reaped``)."""
+        self.reaped_total += 1
+
+    def reaped(self, slot: ConnectionSlot) -> None:
+        """Account a reap kill and free the slot."""
+        if not slot.released:
+            self.reaped_total += 1
+        self.release(slot)
+
+    def handles(self) -> list[Any]:
+        """Live handler handles (the drain's cancellation worklist)."""
+        return [s.handle for s in self._slots if s.handle is not None]
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "open": len(self._slots),
+            "peak": self.peak,
+            "accepted_total": self.accepted_total,
+            "max_connections": self.max_connections,
+            "max_per_peer": self.max_per_peer,
+            "rejects_by_cause": dict(self.rejects_by_cause),
+            "reaped": self.reaped_total,
+            "draining": self.draining,
+            "drain_cancelled": self.drain_cancelled,
         }

@@ -14,6 +14,7 @@ burning a slot.
 from __future__ import annotations
 
 import asyncio
+import multiprocessing
 from typing import Any, Callable, Sequence
 
 from concurrent.futures import ProcessPoolExecutor
@@ -56,7 +57,16 @@ class Shard:
 
     def executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=1)
+            # spawn, not fork: a worker (re)built mid-request must not
+            # inherit duplicates of the front end's live client
+            # sockets — a forked worker holding a connection FD keeps
+            # that connection established after the handler closes it,
+            # so clients never see the close and FDs leak into every
+            # rebuilt worker (pinned by tools/hostile_client.py)
+            self._executor = ProcessPoolExecutor(
+                max_workers=1,
+                mp_context=multiprocessing.get_context("spawn"),
+            )
         return self._executor
 
     def restart(self) -> None:

@@ -1,0 +1,201 @@
+"""Hostile clients over real sockets, concurrently with legit traffic.
+
+The wire-level half of the abuse contract (the parser-level half lives
+in ``tests/unit/test_service_abuse.py``): every attack in
+:func:`repro.service.abuse.corpus` is played against a live
+:class:`~repro.service.ServiceThread` while legitimate provisioning
+requests ride alongside, and the service must
+
+* reject each attack with its declared status (408/413/431/400/404 —
+  never a 500) and close the connection within its deadline;
+* keep answering the legitimate traffic correctly;
+* accept-shed a connection flood with fast 503 + ``Retry-After``;
+* flip ``/readyz`` to 503 during a graceful drain, finish in-flight
+  work, and leave zero connections behind.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.service import (
+    ServiceConfig,
+    ServiceThread,
+    corpus,
+    flood,
+    run_attack,
+)
+
+IO_TIMEOUT_S = 1.0
+DEADLINE_S = 6.0
+
+
+def make_service(tmp_path, **over) -> ServiceThread:
+    cfg = ServiceConfig(
+        port=0,
+        shards=1,
+        queue_limit=16,
+        deadline_s=DEADLINE_S,
+        retries=1,
+        backoff_s=0.05,
+        breaker_reset_s=1.0,
+        cache_dir=str(tmp_path / "cache"),
+        io_timeout_s=IO_TIMEOUT_S,
+    )
+    for key, value in over.items():
+        setattr(cfg, key, value)
+    return ServiceThread(cfg)
+
+
+def post(port: int, body: dict) -> tuple[int, dict, dict]:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request("POST", "/provision", body=json.dumps(body))
+        resp = conn.getresponse()
+        return (resp.status, dict(resp.getheaders()),
+                json.loads(resp.read() or b"{}"))
+    finally:
+        conn.close()
+
+
+def get(port: int, path: str) -> tuple[int, dict]:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request("GET", path)
+        resp = conn.getresponse()
+        return resp.status, json.loads(resp.read() or b"{}")
+    finally:
+        conn.close()
+
+
+class TestAttackCorpusOverSockets:
+    def test_attacks_rejected_while_legit_traffic_flows(self, tmp_path):
+        attacks = corpus(io_timeout_s=IO_TIMEOUT_S)
+        # headroom above len(attacks) so attacks are never accept-shed
+        # (shedding has its own test below)
+        svc = make_service(tmp_path, max_connections=32,
+                           max_connections_per_peer=32)
+        try:
+            port = svc.port
+            provision = {"topology": "path:24", "policy": "odd-even",
+                         "adversary": "far-end", "steps": 300,
+                         "deadline_s": DEADLINE_S}
+            with ThreadPoolExecutor(
+                max_workers=len(attacks) + 4
+            ) as pool:
+                attack_futs = [
+                    pool.submit(run_attack, "127.0.0.1", port, a,
+                                io_timeout_s=IO_TIMEOUT_S)
+                    for a in attacks
+                ]
+                legit_futs = [
+                    pool.submit(post, port, dict(provision))
+                    for _ in range(4)
+                ]
+                attack_results = [f.result() for f in attack_futs]
+                legit_results = [f.result() for f in legit_futs]
+
+            for attack, result in zip(attacks, attack_results):
+                assert result.ok(attack), (
+                    attack.name, result.status, result.closed,
+                    result.detail,
+                )
+            for status, _headers, body in legit_results:
+                assert status == 200, body
+                assert (body.get("degraded") is True
+                        or body.get("max_height") is not None), body
+
+            _, stats = get(port, "/stats")
+            assert stats["served"]["errors"] == 0  # no attack hit 500
+            # the two slow attacks were killed in-band (408) or reaped
+            assert stats["connections"]["reaped"] >= 2
+            assert stats["connections"]["open"] <= 1  # /stats itself
+        finally:
+            svc.stop()
+
+    def test_flood_is_accept_shed_with_retry_after(self, tmp_path):
+        svc = make_service(tmp_path, max_connections=4,
+                           max_connections_per_peer=4)
+        try:
+            report = flood("127.0.0.1", svc.port, idle=4, extra=2)
+            assert report["idle_connected"] == 4
+            shed = report["shed"]
+            assert len(shed) == 2
+            for status, has_retry_after, wall in shed:
+                assert status == 503
+                assert has_retry_after
+                assert wall < 2.0  # shed fast, not queued
+            _, stats = get(svc.port, "/stats")
+            rejects = stats["connections"]["rejects_by_cause"]
+            assert rejects.get("max-connections", 0) >= 2
+        finally:
+            svc.stop()
+
+
+class TestGracefulDrain:
+    def test_drain_flips_readyz_and_finishes_in_flight(self, tmp_path):
+        svc = make_service(tmp_path, drain_deadline_s=5.0)
+        port = svc.port
+        # prime the pool so the in-flight request below is fast
+        status, _, _ = post(
+            port, {"topology": "path:24", "policy": "odd-even",
+                   "adversary": "far-end", "steps": 300,
+                   "deadline_s": DEADLINE_S})
+        assert status == 200
+
+        # a stalled connection holds the drain window open for
+        # ~io_timeout so the readyz flip is observable over HTTP
+        stalled = socket.create_connection(("127.0.0.1", port),
+                                           timeout=10)
+        stalled.sendall(b"POST /provision HTTP/1.1\r\n"
+                        b"Content-Length: 64\r\n\r\n{")
+        inflight: dict = {}
+
+        def run_inflight() -> None:
+            inflight["resp"] = post(
+                port, {"topology": "path:24", "policy": "odd-even",
+                       "adversary": "far-end", "steps": 300,
+                       "deadline_s": DEADLINE_S})
+
+        worker = threading.Thread(target=run_inflight)
+        worker.start()
+        time.sleep(0.2)
+        probe: dict = {}
+
+        def probe_readyz() -> None:
+            time.sleep(0.1)
+            try:
+                probe["readyz"] = get(port, "/readyz")
+            except OSError:  # pragma: no cover - drain won the race
+                probe["readyz"] = (None, {})
+
+        prober = threading.Thread(target=probe_readyz)
+        prober.start()
+        t0 = time.monotonic()
+        report = svc.stop()
+        wall = time.monotonic() - t0
+        worker.join(timeout=10)
+        prober.join(timeout=10)
+        stalled.close()
+
+        assert wall <= 5.0 + 4.0, report
+        assert report["in_flight_at_drain"] >= 1, report
+        assert inflight["resp"][0] == 200, inflight
+        assert probe["readyz"][0] == 503, probe
+        final = svc.service.stats()["connections"]
+        assert final["open"] == 0
+        assert final["draining"] is True
+        assert not svc.service.governor.handles()
+        # idempotent: a second stop returns the same accounting
+        assert svc.stop() == report
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(pytest.main([__file__, "-v"]))

@@ -23,6 +23,8 @@ from repro.service import (
     AdmissionController,
     BadRequest,
     CircuitBreaker,
+    ConnectionGovernor,
+    ConnectionRefused,
     Deadline,
     DeadlineExceeded,
     ProvisionQuery,
@@ -152,6 +154,120 @@ class TestCircuitBreaker:
         assert cb.opened_total == 3
         assert not cb.allow()  # a fresh full window applies
 
+
+
+class TestConnectionGovernor:
+    def test_register_release_and_peak(self):
+        gov = ConnectionGovernor(4, clock=FakeClock())
+        slots = [gov.register(f"peer-{i}") for i in range(3)]
+        assert gov.open == 3
+        assert gov.peak == 3
+        assert gov.accepted_total == 3
+        for slot in slots:
+            gov.release(slot)
+        assert gov.open == 0
+        assert gov.peak == 3  # peak is a high-water mark
+
+    def test_max_connections_refusal_carries_retry_after(self):
+        gov = ConnectionGovernor(2, retry_after_s=2.5, clock=FakeClock())
+        gov.register("a")
+        gov.register("b")
+        with pytest.raises(ConnectionRefused) as exc:
+            gov.register("c")
+        assert exc.value.cause == "max-connections"
+        assert exc.value.retry_after_s == 2.5
+        assert gov.rejects_by_cause["max-connections"] == 1
+        assert gov.accepted_total == 2  # refusals are not accepts
+
+    def test_per_peer_cap_only_hits_the_greedy_peer(self):
+        gov = ConnectionGovernor(10, max_per_peer=2, clock=FakeClock())
+        gov.register("hog")
+        gov.register("hog")
+        with pytest.raises(ConnectionRefused) as exc:
+            gov.register("hog")
+        assert exc.value.cause == "per-peer"
+        gov.register("polite")  # other peers are unaffected
+        assert gov.rejects_by_cause == {"per-peer": 1}
+
+    def test_release_frees_the_per_peer_budget(self):
+        gov = ConnectionGovernor(10, max_per_peer=1, clock=FakeClock())
+        slot = gov.register("peer")
+        with pytest.raises(ConnectionRefused):
+            gov.register("peer")
+        gov.release(slot)
+        gov.register("peer")  # budget returned
+
+    def test_double_release_is_safe(self):
+        gov = ConnectionGovernor(4, clock=FakeClock())
+        a = gov.register("peer")
+        b = gov.register("peer")
+        gov.release(a)
+        gov.release(a)  # reap + handler finally may both fire
+        assert gov.open == 1
+        gov.release(b)
+        assert gov.open == 0
+
+    def test_overdue_respects_touch_and_grace(self):
+        clock = FakeClock()
+        gov = ConnectionGovernor(
+            4, io_timeout_s=5.0, reap_grace_s=1.0, clock=clock
+        )
+        slot = gov.register("peer")
+        clock.now += 5.5  # past the deadline but inside the grace
+        assert gov.overdue() == []
+        clock.now += 1.0  # past deadline + grace
+        assert gov.overdue() == [slot]
+        gov.touch(slot)  # an I/O phase made progress: re-armed
+        assert gov.overdue() == []
+
+    def test_reaped_accounting(self):
+        clock = FakeClock()
+        gov = ConnectionGovernor(4, io_timeout_s=1.0, clock=clock)
+        slot = gov.register("peer")
+        gov.reaped(slot)
+        assert gov.open == 0
+        assert gov.reaped_total == 1
+        gov.reaped(slot)  # idempotent: a dead slot is not re-counted
+        assert gov.reaped_total == 1
+        gov.note_reaped()  # in-band 408 kills count too
+        assert gov.reaped_total == 2
+
+    def test_register_stays_open_while_draining(self):
+        # probes must still reach /readyz during the drain window;
+        # the request layer, not admission, refuses new work.
+        gov = ConnectionGovernor(4, clock=FakeClock())
+        gov.draining = True
+        slot = gov.register("probe")
+        assert slot is not None
+        stats = gov.stats()
+        assert stats["draining"] is True
+        assert stats["open"] == 1
+
+    def test_stats_shape(self):
+        gov = ConnectionGovernor(
+            8, max_per_peer=4, clock=FakeClock()
+        )
+        gov.register("peer", handle="h1")
+        gov.count_reject("draining")
+        stats = gov.stats()
+        assert stats == {
+            "open": 1,
+            "peak": 1,
+            "accepted_total": 1,
+            "max_connections": 8,
+            "max_per_peer": 4,
+            "rejects_by_cause": {"draining": 1},
+            "reaped": 0,
+            "draining": False,
+            "drain_cancelled": 0,
+        }
+        assert gov.handles() == ["h1"]
+
+    def test_rejects_bad_limits(self):
+        with pytest.raises(Exception):
+            ConnectionGovernor(0)
+        with pytest.raises(Exception):
+            ConnectionGovernor(4, max_per_peer=0)
 
 class TestBackoff:
     def test_deterministic_per_key(self):

@@ -1,0 +1,189 @@
+"""Parser-level abuse corpus and ServiceThread drain lifecycle.
+
+Feeds every attack in :func:`repro.service.abuse.corpus` straight
+through ``ProvisioningService._handle_request`` via a hand-fed
+:class:`asyncio.StreamReader` and asserts the parser answers the
+attack's ``parser_expect`` status — never a 500, never an unhandled
+exception (``counters.errors`` stays zero).  Then exercises the
+``ServiceThread`` lifecycle: double-``stop()`` is idempotent, a stop
+with work in flight drains cleanly, and a stalled connection is
+force-cancelled when the drain deadline expires.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.service import (
+    ProvisioningService,
+    ServiceConfig,
+    ServiceThread,
+    corpus,
+)
+
+IO_S = 0.2  # tiny phase budget so the 408 attacks resolve fast
+ATTACKS = corpus(io_timeout_s=IO_S)
+
+
+def make_config(tmp_path, **over) -> ServiceConfig:
+    cfg = ServiceConfig(
+        port=0,
+        shards=1,
+        queue_limit=8,
+        deadline_s=6.0,
+        retries=1,
+        backoff_s=0.05,
+        breaker_reset_s=1.0,
+        cache_dir=str(tmp_path / "cache"),
+    )
+    for key, value in over.items():
+        setattr(cfg, key, value)
+    return cfg
+
+
+# ---------------------------------------------------------------------------
+class TestMalformedRequestCorpus:
+    @pytest.mark.parametrize(
+        "attack", ATTACKS, ids=[a.name for a in ATTACKS]
+    )
+    def test_attack_gets_its_named_rejection(self, tmp_path, attack):
+        svc = ProvisioningService(
+            make_config(tmp_path, io_timeout_s=IO_S)
+        )
+
+        async def run() -> tuple[int, dict]:
+            reader = asyncio.StreamReader()
+            reader.feed_data(attack.payload)
+            if attack.close_early:
+                reader.feed_eof()  # the client hung up mid-body
+            slot = svc.governor.register("attacker")
+            status, _headers, body = await asyncio.wait_for(
+                svc._handle_request(reader, slot),
+                timeout=5 * IO_S + 2.0,
+            )
+            return status, body
+
+        status, body = asyncio.run(run())
+        assert status in attack.parser_expect, (attack.name, body)
+        assert "error" in body, (attack.name, body)
+        # an attack must be *rejected*, never crash the handler
+        assert svc.counters.errors == 0
+
+    def test_content_length_rejections_name_the_header(self, tmp_path):
+        svc = ProvisioningService(
+            make_config(tmp_path, io_timeout_s=IO_S)
+        )
+        by_name = {a.name: a for a in ATTACKS}
+
+        async def run(attack) -> dict:
+            reader = asyncio.StreamReader()
+            reader.feed_data(attack.payload)
+            slot = svc.governor.register("attacker")
+            _status, _headers, body = await svc._handle_request(
+                reader, slot
+            )
+            return body
+
+        for name in ("non-numeric-content-length",
+                     "negative-content-length"):
+            body = asyncio.run(run(by_name[name]))
+            assert "Content-Length" in body["error"], (name, body)
+
+    def test_timeout_rejections_count_as_reaped(self, tmp_path):
+        svc = ProvisioningService(
+            make_config(tmp_path, io_timeout_s=IO_S)
+        )
+        by_name = {a.name: a for a in ATTACKS}
+
+        async def run(attack) -> int:
+            reader = asyncio.StreamReader()
+            reader.feed_data(attack.payload)
+            slot = svc.governor.register("attacker")
+            status, _headers, _body = await svc._handle_request(
+                reader, slot
+            )
+            return status
+
+        assert asyncio.run(run(by_name["slowloris-header-drip"])) == 408
+        assert asyncio.run(run(by_name["stalled-body"])) == 408
+        # both slow-client kills show up in the governor's accounting
+        assert svc.governor.stats()["reaped"] == 2
+
+
+# ---------------------------------------------------------------------------
+def post(port: int, body: dict) -> tuple[int, dict]:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request("POST", "/provision", body=json.dumps(body))
+        resp = conn.getresponse()
+        return resp.status, json.loads(resp.read() or b"{}")
+    finally:
+        conn.close()
+
+
+class TestServiceThreadLifecycle:
+    def test_double_stop_is_idempotent(self, tmp_path):
+        svc = ServiceThread(make_config(tmp_path))
+        first = svc.stop()
+        assert first["in_flight_at_drain"] == 0
+        assert first["cancelled"] == 0
+        # a second stop is a no-op returning the same accounting
+        assert svc.stop() == first
+        assert svc.service.stats()["connections"]["draining"] is True
+
+    def test_stop_with_in_flight_work_drains_cleanly(self, tmp_path):
+        svc = ServiceThread(make_config(tmp_path))
+        result: dict = {}
+
+        def worker() -> None:
+            result["resp"] = post(
+                svc.port,
+                {"topology": "path:32", "policy": "odd-even",
+                 "adversary": "far-end", "steps": 400,
+                 "deadline_s": 6.0},
+            )
+
+        t = threading.Thread(target=worker)
+        t.start()
+        time.sleep(0.3)  # let the request reach the service
+        report = svc.stop()
+        t.join(timeout=30)
+        status, body = result["resp"]
+        assert status == 200, body
+        # the drain waited for the request instead of cancelling it
+        assert report["cancelled"] == 0
+        assert svc.service.stats()["connections"]["open"] == 0
+
+    def test_drain_force_cancels_stalled_connections(self, tmp_path):
+        # io budget far beyond the drain deadline: only the drain's
+        # force-cancel can reclaim the stalled connection
+        svc = ServiceThread(
+            make_config(tmp_path, io_timeout_s=30.0,
+                        drain_deadline_s=0.2)
+        )
+        stalled = socket.create_connection(
+            ("127.0.0.1", svc.port), timeout=10
+        )
+        try:
+            stalled.sendall(b"POST /provision HTTP/1.1\r\n"
+                            b"Content-Length: 64\r\n\r\n{")
+            time.sleep(0.3)  # let the handler park in body-read
+            t0 = time.monotonic()
+            report = svc.stop()
+            wall = time.monotonic() - t0
+        finally:
+            stalled.close()
+        assert report["in_flight_at_drain"] >= 1
+        assert report["cancelled"] >= 1
+        assert wall < 10.0
+        final = svc.service.stats()["connections"]
+        assert final["open"] == 0
+        assert final["drain_cancelled"] >= 1
+        assert not svc.service.governor.handles()

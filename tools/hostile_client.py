@@ -1,0 +1,320 @@
+#!/usr/bin/env python3
+"""Adversarial HTTP abuse harness for the provisioning service.
+
+Boots a real :class:`~repro.service.ServiceThread` on an ephemeral
+port and attacks it with the full :func:`repro.service.abuse.corpus`
+— slowloris header drip, stalled body, oversized header/body,
+non-numeric and negative Content-Length, garbage bytes, pipelined
+junk, mid-body disconnect — **concurrently with legitimate traffic**
+and a chaos X1 shard kill mid-attack.  Then floods the connection
+governor and finally drains the service with in-flight work.  Asserts
+the hostile-client contract from docs/robustness.md:
+
+* every legitimate request answers 200 (real or explicitly
+  ``degraded: true``) or an honest 503 with ``Retry-After`` — and at
+  least one real provisioning answer comes back while the attacks run;
+* every attack is rejected with its expected status within its
+  deadline (slowloris/stalled-body: 408 within ``io-timeout + 1s``;
+  oversized inputs: 413/431; malformed: 400 — never a 500) and its
+  connection is closed;
+* the connection flood is accept-shed: extras get a fast 503 whose
+  headers carry ``Retry-After``;
+* nothing leaks: the governor's ``connections.open`` returns to zero,
+  ``served.errors`` stays zero (no attack ever surfaced as a 500),
+  and the chaos-killed shard was healed;
+* ``stop()`` performs a graceful drain: ``/readyz`` flips to 503
+  immediately, in-flight requests finish, and the drain completes
+  inside ``--drain-deadline-s`` plus slack with zero live
+  connections/tasks left in ``/stats``.
+
+Exits non-zero (with a diagnostic) on any violation — this is the CI
+``service-abuse`` job and also runs via ``make service-abuse``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.runner import chaos  # noqa: E402  (path bootstrap above)
+from repro.service import (  # noqa: E402
+    ServiceConfig,
+    ServiceThread,
+    corpus,
+    flood,
+    run_attack,
+)
+
+IO_TIMEOUT_S = 1.5
+DEADLINE_S = 8.0
+DRAIN_DEADLINE_S = 5.0
+SLACK_S = 4.0
+MAX_CONNECTIONS = 64
+
+#: distinct legitimate queries, repeated across the abuse run.
+QUERIES = [
+    {"topology": "path:32", "policy": "odd-even",
+     "adversary": "far-end", "steps": 400},
+    {"topology": "path:64", "policy": "downhill",
+     "adversary": "pre-sink", "steps": 400},
+    {"topology": "binary:3", "policy": "tree-odd-even",
+     "adversary": "uniform", "steps": 300, "seed": 7},
+]
+
+CHAOS_KILL = {"kind": "experiment", "experiment": "X1",
+              "deadline_s": DEADLINE_S}
+
+
+def post(port: int, body: dict) -> tuple[int, dict, dict, float]:
+    """``(status, headers, json_body, wall_s)`` for one POST /provision."""
+    t0 = time.monotonic()
+    conn = http.client.HTTPConnection("127.0.0.1", port,
+                                      timeout=DEADLINE_S + SLACK_S)
+    try:
+        conn.request("POST", "/provision", body=json.dumps(body),
+                     headers={"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        payload = json.loads(resp.read() or b"{}")
+        return (resp.status, dict(resp.getheaders()), payload,
+                time.monotonic() - t0)
+    finally:
+        conn.close()
+
+
+def get(port: int, path: str) -> tuple[int, dict]:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request("GET", path)
+        resp = conn.getresponse()
+        return resp.status, json.loads(resp.read() or b"{}")
+    finally:
+        conn.close()
+
+
+def check(ok: bool, what: str, failures: list[str]) -> None:
+    print(("PASS " if ok else "FAIL ") + what)
+    if not ok:
+        failures.append(what)
+
+
+def legit_ok(status: int, headers: dict, body: dict) -> bool:
+    """A legitimate request's acceptable outcomes under attack."""
+    if status == 200:
+        return (body.get("degraded") is True
+                or body.get("max_height") is not None
+                or body.get("passed") is not None)
+    if status == 503:
+        return "Retry-After" in headers and bool(body.get("shed"))
+    return False
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--legit", type=int, default=24,
+                    help="legitimate requests fired during the attack "
+                         "phase (default 24)")
+    ap.add_argument("--concurrency", type=int, default=12)
+    args = ap.parse_args(argv)
+
+    failures: list[str] = []
+    attacks = corpus(io_timeout_s=IO_TIMEOUT_S)
+    with tempfile.TemporaryDirectory() as tmp:
+        chaos.install(Path(tmp) / "chaos")
+        svc = ServiceThread(ServiceConfig(
+            port=0,
+            shards=2,
+            queue_limit=max(16, args.legit),
+            deadline_s=DEADLINE_S,
+            retries=1,
+            backoff_s=0.05,
+            breaker_reset_s=1.0,
+            cache_dir=str(Path(tmp) / "cache"),
+            max_connections=MAX_CONNECTIONS,
+            max_connections_per_peer=MAX_CONNECTIONS,
+            io_timeout_s=IO_TIMEOUT_S,
+            drain_deadline_s=DRAIN_DEADLINE_S,
+        ))
+        try:
+            port = svc.port
+            print(f"service on {svc.address}; "
+                  f"{len(attacks)} attacks in the corpus")
+            _, boot_stats = get(port, "/stats")
+            conn_stats = boot_stats.get("connections", {})
+            check(all(k in conn_stats for k in
+                      ("open", "rejects_by_cause", "reaped", "draining")),
+                  "/stats exposes the connection governor counters",
+                  failures)
+
+            # -- phase 1: every attack, concurrently with legit traffic
+            bodies = [dict(QUERIES[i % len(QUERIES)],
+                           deadline_s=DEADLINE_S)
+                      for i in range(args.legit)]
+            bodies.insert(args.legit // 3, CHAOS_KILL)
+            with ThreadPoolExecutor(
+                max_workers=args.concurrency + len(attacks)
+            ) as pool:
+                attack_futs = {
+                    a.name: pool.submit(
+                        run_attack, "127.0.0.1", port, a,
+                        io_timeout_s=IO_TIMEOUT_S,
+                    )
+                    for a in attacks
+                }
+                legit_results = list(
+                    pool.map(lambda b: post(port, b), bodies)
+                )
+                attack_results = {name: fut.result()
+                                  for name, fut in attack_futs.items()}
+
+            statuses = sorted({s for s, _, _, _ in legit_results})
+            print(f"legit: {len(legit_results)} requests -> "
+                  f"statuses {statuses}")
+            check(all(legit_ok(s, h, b)
+                      for s, h, b, _ in legit_results),
+                  "every legit request is correct-or-degraded "
+                  "(200 real/degraded, or honest 503 + Retry-After)",
+                  failures)
+            check(any(s == 200 and not b.get("degraded")
+                      for s, _, b, _ in legit_results),
+                  "at least one real provisioning answer under attack",
+                  failures)
+            check(all(wall <= DEADLINE_S + SLACK_S
+                      for _, _, _, wall in legit_results),
+                  f"no legit request hangs past deadline+{SLACK_S:g}s",
+                  failures)
+
+            for attack in attacks:
+                result = attack_results[attack.name]
+                want = attack.expect or ("no response",)
+                check(result.ok(attack),
+                      f"attack {attack.name}: rejected as {want} "
+                      f"(got {result.status}, closed={result.closed}, "
+                      f"wall={result.wall_s:.2f}s) within "
+                      f"{attack.deadline_factor * IO_TIMEOUT_S + 1:.1f}s",
+                      failures)
+
+            # -- phase 2: connection flood, with legit probes riding it
+            flood_report = flood("127.0.0.1", port,
+                                 idle=MAX_CONNECTIONS, extra=4)
+            shed = flood_report["shed"]
+            check(flood_report["idle_connected"] == MAX_CONNECTIONS,
+                  f"flood opened {MAX_CONNECTIONS} idle connections",
+                  failures)
+            check(all(status == 503 and retry for status, retry, _ in shed),
+                  "every over-limit connection accept-shed with "
+                  f"503 + Retry-After ({shed})", failures)
+            check(all(wall < 2.0 for _, _, wall in shed),
+                  "accept shedding is fast, not queued", failures)
+
+            # idle flood connections must be reaped, not leaked
+            time.sleep(IO_TIMEOUT_S + 2.0)
+            _, stats = get(port, "/stats")
+            conn_stats = stats["connections"]
+            print("connections:",
+                  json.dumps(conn_stats, sort_keys=True))
+            check(conn_stats["rejects_by_cause"].get(
+                      "max-connections", 0) >= 4,
+                  "governor counted the flood under "
+                  "rejects_by_cause[max-connections]", failures)
+            check(conn_stats["reaped"] >= 1,
+                  f"idle flood connections were reaped "
+                  f"(reaped={conn_stats['reaped']})", failures)
+            check(conn_stats["open"] <= 1,  # the /stats request itself
+                  f"no leaked connections (open={conn_stats['open']})",
+                  failures)
+            check(stats["served"]["errors"] == 0,
+                  "no attack ever surfaced as a 500 "
+                  f"(errors={stats['served']['errors']})", failures)
+            check(stats["pool"]["restarts_total"] >= 1,
+                  "chaos-killed shard was restarted", failures)
+            status, _ = get(port, "/readyz")
+            check(status == 200, "readyz answers 200 before the drain",
+                  failures)
+
+            # -- phase 3: graceful drain with work in flight.  A
+            # stalled connection holds the drain window open for
+            # ~io_timeout (it 408s inside the drain deadline), so the
+            # readyz flip is observable and in_flight_at_drain >= 1.
+            import socket as socketlib
+            stalled = socketlib.create_connection(("127.0.0.1", port),
+                                                  timeout=10)
+            stalled.sendall(b"POST /provision HTTP/1.1\r\n"
+                            b"Content-Length: 64\r\n\r\n{")
+            inflight: dict = {}
+
+            def run_inflight() -> None:
+                inflight["result"] = post(
+                    port, {"topology": "path:48", "policy": "odd-even",
+                           "adversary": "far-end", "steps": 500,
+                           "deadline_s": DEADLINE_S})
+
+            t = threading.Thread(target=run_inflight)
+            t.start()
+            time.sleep(0.2)  # let both reach the service
+            probe: dict = {}
+
+            def probe_readyz() -> None:
+                time.sleep(0.1)
+                try:
+                    probe["readyz"] = get(port, "/readyz")
+                except OSError:  # pragma: no cover - drain won the race
+                    probe["readyz"] = (None, {})
+
+            p = threading.Thread(target=probe_readyz)
+            p.start()
+            t0 = time.monotonic()
+            report = svc.stop()
+            drain_wall = time.monotonic() - t0
+            t.join(timeout=10)
+            p.join(timeout=10)
+            stalled.close()
+            print(f"drain report: {json.dumps(report, sort_keys=True)} "
+                  f"(wall {drain_wall:.2f}s)")
+            check(drain_wall <= DRAIN_DEADLINE_S + SLACK_S,
+                  f"drain completed inside deadline+{SLACK_S:g}s "
+                  f"({drain_wall:.2f}s)", failures)
+            check(report.get("in_flight_at_drain", 0) >= 1,
+                  "the drain saw in-flight connections "
+                  f"({report})", failures)
+            ok_inflight = inflight.get("result", (None,))[0] == 200
+            check(ok_inflight,
+                  "the in-flight request completed during the drain",
+                  failures)
+            readyz_status = probe.get("readyz", (None,))[0]
+            check(readyz_status == 503,
+                  "readyz flipped to 503 during the drain "
+                  f"(got {readyz_status})", failures)
+            final = svc.service.stats()
+            check(final["connections"]["open"] == 0,
+                  "zero live connections after the drain", failures)
+            check(final["connections"]["draining"] is True,
+                  "governor reports draining after stop", failures)
+            check(not svc.service.governor.handles(),
+                  "zero live handler tasks after the drain", failures)
+            # double-stop is idempotent and returns the same accounting
+            check(svc.stop() == report, "stop() is idempotent", failures)
+        finally:
+            svc.stop()
+            chaos.uninstall()
+
+    if failures:
+        print(f"\nhostile-client harness FAILED: {len(failures)} "
+              "check(s)", file=sys.stderr)
+        for f in failures:
+            print("  - " + f, file=sys.stderr)
+        return 1
+    print("\nhostile-client harness OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,13 @@ contract from docs/robustness.md:
 * the coalescing batcher flushed at least one batch during the soak
   (batch hit rate > 0 — concurrent cache-missing queries really were
   served through the FleetEngine path);
-* the crashed shard is restarted and ``/readyz`` reports ready again.
+* the crashed shard is restarted and ``/readyz`` reports ready again;
+* ``/stats`` carries the connection governor's counters (``open``,
+  ``rejects_by_cause``, ``reaped``, ``draining``) and the soak leaks
+  no connections;
+* a SIGTERM to a real ``repro serve`` subprocess triggers the
+  graceful drain and the process exits 0 inside
+  ``--drain-deadline-s`` plus slack.
 
 Exits non-zero (with a diagnostic) on any violation — this is the CI
 ``service-smoke`` job and also runs via ``make service-smoke``.
@@ -30,6 +36,9 @@ from __future__ import annotations
 import argparse
 import http.client
 import json
+import os
+import signal
+import subprocess
 import sys
 import tempfile
 import time
@@ -97,6 +106,57 @@ def check(ok: bool, what: str, failures: list[str]) -> None:
         failures.append(what)
 
 
+DRAIN_DEADLINE_S = 5.0
+DRAIN_SLACK_S = 10.0  # SIGTERM → exit may also pay pool teardown
+
+
+def sigterm_drain_check(failures: list[str], cache_dir: str) -> None:
+    """Boot a real ``repro serve`` subprocess, SIGTERM it, and assert
+    the graceful drain finishes (exit 0) inside the drain deadline."""
+    repo = Path(__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(repo / "src")
+        + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--shards", "1", "--cache-dir", cache_dir,
+         "--drain-deadline-s", str(DRAIN_DEADLINE_S)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, cwd=repo, env=env,
+    )
+    try:
+        assert proc.stdout is not None
+        line = proc.stdout.readline()
+        check("listening on" in line,
+              f"serve subprocess reports listening ({line.strip()!r})",
+              failures)
+        port = int(line.rsplit(":", 1)[-1])
+        status, _ = get(port, "/healthz")
+        check(status == 200, "serve subprocess answers healthz",
+              failures)
+        t0 = time.monotonic()
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=DRAIN_DEADLINE_S + DRAIN_SLACK_S)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+        wall = time.monotonic() - t0
+        check(proc.returncode == 0,
+              f"SIGTERM drain exits 0 (rc={proc.returncode})", failures)
+        check(wall <= DRAIN_DEADLINE_S + DRAIN_SLACK_S,
+              f"SIGTERM drain finishes inside the deadline "
+              f"({wall:.2f}s <= {DRAIN_DEADLINE_S + DRAIN_SLACK_S:g}s)",
+              failures)
+        tail = proc.stdout.read() or ""
+        check("drain complete" in tail,
+              "serve subprocess logged the drain accounting", failures)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - hung subprocess
+            proc.kill()
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--requests", type=int, default=50,
@@ -125,6 +185,12 @@ def main(argv: list[str] | None = None) -> int:
             _, boot_stats = get(port, "/stats")
             check(boot_stats["pool"]["warmed"] is True,
                   "shard pool reports a warm start before any request",
+                  failures)
+            conn = boot_stats.get("connections", {})
+            check(all(k in conn for k in
+                      ("open", "peak", "rejects_by_cause", "reaped",
+                       "draining", "drain_cancelled")),
+                  "/stats exposes the connection governor counters",
                   failures)
 
             # the soak: N requests drawn round-robin from QUERIES, with
@@ -192,9 +258,15 @@ def main(argv: list[str] | None = None) -> int:
             status, _ = get(port, "/readyz")
             check(status == 200, "readyz answers 200 after the chaos kill",
                   failures)
+            conn = stats["connections"]
+            check(conn["open"] <= 1,  # the /stats request itself
+                  f"soak leaks no connections (open={conn['open']})",
+                  failures)
         finally:
             svc.stop()
             chaos.uninstall()
+
+        sigterm_drain_check(failures, str(Path(tmp) / "serve-cache"))
 
     if failures:
         print(f"\nservice smoke FAILED: {len(failures)} check(s)",
